@@ -1,0 +1,118 @@
+// Command darwin-wga aligns a query genome against a target genome with
+// the Darwin-WGA pipeline (D-SOFT seeding, gapped Banded-Smith-Waterman
+// filtering, GACT-X extension) and writes MAF plus a chain summary.
+//
+// Usage:
+//
+//	darwin-wga -target target.fa -query query.fa [-out out.maf] [flags]
+//	darwin-wga -pair ce11-cb4 -scale 0.004 [-out out.maf] [flags]
+//
+// The second form synthesizes one of the paper's evaluation species
+// pairs instead of reading FASTA files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"darwinwga"
+	"darwinwga/internal/stats"
+)
+
+func main() {
+	var (
+		targetPath = flag.String("target", "", "target genome FASTA")
+		queryPath  = flag.String("query", "", "query genome FASTA")
+		pairName   = flag.String("pair", "", "synthesize a standard pair instead (ce11-cb4, dm6-dp4, dm6-droYak2, dm6-droSim1)")
+		scale      = flag.Float64("scale", 0.01, "genome scale for -pair (fraction of real assembly size)")
+		outPath    = flag.String("out", "", "MAF output file (default stdout)")
+		ungapped   = flag.Bool("ungapped", false, "use LASTZ-style ungapped filtering (baseline mode)")
+		hf         = flag.Int("hf", 0, "filter threshold Hf (0 = configuration default)")
+		he         = flag.Int("he", 0, "extension threshold He (0 = configuration default)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		oneStrand  = flag.Bool("forward-only", false, "skip the reverse-complement strand")
+		topChains  = flag.Int("top", 10, "number of top chains to summarize")
+	)
+	flag.Parse()
+
+	if err := run(*targetPath, *queryPath, *pairName, *scale, *outPath,
+		*ungapped, int32(*hf), int32(*he), *workers, *oneStrand, *topChains); err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga:", err)
+		os.Exit(1)
+	}
+}
+
+func run(targetPath, queryPath, pairName string, scale float64, outPath string,
+	ungapped bool, hf, he int32, workers int, oneStrand bool, topChains int) error {
+
+	var target, query *darwinwga.Assembly
+	switch {
+	case pairName != "":
+		cfg, ok := darwinwga.StandardPair(pairName, scale)
+		if !ok {
+			return fmt.Errorf("unknown pair %q (want one of %v)", pairName, darwinwga.StandardPairNames())
+		}
+		pair, err := darwinwga.GeneratePair(cfg)
+		if err != nil {
+			return err
+		}
+		target, query = pair.Target, pair.Query
+		fmt.Fprintf(os.Stderr, "synthesized %s: target %s, query %s\n", pairName, target, query)
+	case targetPath != "" && queryPath != "":
+		var err error
+		if target, err = darwinwga.ReadFASTA(targetPath); err != nil {
+			return err
+		}
+		if query, err = darwinwga.ReadFASTA(queryPath); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need either -pair or both -target and -query")
+	}
+
+	cfg := darwinwga.DefaultConfig()
+	if ungapped {
+		cfg = darwinwga.LASTZBaselineConfig()
+	}
+	if hf != 0 {
+		cfg.FilterThreshold = hf
+	}
+	if he != 0 {
+		cfg.ExtensionThreshold = he
+	}
+	cfg.Workers = workers
+	cfg.BothStrands = !oneStrand
+
+	rep, err := darwinwga.AlignAssemblies(target, query, cfg)
+	if err != nil {
+		return err
+	}
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteMAF(out); err != nil {
+		return err
+	}
+
+	w := rep.Workload
+	fmt.Fprintf(os.Stderr, "\nfilter mode: %s\n", cfg.Filter)
+	fmt.Fprintf(os.Stderr, "workload: %s seed hits, %s filter tiles, %s passed, %s extension tiles\n",
+		stats.Comma(w.SeedHits), stats.Comma(w.FilterTiles), stats.Comma(w.PassedFilter), stats.Comma(w.ExtensionTiles))
+	fmt.Fprintf(os.Stderr, "timings: seeding %v, filtering %v, extension %v\n",
+		rep.Timings.Seeding, rep.Timings.Filtering, rep.Timings.Extension)
+	fmt.Fprintf(os.Stderr, "alignments: %d HSPs in %d chains, %s matched bp\n",
+		len(rep.HSPs), len(rep.Chains), stats.Comma(int64(rep.TotalMatches())))
+	for i, s := range rep.TopChainScores(topChains) {
+		fmt.Fprintf(os.Stderr, "chain %2d: score %s\n", i+1, stats.Comma(s))
+	}
+	return nil
+}

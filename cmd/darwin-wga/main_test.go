@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"darwinwga"
+	"darwinwga/internal/evolve"
+)
+
+func TestRunSyntheticPairToMAF(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.maf")
+	err := run("", "", "dm6-droSim1", 0.0004, out, false, 0, 0, 0, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "##maf") {
+		t.Errorf("output is not MAF: %q", string(data[:min(len(data), 40)]))
+	}
+	if !strings.Contains(string(data), "dm6.chr1") {
+		t.Error("MAF missing target sequence names")
+	}
+}
+
+func TestRunFASTAFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg, _ := evolve.StandardPair("dm6-droSim1", 0.0004)
+	pair, err := evolve.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tPath := filepath.Join(dir, "t.fa")
+	qPath := filepath.Join(dir, "q.fa")
+	if err := darwinwga.WriteFASTA(tPath, pair.Target); err != nil {
+		t.Fatal(err)
+	}
+	if err := darwinwga.WriteFASTA(qPath, pair.Query); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.maf")
+	if err := run(tPath, qPath, "", 0, out, true /* ungapped baseline */, 0, 0, 0, true, 3); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Errorf("MAF output missing or empty: %v", err)
+	}
+}
+
+func TestRunArgumentValidation(t *testing.T) {
+	if err := run("", "", "", 0, "", false, 0, 0, 0, false, 5); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if err := run("", "", "bogus-pair", 1, "", false, 0, 0, 0, false, 5); err == nil {
+		t.Error("unknown pair accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStandardPair(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("dm6-droSim1", 0.0005, 0, 0, 0, 0, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"dm6.fa", "droSim1.fa", "dm6.exons.bed"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+	bed, err := os.ReadFile(filepath.Join(dir, "dm6.exons.bed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(bed), "gene0000.exon1") {
+		t.Error("BED missing exon annotation")
+	}
+}
+
+func TestRunCustomPair(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", 0, 50000, 0.1, 0.01, 7, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "target.fa")); err != nil {
+		t.Error("missing custom target")
+	}
+}
+
+func TestRunUnknownPair(t *testing.T) {
+	if err := run("nope", 1, 0, 0, 0, 0, t.TempDir()); err == nil {
+		t.Error("unknown pair accepted")
+	}
+}

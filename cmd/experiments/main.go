@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// every table (I-VI) and measured figure (2, 8, 9, 10) plus the
+// Section VI-B noise analysis. See EXPERIMENTS.md for paper-vs-measured
+// notes.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table3,fig10 -scale 0.004
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"darwinwga/internal/experiments"
+)
+
+func main() {
+	var (
+		runArg  = flag.String("run", "all", "comma-separated experiment names, or 'all'")
+		scale   = flag.Float64("scale", 0.004, "genome scale (fraction of the paper's assembly sizes)")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		repeats = flag.Int("repeats", 3, "shuffled-genome repetitions for the FPR analysis")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	lab := experiments.NewLab(experiments.Options{
+		Scale:   *scale,
+		Workers: *workers,
+		Repeats: *repeats,
+		Out:     os.Stdout,
+	})
+
+	var selected []experiments.Experiment
+	if *runArg == "all" {
+		selected = experiments.All()
+	} else {
+		for _, name := range strings.Split(*runArg, ",") {
+			e, ok := experiments.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("==== %s: %s ====\n\n", e.Name, e.Title)
+		start := time.Now()
+		if err := e.Run(lab); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Truncate(time.Millisecond))
+	}
+}

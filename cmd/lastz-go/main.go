@@ -1,0 +1,80 @@
+// Command lastz-go runs the LASTZ-equivalent software baseline: the
+// same seed-filter-extend pipeline as darwin-wga but with LASTZ's
+// ungapped X-drop filtering and its default thresholds. It exists so
+// the baseline of every comparison in the paper is reproducible as its
+// own tool (the paper runs LASTZ 1.02.00; see internal/lastz).
+//
+// Usage:
+//
+//	lastz-go -target target.fa -query query.fa [-out out.maf]
+//	lastz-go -target target.fa -query query.fa -hspthresh 2200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"darwinwga"
+	"darwinwga/internal/genome"
+	"darwinwga/internal/lastz"
+	"darwinwga/internal/stats"
+)
+
+func main() {
+	var (
+		targetPath = flag.String("target", "", "target genome FASTA")
+		queryPath  = flag.String("query", "", "query genome FASTA")
+		outPath    = flag.String("out", "", "MAF output file (default stdout)")
+		hspThresh  = flag.Int("hspthresh", 3000, "ungapped filter threshold (LASTZ --hspthresh)")
+		gapThresh  = flag.Int("gappedthresh", 3000, "final alignment threshold (LASTZ --gappedthresh)")
+		noTrans    = flag.Bool("notransition", false, "disable the seed transition tolerance")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *targetPath == "" || *queryPath == "" {
+		fmt.Fprintln(os.Stderr, "lastz-go: need -target and -query")
+		os.Exit(2)
+	}
+	if err := run(*targetPath, *queryPath, *outPath, *hspThresh, *gapThresh, !*noTrans, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "lastz-go:", err)
+		os.Exit(1)
+	}
+}
+
+func run(targetPath, queryPath, outPath string, hsp, gapped int, transitions bool, workers int) error {
+	target, err := genome.ReadFASTAFile(targetPath)
+	if err != nil {
+		return err
+	}
+	query, err := genome.ReadFASTAFile(queryPath)
+	if err != nil {
+		return err
+	}
+	cfg := lastz.Config(lastz.Options{
+		HSPThreshold:    int32(hsp),
+		GappedThreshold: int32(gapped),
+		Transitions:     transitions,
+		Workers:         workers,
+	})
+	rep, err := darwinwga.AlignAssemblies(target, query, cfg)
+	if err != nil {
+		return err
+	}
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteMAF(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "alignments: %d HSPs in %d chains, %s matched bp\n",
+		len(rep.HSPs), len(rep.Chains), stats.Comma(int64(rep.TotalMatches())))
+	return nil
+}

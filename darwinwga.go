@@ -1,0 +1,115 @@
+// Package darwinwga is a pure-Go implementation of Darwin-WGA
+// (Turakhia, Goenka, Bejerano, Dally — HPCA 2019), a whole genome
+// aligner built on the seed-filter-extend paradigm with two departures
+// from classic software aligners like LASTZ:
+//
+//   - the filtering stage is gapped: candidate seed hits are scored with
+//     Banded Smith-Waterman instead of ungapped X-drop extension, which
+//     recovers the indel-dense, weakly-conserved alignments ungapped
+//     filtering throws away;
+//   - the extension stage uses GACT-X, a tiled X-drop algorithm that
+//     aligns arbitrarily long sequences in constant traceback memory.
+//
+// The package also contains cycle-level models of the paper's FPGA and
+// ASIC systolic-array deployments, an AXTCHAIN-style chainer, a MAF
+// writer, a neutral-evolution genome simulator for reproducible
+// experiments, and a harness that regenerates every table and figure of
+// the paper's evaluation (see cmd/experiments).
+//
+// # Quickstart
+//
+//	cfg := darwinwga.DefaultConfig()
+//	aligner, err := darwinwga.NewAligner(target, cfg) // target: []byte over ACGTN
+//	if err != nil { ... }
+//	res, err := aligner.Align(query)
+//	for _, hsp := range res.HSPs { ... }
+//
+// For whole assemblies (FASTA files with many sequences) use
+// AlignAssemblies, which returns chained, MAF-writable results.
+package darwinwga
+
+import (
+	"darwinwga/internal/align"
+	"darwinwga/internal/chain"
+	"darwinwga/internal/core"
+	"darwinwga/internal/evolve"
+	"darwinwga/internal/genome"
+)
+
+// Core pipeline types, re-exported as the public API surface.
+type (
+	// Config holds every pipeline parameter; see DefaultConfig.
+	Config = core.Config
+	// FilterMode selects gapped (Darwin-WGA) or ungapped (LASTZ)
+	// filtering.
+	FilterMode = core.FilterMode
+	// Aligner runs the pipeline against a prebuilt target index.
+	Aligner = core.Aligner
+	// Result is the outcome of one Align call.
+	Result = core.Result
+	// HSP is one final local alignment.
+	HSP = core.HSP
+	// Workload tallies per-stage work items (Table V's columns).
+	Workload = core.Workload
+	// Scoring is the substitution matrix and affine-gap model.
+	Scoring = align.Scoring
+	// Alignment is a local alignment with an edit transcript.
+	Alignment = align.Alignment
+	// Chain is an ordered, co-linear set of alignments (AXTCHAIN).
+	Chain = chain.Chain
+	// Assembly is a named set of sequences.
+	Assembly = genome.Assembly
+	// Sequence is one named nucleotide sequence.
+	Sequence = genome.Sequence
+	// Pair is a synthesized species pair with ground-truth orthology.
+	Pair = evolve.Pair
+	// PairConfig parameterizes synthetic species-pair generation.
+	PairConfig = evolve.Config
+)
+
+// Filter modes.
+const (
+	FilterGapped   = core.FilterGapped
+	FilterUngapped = core.FilterUngapped
+)
+
+// DefaultConfig returns Darwin-WGA's default parameters (the paper's
+// Table II, with the Hf=4000 default of Section VI-B).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// LASTZBaselineConfig returns the software baseline: the same pipeline
+// with LASTZ's ungapped filter and its lower default thresholds.
+func LASTZBaselineConfig() Config { return core.LASTZConfig() }
+
+// DefaultScoring returns the paper's substitution matrix and gap
+// penalties (Table IIa).
+func DefaultScoring() *Scoring { return align.DefaultScoring() }
+
+// NewAligner indexes a target sequence for repeated Align calls.
+func NewAligner(target []byte, cfg Config) (*Aligner, error) {
+	return core.NewAligner(target, cfg)
+}
+
+// ReadFASTA loads an assembly from a FASTA file.
+func ReadFASTA(path string) (*Assembly, error) { return genome.ReadFASTAFile(path) }
+
+// WriteFASTA stores an assembly as a FASTA file.
+func WriteFASTA(path string, a *Assembly) error { return genome.WriteFASTAFile(path, a) }
+
+// GeneratePair synthesizes a reproducible species pair for experiments;
+// see StandardPair for the paper's four evaluation pairs.
+func GeneratePair(cfg PairConfig) (*Pair, error) { return evolve.Generate(cfg) }
+
+// StandardPair returns the configuration of one of the paper's four
+// evaluation pairs ("ce11-cb4", "dm6-dp4", "dm6-droYak2",
+// "dm6-droSim1") at the given genome scale (0 = default 1/100 of the
+// real assembly sizes).
+func StandardPair(name string, scale float64) (PairConfig, bool) {
+	return evolve.StandardPair(name, scale)
+}
+
+// StandardPairNames lists the paper's evaluation pairs in Table III
+// order.
+func StandardPairNames() []string {
+	return append([]string{}, evolve.StandardPairNames...)
+}

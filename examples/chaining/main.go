@@ -1,0 +1,77 @@
+// Chaining: align a synthesized pair, chain the alignments AXTCHAIN-
+// style, and render a text "genome browser" track of the top chains —
+// the view Figure 3 of the paper shows in the UCSC browser.
+//
+//	go run ./examples/chaining
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"darwinwga"
+)
+
+func main() {
+	cfg, _ := darwinwga.StandardPair("dm6-droYak2", 0.002)
+	pair, err := darwinwga.GeneratePair(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := darwinwga.AlignAssemblies(pair.Target, pair.Query, darwinwga.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d HSPs chained into %d chains; %d matched bp total\n\n",
+		len(rep.HSPs), len(rep.Chains), rep.TotalMatches())
+
+	targetLen := pair.Target.TotalLen()
+	const width = 100
+	scale := float64(width) / float64(targetLen)
+
+	// Gene track (the Ensembl-prediction analogue).
+	gene := make([]byte, width)
+	for i := range gene {
+		gene[i] = '.'
+	}
+	for _, g := range pair.Genes {
+		for _, e := range g.Exons {
+			for x := int(float64(e.Start) * scale); x <= int(float64(e.End)*scale) && x < width; x++ {
+				gene[x] = '#'
+			}
+		}
+	}
+	fmt.Printf("genes  %s\n", gene)
+
+	// Chain tracks: thick blocks for aligned segments, thin lines for
+	// gaps within the chain (the browser's block/line rendering).
+	n := min(len(rep.Chains), 8)
+	for i := 0; i < n; i++ {
+		c := rep.Chains[i]
+		track := bytes('.', width)
+		for x := int(float64(c.TStart()) * scale); x <= int(float64(c.TEnd())*scale) && x < width; x++ {
+			track[x] = '-'
+		}
+		for _, b := range c.Blocks {
+			for x := int(float64(b.TStart) * scale); x <= int(float64(b.TEnd)*scale) && x < width; x++ {
+				track[x] = '='
+			}
+		}
+		fmt.Printf("chain%d %s score=%d blocks=%d\n", i+1, track, c.Score, len(c.Blocks))
+	}
+	fmt.Println(strings.Repeat(" ", 7) + legend(targetLen, width))
+}
+
+func bytes(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func legend(targetLen, width int) string {
+	return fmt.Sprintf("[0 .. %d bp across %d columns; '=' aligned block, '-' chain gap, '#' exon]",
+		targetLen, width)
+}

@@ -1,0 +1,69 @@
+// Quickstart: align two short sequences with the Darwin-WGA pipeline
+// and print the resulting alignments.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"darwinwga"
+)
+
+func main() {
+	// Build a toy "genome": 50 kb of random sequence.
+	rng := rand.New(rand.NewSource(42))
+	target := make([]byte, 50_000)
+	for i := range target {
+		target[i] = "ACGT"[rng.Intn(4)]
+	}
+
+	// The "query" shares two regions with the target: a mutated copy of
+	// target[10k:20k] and an exact copy of target[30k:35k], embedded in
+	// unrelated sequence.
+	query := make([]byte, 40_000)
+	for i := range query {
+		query[i] = "ACGT"[rng.Intn(4)]
+	}
+	copy(query[5_000:15_000], mutate(rng, target[10_000:20_000]))
+	copy(query[25_000:30_000], target[30_000:35_000])
+
+	// Index the target once; Align can then be called for many queries.
+	cfg := darwinwga.DefaultConfig()
+	aligner, err := darwinwga.NewAligner(target, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := aligner.Align(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d alignments\n", len(res.HSPs))
+	for i, h := range res.HSPs {
+		fmt.Printf("  %d: target[%d:%d] ~ query[%d:%d] strand %c score %d (%d matched bp)\n",
+			i+1, h.TStart, h.TEnd, h.QStart, h.QEnd, h.Strand, h.Score, h.Matches)
+	}
+	w := res.Workload
+	fmt.Printf("pipeline workload: %d seed hits -> %d filter tiles -> %d passed -> %d extension tiles\n",
+		w.SeedHits, w.FilterTiles, w.PassedFilter, w.ExtensionTiles)
+}
+
+// mutate applies ~5% substitutions and sparse short indels.
+func mutate(rng *rand.Rand, seq []byte) []byte {
+	out := make([]byte, 0, len(seq))
+	for _, b := range seq {
+		switch r := rng.Float64(); {
+		case r < 0.002: // deletion
+		case r < 0.004: // insertion
+			out = append(out, "ACGT"[rng.Intn(4)], b)
+		case r < 0.054: // substitution
+			out = append(out, "ACGT"[rng.Intn(4)])
+		default:
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module darwinwga
+
+go 1.22

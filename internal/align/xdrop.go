@@ -1,0 +1,263 @@
+package align
+
+// Gapped X-drop extension DP — the per-tile kernel of GACT-X (Section
+// III-D). Scoring is Needleman-Wunsch-style from the tile origin (0,0)
+// so that scores may go negative and gaps at the beginning of a tile are
+// part of the alignment (which is what lets neighbouring tiles stitch).
+// A row's computation starts at the first column where the previous row
+// was still above (Vmax - Y) and stops once every live value has fallen
+// below it. Traceback pointers are stored only for computed cells, so
+// memory is proportional to the cells actually visited.
+
+// XDropResult is the outcome of one gapped X-drop tile.
+type XDropResult struct {
+	// Score is Vmax, the best score of any path from the origin.
+	Score int32
+	// TEnd and QEnd are the (exclusive) end coordinates of the best path.
+	TEnd, QEnd int
+	// Ops is the transcript from (0,0) to (TEnd,QEnd).
+	Ops []EditOp
+	// Cells is the number of DP cells computed.
+	Cells int
+	// MaxRowWidth is the widest computed row (diagnostic: how far the
+	// computation wandered from the diagonal).
+	MaxRowWidth int
+}
+
+// XDropAligner runs gapped X-drop tiles with reusable buffers. Not safe
+// for concurrent use.
+type XDropAligner struct {
+	sc *Scoring
+	y  int32
+
+	vPrev, vCur []int32
+	dPrev, dCur []int32
+	rowLo       []int
+	rowDirs     [][]byte
+}
+
+// NewXDropAligner returns an aligner with drop threshold y (the paper's
+// Y, default 9430).
+func NewXDropAligner(sc *Scoring, y int32) *XDropAligner {
+	return &XDropAligner{sc: sc, y: y}
+}
+
+// Y returns the drop threshold.
+func (x *XDropAligner) Y() int32 { return x.y }
+
+// Align extends from the origin of target×query. Both slices are one
+// tile (or less) long. Rows index the target, columns the query.
+func (x *XDropAligner) Align(target, query []byte) XDropResult {
+	n, m := len(target), len(query)
+	res := XDropResult{}
+	sc, y := x.sc, x.y
+	width := m + 1
+	if cap(x.vPrev) < width {
+		x.vPrev = make([]int32, width)
+		x.vCur = make([]int32, width)
+		x.dPrev = make([]int32, width)
+		x.dCur = make([]int32, width)
+	}
+	vPrev := x.vPrev[:width]
+	vCur := x.vCur[:width]
+	dPrev := x.dPrev[:width]
+	dCur := x.dCur[:width]
+	x.rowLo = x.rowLo[:0]
+	x.rowDirs = x.rowDirs[:0]
+
+	var vmax int32
+	bestI, bestJ := 0, 0
+
+	// Row 0: the origin plus leading insertions along the query.
+	row0 := []byte{dirNone}
+	vPrev[0] = 0
+	dPrev[0] = negInf
+	prevStart, prevEnd := 0, 0
+	for j := 1; j <= m; j++ {
+		v := -sc.GapCost(j)
+		if v < vmax-y {
+			break
+		}
+		vPrev[j] = v
+		dPrev[j] = negInf
+		flags := byte(0)
+		if j > 1 {
+			flags = flagIExtend
+		}
+		row0 = append(row0, dirLeft|flags)
+		prevEnd = j
+	}
+	x.rowLo = append(x.rowLo, 0)
+	x.rowDirs = append(x.rowDirs, row0)
+	res.Cells += len(row0)
+	res.MaxRowWidth = len(row0)
+	// Alive range of row 0 (scores within Y of vmax).
+	aliveLo, aliveHi := 0, prevEnd
+
+	for i := 1; i <= n; i++ {
+		rowStart := aliveLo
+		tb := target[i-1]
+		dirs := make([]byte, 0, aliveHi-aliveLo+2)
+		newAliveLo, newAliveHi := -1, -1
+		iRow := negInf
+
+		prevV := func(j int) int32 {
+			if j >= prevStart && j <= prevEnd {
+				return vPrev[j]
+			}
+			return negInf
+		}
+		prevD := func(j int) int32 {
+			if j >= prevStart && j <= prevEnd {
+				return dPrev[j]
+			}
+			return negInf
+		}
+
+		j := rowStart
+		for ; j <= m; j++ {
+			var v int32
+			var dir, flags byte
+			if j == 0 {
+				v = -sc.GapCost(i)
+				dir = dirUp
+				if i > 1 {
+					flags = flagDExtend
+				}
+				dCur[0] = v
+				iRow = negInf
+			} else {
+				vLeft := negInf
+				if j-1 >= rowStart {
+					vLeft = vCur[j-1]
+				}
+				openI := saturSub(vLeft, sc.GapOpen)
+				extI := saturSub(iRow, sc.GapExtend)
+				if extI > openI {
+					iRow = extI
+					flags |= flagIExtend
+				} else {
+					iRow = openI
+				}
+				openD := saturSub(prevV(j), sc.GapOpen)
+				extD := saturSub(prevD(j), sc.GapExtend)
+				if extD > openD {
+					dCur[j] = extD
+					flags |= flagDExtend
+				} else {
+					dCur[j] = openD
+				}
+				diag := negInf
+				if pv := prevV(j - 1); pv > negInf {
+					diag = pv + sc.Score(tb, query[j-1])
+				}
+				v = diag
+				dir = dirDiag
+				if dCur[j] > v {
+					v = dCur[j]
+					dir = dirUp
+				}
+				if iRow > v {
+					v = iRow
+					dir = dirLeft
+				}
+			}
+			vCur[j] = v
+			dirs = append(dirs, dir|flags)
+			if v > vmax {
+				vmax = v
+				bestI, bestJ = i, j
+			}
+			if v >= vmax-y {
+				if newAliveLo < 0 {
+					newAliveLo = j
+				}
+				newAliveHi = j
+			}
+			// Past everything the previous row can feed, with a dead
+			// horizontal run, nothing to the right can come back to life.
+			if j > prevEnd && v < vmax-y && iRow < vmax-y {
+				break
+			}
+		}
+		rowEnd := rowStart + len(dirs) - 1
+		res.Cells += len(dirs)
+		if len(dirs) > res.MaxRowWidth {
+			res.MaxRowWidth = len(dirs)
+		}
+		x.rowLo = append(x.rowLo, rowStart)
+		x.rowDirs = append(x.rowDirs, dirs)
+		if newAliveLo < 0 {
+			break // entire row below (vmax - Y): X-drop termination
+		}
+		aliveLo, aliveHi = newAliveLo, newAliveHi
+		prevStart, prevEnd = rowStart, rowEnd
+		vPrev, vCur = vCur, vPrev
+		dPrev, dCur = dCur, dPrev
+	}
+
+	res.Score = vmax
+	res.TEnd, res.QEnd = bestI, bestJ
+	res.Ops = x.traceback(bestI, bestJ)
+	return res
+}
+
+// LastRowWidths appends the computed width (column count) of every row
+// of the most recent Align call to dst. The systolic hardware model
+// replays the GACT-X stripe schedule from these widths to obtain exact
+// per-tile cycle counts (Section IV).
+func (x *XDropAligner) LastRowWidths(dst []int) []int {
+	for _, d := range x.rowDirs {
+		dst = append(dst, len(d))
+	}
+	return dst
+}
+
+// saturSub subtracts a cost without drifting further below negInf.
+func saturSub(v, cost int32) int32 {
+	if v <= negInf {
+		return negInf
+	}
+	return v - cost
+}
+
+// traceback walks from (i,j) back to the origin using the ragged
+// direction rows.
+func (x *XDropAligner) traceback(i, j int) []EditOp {
+	var rev []EditOp
+	state := 0
+	for i > 0 || j > 0 {
+		cell := x.rowDirs[i][j-x.rowLo[i]]
+		switch state {
+		case 0:
+			switch cell & dirVMask {
+			case dirDiag:
+				rev = append(rev, OpMatch)
+				i--
+				j--
+			case dirLeft:
+				state = 1
+			case dirUp:
+				state = 2
+			default:
+				i, j = 0, 0 // dirNone: origin reached
+			}
+		case 1:
+			rev = append(rev, OpInsert)
+			ext := cell&flagIExtend != 0
+			j--
+			if !ext {
+				state = 0
+			}
+		case 2:
+			rev = append(rev, OpDelete)
+			ext := cell&flagDExtend != 0
+			i--
+			if !ext {
+				state = 0
+			}
+		}
+	}
+	ReverseOps(rev)
+	return rev
+}

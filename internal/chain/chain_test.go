@@ -1,0 +1,233 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func block(ts, te, qs, qe int, score int32) *Block {
+	return &Block{TStart: ts, TEnd: te, QStart: qs, QEnd: qe, Score: score, Matches: (te - ts)}
+}
+
+func TestGapCost(t *testing.T) {
+	if GapCost(0, 0) != 0 {
+		t.Error("zero gap should cost 0")
+	}
+	if GapCost(-1, 0) < 1<<50 {
+		t.Error("negative gap should be forbidden")
+	}
+	// One-sided gaps cost less than double-sided of the same size.
+	if GapCost(100, 0) >= GapCost(100, 100) {
+		t.Errorf("one-sided %d >= both-sided %d", GapCost(100, 0), GapCost(100, 100))
+	}
+	// Monotone in gap size.
+	last := int64(0)
+	for _, g := range []int{1, 5, 50, 500, 5000, 50000, 500000} {
+		c := GapCost(g, 0)
+		if c < last {
+			t.Errorf("GapCost(%d) = %d < previous %d", g, c, last)
+		}
+		last = c
+	}
+	// Extrapolation beyond the table keeps growing.
+	if GapCost(1000000, 0) <= GapCost(252111, 0) {
+		t.Error("no extrapolation beyond table end")
+	}
+}
+
+func TestBuildSimpleChain(t *testing.T) {
+	blocks := []*Block{
+		block(0, 100, 0, 100, 5000),
+		block(150, 250, 160, 260, 5000),
+		block(300, 400, 310, 410, 5000),
+	}
+	chains := Build(blocks, DefaultOptions())
+	if len(chains) != 1 {
+		t.Fatalf("got %d chains, want 1", len(chains))
+	}
+	c := chains[0]
+	if len(c.Blocks) != 3 {
+		t.Fatalf("chain has %d blocks, want 3", len(c.Blocks))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantScore := int64(15000) - GapCost(50, 60) - GapCost(50, 50)
+	if c.Score != wantScore {
+		t.Errorf("score = %d, want %d", c.Score, wantScore)
+	}
+	if c.Matches() != 300 {
+		t.Errorf("matches = %d, want 300", c.Matches())
+	}
+}
+
+func TestBuildRespectsColinearity(t *testing.T) {
+	// Second block goes backwards in query: cannot chain.
+	blocks := []*Block{
+		block(0, 100, 1000, 1100, 5000),
+		block(200, 300, 100, 200, 5000),
+	}
+	chains := Build(blocks, DefaultOptions())
+	if len(chains) != 2 {
+		t.Fatalf("got %d chains, want 2 (non-colinear blocks)", len(chains))
+	}
+	for i := range chains {
+		if err := chains[i].Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestBuildPrefersCheaperGaps(t *testing.T) {
+	// Block C can follow A (small gap) or B (huge gap): must pick A.
+	a := block(0, 100, 0, 100, 5000)
+	b := block(0, 100, 50000, 50100, 6000)
+	c := block(120, 220, 120, 220, 5000)
+	chains := Build([]*Block{a, b, c}, DefaultOptions())
+	var withC *Chain
+	for i := range chains {
+		for _, blk := range chains[i].Blocks {
+			if blk == c {
+				withC = &chains[i]
+			}
+		}
+	}
+	if withC == nil {
+		t.Fatal("block c not in any chain")
+	}
+	if len(withC.Blocks) != 2 || withC.Blocks[0] != a {
+		t.Errorf("c chained to wrong predecessor")
+	}
+}
+
+func TestBuildEachBlockInExactlyOneChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var blocks []*Block
+	for i := 0; i < 200; i++ {
+		ts := rng.Intn(100000)
+		qs := rng.Intn(100000)
+		l := 50 + rng.Intn(200)
+		blocks = append(blocks, block(ts, ts+l, qs, qs+l, int32(3000+rng.Intn(5000))))
+	}
+	opts := DefaultOptions()
+	opts.MinScore = 0
+	chains := Build(blocks, opts)
+	seen := make(map[*Block]int)
+	total := 0
+	for i := range chains {
+		if err := chains[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range chains[i].Blocks {
+			seen[b]++
+			total++
+		}
+	}
+	for b, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %+v appears %d times", b, n)
+		}
+	}
+	if total != len(blocks) {
+		t.Errorf("%d of %d blocks assigned (MinScore=0 keeps all)", total, len(blocks))
+	}
+}
+
+func TestBuildChainScoreBeatsBlocks(t *testing.T) {
+	// Chaining colinear blocks must outscore any single block when gaps
+	// are cheap relative to block scores.
+	blocks := []*Block{
+		block(0, 1000, 0, 1000, 50000),
+		block(1010, 2000, 1015, 2005, 45000),
+	}
+	chains := Build(blocks, DefaultOptions())
+	if len(chains) != 1 {
+		t.Fatalf("got %d chains", len(chains))
+	}
+	if chains[0].Score <= 50000 {
+		t.Errorf("chain score %d not better than best block", chains[0].Score)
+	}
+}
+
+func TestMinScoreFilters(t *testing.T) {
+	blocks := []*Block{block(0, 10, 0, 10, 500)}
+	opts := DefaultOptions()
+	opts.MinScore = 1000
+	if chains := Build(blocks, opts); len(chains) != 0 {
+		t.Errorf("low-scoring chain not filtered")
+	}
+	opts.MinScore = 0
+	if chains := Build(blocks, opts); len(chains) != 1 {
+		t.Errorf("chain lost with MinScore=0")
+	}
+}
+
+func TestTopScoresAndTotals(t *testing.T) {
+	blocks := []*Block{
+		block(0, 100, 0, 100, 9000),
+		block(5000, 5100, 50000, 50100, 7000),
+		block(90000, 90100, 20000, 20100, 8000),
+	}
+	opts := DefaultOptions()
+	opts.MaxGap = 10 // forbid chaining: three singleton chains
+	chains := Build(blocks, opts)
+	if len(chains) != 3 {
+		t.Fatalf("got %d chains, want 3", len(chains))
+	}
+	top2 := TopScores(chains, 2)
+	if len(top2) != 2 || top2[0] != 9000 || top2[1] != 8000 {
+		t.Errorf("TopScores = %v", top2)
+	}
+	if got := SumTopScores(chains, 10); got != 24000 {
+		t.Errorf("SumTopScores = %d, want 24000", got)
+	}
+	if got := TotalMatches(chains); got != 300 {
+		t.Errorf("TotalMatches = %d, want 300", got)
+	}
+}
+
+func TestBuildEmptyAndSingle(t *testing.T) {
+	if chains := Build(nil, DefaultOptions()); chains != nil {
+		t.Error("nil blocks should give nil chains")
+	}
+	chains := Build([]*Block{block(0, 100, 0, 100, 5000)}, DefaultOptions())
+	if len(chains) != 1 || len(chains[0].Blocks) != 1 {
+		t.Error("single block should form one singleton chain")
+	}
+}
+
+func TestChainsSortedByScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var blocks []*Block
+	for i := 0; i < 100; i++ {
+		ts := rng.Intn(1000000)
+		qs := rng.Intn(1000000)
+		blocks = append(blocks, block(ts, ts+100, qs, qs+100, int32(2000+rng.Intn(9000))))
+	}
+	opts := DefaultOptions()
+	opts.MinScore = 0
+	chains := Build(blocks, opts)
+	for i := 1; i < len(chains); i++ {
+		if chains[i].Score > chains[i-1].Score {
+			t.Fatalf("chains not sorted: %d after %d", chains[i].Score, chains[i-1].Score)
+		}
+	}
+}
+
+func TestChainExtentAccessors(t *testing.T) {
+	c := Chain{Blocks: []*Block{block(10, 20, 30, 40, 1), block(50, 60, 70, 80, 1)}}
+	if c.TStart() != 10 || c.TEnd() != 60 || c.QStart() != 30 || c.QEnd() != 80 {
+		t.Errorf("extent = T[%d,%d) Q[%d,%d)", c.TStart(), c.TEnd(), c.QStart(), c.QEnd())
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	c := Chain{Blocks: []*Block{block(0, 100, 0, 100, 1), block(50, 150, 200, 300, 1)}}
+	if err := c.Validate(); err == nil {
+		t.Error("overlapping blocks passed validation")
+	}
+	empty := Chain{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty chain passed validation")
+	}
+}

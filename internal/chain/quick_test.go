@@ -1,0 +1,99 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genBlocks derives a random block set from quick's raw bytes.
+func genBlocks(raw []byte) []*Block {
+	if len(raw) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(int64(raw[0]) + int64(len(raw))))
+	n := 1 + len(raw)%60
+	blocks := make([]*Block, n)
+	for i := range blocks {
+		ts := rng.Intn(500000)
+		qs := rng.Intn(500000)
+		l := 20 + rng.Intn(500)
+		blocks[i] = &Block{
+			TStart: ts, TEnd: ts + l,
+			QStart: qs, QEnd: qs + l + rng.Intn(50),
+			Score:   int32(1000 + rng.Intn(20000)),
+			Matches: l,
+		}
+	}
+	return blocks
+}
+
+// Property: chaining is a partition — every block lands in exactly one
+// chain when MinScore is zero, and every chain validates.
+func TestQuickChainsPartitionBlocks(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MinScore = 0
+	f := func(raw []byte) bool {
+		blocks := genBlocks(raw)
+		chains := Build(blocks, opts)
+		seen := make(map[*Block]int)
+		for i := range chains {
+			if chains[i].Validate() != nil {
+				return false
+			}
+			for _, b := range chains[i].Blocks {
+				seen[b]++
+			}
+		}
+		if len(seen) != len(blocks) {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the best chain scores at least as much as the best single
+// block (a singleton chain is always available).
+func TestQuickBestChainBeatsBestBlock(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MinScore = 0
+	f := func(raw []byte) bool {
+		blocks := genBlocks(raw)
+		if len(blocks) == 0 {
+			return true
+		}
+		var best int32
+		for _, b := range blocks {
+			if b.Score > best {
+				best = b.Score
+			}
+		}
+		chains := Build(blocks, opts)
+		return len(chains) > 0 && chains[0].Score >= int64(best)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gap costs are monotone in each argument.
+func TestQuickGapCostMonotone(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a := int(aRaw) % 300000
+		b := a + 1 + int(bRaw)%1000
+		return GapCost(a, 0) <= GapCost(b, 0) &&
+			GapCost(0, a) <= GapCost(0, b) &&
+			GapCost(a, a) <= GapCost(b, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package core implements the Darwin-WGA pipeline (Figure 4): D-SOFT
+// seeding, filtering, and GACT-X extension, orchestrated across worker
+// goroutines. The filtering stage is switchable between the paper's
+// gapped filter (Banded Smith-Waterman) and LASTZ's ungapped X-drop
+// filter, which makes the paper's central comparison — and its LASTZ
+// baseline — two configurations of the same pipeline.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"darwinwga/internal/align"
+	"darwinwga/internal/dsoft"
+	"darwinwga/internal/gact"
+	"darwinwga/internal/seed"
+)
+
+// FilterMode selects the filtering algorithm.
+type FilterMode int
+
+const (
+	// FilterGapped is Darwin-WGA's Banded Smith-Waterman filter.
+	FilterGapped FilterMode = iota
+	// FilterUngapped is LASTZ's ungapped X-drop filter.
+	FilterUngapped
+)
+
+func (m FilterMode) String() string {
+	switch m {
+	case FilterGapped:
+		return "gapped"
+	case FilterUngapped:
+		return "ungapped"
+	default:
+		return fmt.Sprintf("FilterMode(%d)", int(m))
+	}
+}
+
+// Config holds every pipeline parameter. DefaultConfig and LASTZConfig
+// return the two configurations evaluated in the paper (Table II).
+type Config struct {
+	// SeedPattern is the spaced-seed shape (default 12-of-19).
+	SeedPattern string
+	// SeedMaxFreq masks seeds occurring more often in the target
+	// (0 = no masking).
+	SeedMaxFreq int
+	// DSoft parameterizes the seeding stage.
+	DSoft dsoft.Params
+
+	// Filter selects gapped (BSW) or ungapped (LASTZ) filtering.
+	Filter FilterMode
+	// FilterTileSize is the BSW tile edge Tf (default 320).
+	FilterTileSize int
+	// FilterBand is the BSW band radius B (default 32).
+	FilterBand int
+	// FilterThreshold is Hf: anchors scoring below it are discarded.
+	// The paper's default is 4000 for Darwin-WGA (Section VI-B) and
+	// 3000 for LASTZ.
+	FilterThreshold int32
+	// UngappedXDrop is the drop threshold of the ungapped filter.
+	UngappedXDrop int32
+
+	// Extension parameterizes GACT-X (tile size Te, overlap O, Y-drop).
+	Extension gact.Config
+	// ExtensionThreshold is He: alignments scoring below it are dropped.
+	ExtensionThreshold int32
+	// AbsorbBand is the diagonal granularity of anchor absorption
+	// (Section III-D's duplicate-suppression hash); 0 disables.
+	AbsorbBand int
+
+	// Scoring is the substitution/gap model (nil = Table IIa defaults).
+	Scoring *align.Scoring
+	// Workers is the goroutine count (0 = GOMAXPROCS).
+	Workers int
+	// BothStrands also aligns the reverse complement of the query.
+	BothStrands bool
+}
+
+// DefaultConfig returns Darwin-WGA's default parameters (Table II plus
+// the Hf=4000 noise-analysis default of Section VI-B).
+func DefaultConfig() Config {
+	return Config{
+		SeedPattern:        seed.DefaultPattern,
+		SeedMaxFreq:        30,
+		DSoft:              dsoft.DefaultParams(),
+		Filter:             FilterGapped,
+		FilterTileSize:     320,
+		FilterBand:         32,
+		FilterThreshold:    4000,
+		UngappedXDrop:      340,
+		Extension:          gact.DefaultConfig(),
+		ExtensionThreshold: 4000,
+		AbsorbBand:         256,
+		BothStrands:        true,
+	}
+}
+
+// LASTZConfig returns the iso-parameter LASTZ baseline: ungapped
+// filtering with the lower default thresholds (both 3000).
+func LASTZConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Filter = FilterUngapped
+	cfg.FilterThreshold = 3000
+	cfg.ExtensionThreshold = 3000
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if _, err := seed.ParseShape(c.SeedPattern); err != nil {
+		return err
+	}
+	if err := c.DSoft.Validate(); err != nil {
+		return err
+	}
+	if c.FilterTileSize < 2*c.FilterBand {
+		return fmt.Errorf("core: filter tile %d smaller than band span %d", c.FilterTileSize, 2*c.FilterBand)
+	}
+	if err := c.Extension.Validate(); err != nil {
+		return err
+	}
+	if c.Scoring != nil {
+		if err := c.Scoring.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c *Config) scoring() *align.Scoring {
+	if c.Scoring != nil {
+		return c.Scoring
+	}
+	return align.DefaultScoring()
+}
+
+// HSP is one final alignment produced by the pipeline ("high-scoring
+// pair" in BLAST terminology). Query coordinates are on the reported
+// strand: for Strand '-' they index into the reverse-complemented query.
+type HSP struct {
+	align.Alignment
+	// Strand is '+' or '-' (query strand).
+	Strand byte
+	// Matches counts identical aligned bases.
+	Matches int
+	// FilterScore is the score the anchor achieved in the filter stage.
+	FilterScore int32
+}
+
+// Workload tallies the three stages' work items — the paper's Table V
+// workload columns.
+type Workload struct {
+	// SeedHits is the number of raw (target, query) seed hits.
+	SeedHits int64
+	// Candidates is the number of D-SOFT anchors (= filter tiles).
+	Candidates int64
+	// FilterTiles is the number of filter invocations that ran.
+	FilterTiles int64
+	// FilterCells is the DP cells computed during filtering.
+	FilterCells int64
+	// PassedFilter counts anchors above Hf.
+	PassedFilter int64
+	// Absorbed counts anchors skipped by the duplicate-absorption hash.
+	Absorbed int64
+	// ExtensionTiles is the number of GACT-X tile DPs.
+	ExtensionTiles int64
+	// ExtensionCells is the DP cells computed during extension.
+	ExtensionCells int64
+}
+
+// Timings records wall-clock per stage.
+type Timings struct {
+	Seeding   time.Duration
+	Filtering time.Duration
+	Extension time.Duration
+}
+
+// Total returns the summed stage time.
+func (t Timings) Total() time.Duration { return t.Seeding + t.Filtering + t.Extension }
+
+// Result is the outcome of aligning one query against the target.
+type Result struct {
+	HSPs     []HSP
+	Workload Workload
+	Timings  Timings
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"darwinwga/internal/align"
+	"darwinwga/internal/dsoft"
+	"darwinwga/internal/gact"
+	"darwinwga/internal/genome"
+	"darwinwga/internal/seed"
+)
+
+// Aligner owns the prebuilt target index and immutable configuration;
+// it is safe to call Align from multiple goroutines (each call runs its
+// own worker pool over private scratch state).
+type Aligner struct {
+	cfg    Config
+	sc     *align.Scoring
+	target []byte
+	index  *seed.Index
+	shape  *seed.Shape
+}
+
+// NewAligner indexes the target under cfg.
+func NewAligner(target []byte, cfg Config) (*Aligner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shape, err := seed.ParseShape(cfg.SeedPattern)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := seed.BuildIndex(target, shape, seed.IndexOptions{MaxFreq: cfg.SeedMaxFreq})
+	if err != nil {
+		return nil, err
+	}
+	return &Aligner{cfg: cfg, sc: cfg.scoring(), target: target, index: ix, shape: shape}, nil
+}
+
+// Config returns the aligner's configuration.
+func (a *Aligner) Config() Config { return a.cfg }
+
+// Target returns the indexed target sequence.
+func (a *Aligner) Target() []byte { return a.target }
+
+// Align runs the full pipeline for a query. When cfg.BothStrands is set
+// the reverse complement is aligned too, and minus-strand HSPs carry
+// coordinates in reverse-complement space (Strand == '-').
+func (a *Aligner) Align(query []byte) (*Result, error) {
+	if len(query) < a.shape.Span {
+		return nil, fmt.Errorf("core: query shorter than the seed span (%d < %d)", len(query), a.shape.Span)
+	}
+	res := &Result{}
+	if err := a.alignStrand(query, '+', res); err != nil {
+		return nil, err
+	}
+	if a.cfg.BothStrands {
+		rc := genome.ReverseComplement(query)
+		if err := a.alignStrand(rc, '-', res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// passedAnchor is a filter-stage survivor: the Vmax position becomes the
+// extension anchor.
+type passedAnchor struct {
+	tPos, qPos int
+	score      int32
+}
+
+// ExtensionAnchor is a filter-stage survivor, exported for experiment
+// harnesses that want to drive the extension stage directly (e.g. the
+// paper's Figure 10 feeds the same anchors to GACT and GACT-X).
+type ExtensionAnchor struct {
+	TPos, QPos int
+	Score      int32
+}
+
+// Anchors runs only the seeding and filtering stages on the forward
+// strand and returns the surviving anchors sorted by descending filter
+// score.
+func (a *Aligner) Anchors(query []byte) ([]ExtensionAnchor, error) {
+	if len(query) < a.shape.Span {
+		return nil, fmt.Errorf("core: query shorter than the seed span (%d < %d)", len(query), a.shape.Span)
+	}
+	anchors, _ := a.runSeeding(query)
+	passed, _, _ := a.runFilter(query, anchors)
+	sort.Slice(passed, func(i, j int) bool { return passed[i].score > passed[j].score })
+	out := make([]ExtensionAnchor, len(passed))
+	for i, p := range passed {
+		out[i] = ExtensionAnchor{TPos: p.tPos, QPos: p.qPos, Score: p.score}
+	}
+	return out, nil
+}
+
+func (a *Aligner) alignStrand(query []byte, strand byte, res *Result) error {
+	// Stage 1: D-SOFT seeding over query shards.
+	t0 := time.Now()
+	anchors, seedStats := a.runSeeding(query)
+	res.Workload.SeedHits += int64(seedStats.SeedHits)
+	res.Workload.Candidates += int64(seedStats.Candidates)
+	res.Timings.Seeding += time.Since(t0)
+
+	// Stage 2: filtering (gapped BSW or ungapped X-drop).
+	t1 := time.Now()
+	passed, filterTiles, filterCells := a.runFilter(query, anchors)
+	res.Workload.FilterTiles += filterTiles
+	res.Workload.FilterCells += filterCells
+	res.Workload.PassedFilter += int64(len(passed))
+	res.Timings.Filtering += time.Since(t1)
+
+	// Stage 3: extension with anchor absorption, best filter score
+	// first so strong alignments absorb their shadows.
+	t2 := time.Now()
+	sort.Slice(passed, func(i, j int) bool { return passed[i].score > passed[j].score })
+	ext, err := gact.NewExtender(a.sc, a.cfg.Extension)
+	if err != nil {
+		return err
+	}
+	absorb := newAbsorber(a.cfg.AbsorbBand)
+	for _, p := range passed {
+		if absorb.covered(p.tPos, p.qPos) {
+			res.Workload.Absorbed++
+			continue
+		}
+		var st gact.Stats
+		aln := ext.Extend(a.target, query, p.tPos, p.qPos, &st)
+		res.Workload.ExtensionTiles += int64(st.Tiles)
+		res.Workload.ExtensionCells += int64(st.Cells)
+		if aln.Score < a.cfg.ExtensionThreshold {
+			continue
+		}
+		matches, _, _ := aln.Counts(a.target, query)
+		res.HSPs = append(res.HSPs, HSP{
+			Alignment:   aln,
+			Strand:      strand,
+			Matches:     matches,
+			FilterScore: p.score,
+		})
+		dMin, dMax := pathDiagRange(aln.TStart, aln.QStart, aln.Ops)
+		absorb.add(aln.TStart, aln.TEnd, dMin, dMax)
+	}
+	res.Timings.Extension += time.Since(t2)
+	return nil
+}
+
+// runSeeding shards the query across workers and concatenates their
+// D-SOFT candidates.
+func (a *Aligner) runSeeding(query []byte) ([]dsoft.Anchor, dsoft.Stats) {
+	seeder, err := dsoft.NewSeeder(a.index, a.cfg.DSoft)
+	if err != nil {
+		// Params were validated in NewAligner; unreachable.
+		panic(err)
+	}
+	workers := a.cfg.workers()
+	chunk := a.cfg.DSoft.ChunkSize
+	// Shard boundaries land on chunk boundaries so band counting within
+	// a chunk never straddles workers.
+	shard := (len(query)/workers/chunk + 1) * chunk
+
+	type part struct {
+		anchors []dsoft.Anchor
+		stats   dsoft.Stats
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * shard
+		if start >= len(query) {
+			break
+		}
+		end := min(start+shard, len(query))
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			scratch := dsoft.NewScratch()
+			parts[w].anchors = seeder.Collect(query, start, end, nil, &parts[w].stats, scratch)
+		}(w, start, end)
+	}
+	wg.Wait()
+	var anchors []dsoft.Anchor
+	var stats dsoft.Stats
+	for w := range parts {
+		anchors = append(anchors, parts[w].anchors...)
+		stats.QueryPositions += parts[w].stats.QueryPositions
+		stats.Lookups += parts[w].stats.Lookups
+		stats.SeedHits += parts[w].stats.SeedHits
+		stats.Candidates += parts[w].stats.Candidates
+	}
+	return anchors, stats
+}
+
+// runFilter scores every anchor with the configured filter across
+// workers and returns the survivors.
+func (a *Aligner) runFilter(query []byte, anchors []dsoft.Anchor) (passed []passedAnchor, tiles, cells int64) {
+	workers := a.cfg.workers()
+	type part struct {
+		passed []passedAnchor
+		tiles  int64
+		cells  int64
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	shard := (len(anchors) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * shard
+		if start >= len(anchors) {
+			break
+		}
+		end := min(start+shard, len(anchors))
+		wg.Add(1)
+		go func(w int, anchors []dsoft.Anchor) {
+			defer wg.Done()
+			p := &parts[w]
+			switch a.cfg.Filter {
+			case FilterGapped:
+				ba := align.NewBandedAligner(a.sc, a.cfg.FilterBand)
+				for _, an := range anchors {
+					r := ba.FilterTile(a.target, query, an.TPos, an.QPos, a.cfg.FilterTileSize)
+					p.tiles++
+					p.cells += int64(r.Cells)
+					if r.Score >= a.cfg.FilterThreshold {
+						p.passed = append(p.passed, passedAnchor{tPos: r.TPos, qPos: r.QPos, score: r.Score})
+					}
+				}
+			case FilterUngapped:
+				ue := align.NewUngappedExtender(a.sc, a.cfg.UngappedXDrop)
+				for _, an := range anchors {
+					r := ue.Extend(a.target, query, an.TPos, an.QPos, a.shape.Span)
+					p.tiles++
+					p.cells += int64(r.Cells)
+					if r.Score >= a.cfg.FilterThreshold {
+						// Anchor extension starts at the segment's end
+						// (the equivalent of BSW's Vmax position).
+						p.passed = append(p.passed, passedAnchor{tPos: r.TEnd, qPos: r.QEnd, score: r.Score})
+					}
+				}
+			}
+		}(w, anchors[start:end])
+	}
+	wg.Wait()
+	for w := range parts {
+		passed = append(passed, parts[w].passed...)
+		tiles += parts[w].tiles
+		cells += parts[w].cells
+	}
+	return passed, tiles, cells
+}

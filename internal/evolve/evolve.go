@@ -1,0 +1,546 @@
+// Package evolve synthesizes species pairs for whole genome alignment
+// experiments. It substitutes for the real assemblies in Table I of the
+// paper (ce11, cb4, dm6, droSim1, droYak2, dp4): an ancestral genome
+// with realistic composition (target GC content, interspersed repeat
+// families, protein-coding genes with exon/intron structure) is evolved
+// into a query species at a configurable phylogenetic distance —
+// substitutions with transition bias, indels with a geometric length
+// distribution plus a heavy structural tail, segmental duplications and
+// inversions. Purifying selection slows evolution inside exons; a "fast"
+// fraction of the intergenic sequence diverges beyond recognition, as in
+// real genomes.
+//
+// Crucially the simulator records the exact target-to-query coordinate
+// map, giving experiments a ground-truth orthology oracle that the paper
+// had to approximate with TBLASTX.
+package evolve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"darwinwga/internal/genome"
+)
+
+// Interval is a half-open [Start, End) span.
+type Interval struct {
+	Start, End int
+}
+
+// Len returns the interval length.
+func (iv Interval) Len() int { return iv.End - iv.Start }
+
+// Gene is an annotated gene on the target genome.
+type Gene struct {
+	Name  string
+	Exons []Interval
+}
+
+// Span returns the gene's full extent.
+func (g *Gene) Span() Interval {
+	return Interval{Start: g.Exons[0].Start, End: g.Exons[len(g.Exons)-1].End}
+}
+
+// Config describes one species pair to synthesize.
+type Config struct {
+	// Name labels the pair, e.g. "ce11-cb4".
+	Name string
+	// TargetName and QueryName label the two assemblies.
+	TargetName, QueryName string
+	// Length is the target genome length in bases.
+	Length int
+	// GC is the target GC fraction (default 0.40 if zero).
+	GC float64
+	// GeneFraction is the portion of the genome covered by genes
+	// (default 0.15 if zero).
+	GeneFraction float64
+	// RepeatFraction is the portion covered by interspersed repeats
+	// (default 0.04 if zero).
+	RepeatFraction float64
+
+	// SubRate is the neutral substitution probability per site.
+	SubRate float64
+	// IndelRate is the neutral indel-event probability per site.
+	IndelRate float64
+	// MeanIndelLen is the geometric mean indel length (default 3).
+	MeanIndelLen float64
+	// LongIndelProb is the chance an indel is structural: length drawn
+	// uniformly in [50, 400) (default 0.01 of indel events).
+	LongIndelProb float64
+	// ExonRateFactor scales rates inside exons (default 0.25).
+	ExonRateFactor float64
+	// FastFraction is the portion of the genome whose sequence turns
+	// over completely between the species — no detectable homology
+	// remains (default 0.30). The rest of the genome forms conserved
+	// "islands".
+	FastFraction float64
+	// IslandMeanLen is the mean conserved-island length in bases
+	// (default 800). Distant species pairs have shorter islands.
+	IslandMeanLen int
+
+	// Inversions and Duplications count large-scale events applied to
+	// the query after base-level evolution.
+	Inversions   int
+	Duplications int
+
+	// Seed makes the pair reproducible.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.GC == 0 {
+		c.GC = 0.40
+	}
+	if c.GeneFraction == 0 {
+		c.GeneFraction = 0.15
+	}
+	if c.RepeatFraction == 0 {
+		c.RepeatFraction = 0.04
+	}
+	if c.MeanIndelLen == 0 {
+		c.MeanIndelLen = 3
+	}
+	if c.LongIndelProb == 0 {
+		c.LongIndelProb = 0.01
+	}
+	if c.ExonRateFactor == 0 {
+		c.ExonRateFactor = 0.25
+	}
+	if c.FastFraction == 0 {
+		c.FastFraction = 0.30
+	}
+	if c.IslandMeanLen == 0 {
+		c.IslandMeanLen = 800
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Length < 1000 {
+		return fmt.Errorf("evolve: length %d too small", c.Length)
+	}
+	if c.SubRate < 0 || c.SubRate > 0.8 {
+		return fmt.Errorf("evolve: substitution rate %v out of range", c.SubRate)
+	}
+	if c.IndelRate < 0 || c.IndelRate > 0.3 {
+		return fmt.Errorf("evolve: indel rate %v out of range", c.IndelRate)
+	}
+	return nil
+}
+
+// Unmapped marks a target base with no query counterpart in a CoordMap.
+const Unmapped = -1
+
+// CoordMap records, for every target base, its query coordinate (or
+// Unmapped) and strand. It is the ground-truth orthology oracle.
+type CoordMap struct {
+	// QPos[t] is the query position of target base t, or Unmapped.
+	QPos []int32
+	// Reverse[t] is true when the counterpart lies on the reverse
+	// strand (inside an inverted segment).
+	Reverse []bool
+}
+
+// MapInterval projects a target interval through the map: the query
+// interval spanned by the mapped bases, the fraction of bases mapped,
+// and whether the majority of mapped bases are inverted.
+func (m *CoordMap) MapInterval(iv Interval) (q Interval, mappedFrac float64, inverted bool) {
+	lo, hi := int32(1<<30), int32(-1)
+	mapped, rev := 0, 0
+	for t := iv.Start; t < iv.End && t < len(m.QPos); t++ {
+		qp := m.QPos[t]
+		if qp == Unmapped {
+			continue
+		}
+		mapped++
+		if m.Reverse[t] {
+			rev++
+		}
+		if qp < lo {
+			lo = qp
+		}
+		if qp > hi {
+			hi = qp
+		}
+	}
+	if mapped == 0 {
+		return Interval{}, 0, false
+	}
+	return Interval{Start: int(lo), End: int(hi) + 1}, float64(mapped) / float64(iv.Len()), rev*2 > mapped
+}
+
+// Pair is a synthesized species pair.
+type Pair struct {
+	Config Config
+	Target *genome.Assembly
+	Query  *genome.Assembly
+	// Genes are annotated on the target.
+	Genes []Gene
+	// Map is the ground-truth target-to-query coordinate map.
+	Map *CoordMap
+}
+
+// TargetSeq and QuerySeq return the single-chromosome sequences.
+func (p *Pair) TargetSeq() []byte { return p.Target.Seqs[0].Bases }
+func (p *Pair) QuerySeq() []byte  { return p.Query.Seqs[0].Bases }
+
+// regionClass tags each target base with its selective regime.
+type regionClass byte
+
+const (
+	regionNeutral regionClass = iota
+	regionExon
+	regionFast
+)
+
+// Generate synthesizes the pair described by cfg.
+func Generate(cfg Config) (*Pair, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	target, genes := buildAncestor(rng, &cfg)
+	regions, rateScale := classifyRegions(rng, &cfg, len(target), genes)
+	query, m := evolveQuery(rng, &cfg, target, regions, rateScale)
+	applyInversions(rng, &cfg, query, m)
+	query = applyDuplications(rng, &cfg, query, m)
+
+	p := &Pair{
+		Config: cfg,
+		Target: &genome.Assembly{Name: cfg.TargetName, Seqs: []*genome.Sequence{{Name: "chr1", Bases: target}}},
+		Query:  &genome.Assembly{Name: cfg.QueryName, Seqs: []*genome.Sequence{{Name: "chr1", Bases: query}}},
+		Genes:  genes,
+		Map:    m,
+	}
+	return p, nil
+}
+
+// buildAncestor composes the target genome left to right: intergenic
+// background, interspersed repeat copies, and genes with exon/intron
+// structure.
+func buildAncestor(rng *rand.Rand, cfg *Config) ([]byte, []Gene) {
+	seq := make([]byte, 0, cfg.Length+1000)
+	var genes []Gene
+
+	// A handful of repeat family consensus sequences.
+	nFamilies := 5
+	families := make([][]byte, nFamilies)
+	for i := range families {
+		families[i] = randomBases(rng, 150+rng.Intn(350), cfg.GC)
+	}
+
+	// Per-base budget shares.
+	geneBudget := int(float64(cfg.Length) * cfg.GeneFraction)
+	repeatBudget := int(float64(cfg.Length) * cfg.RepeatFraction)
+	geneCount := 0
+
+	for len(seq) < cfg.Length {
+		r := rng.Float64()
+		switch {
+		case geneBudget > 0 && r < 0.25:
+			g, gseq := makeGene(rng, cfg, len(seq), geneCount)
+			genes = append(genes, g)
+			seq = append(seq, gseq...)
+			geneBudget -= len(gseq)
+			geneCount++
+		case repeatBudget > 0 && r < 0.40:
+			fam := families[rng.Intn(nFamilies)]
+			copyOf := mutateCopy(rng, fam, 0.15)
+			seq = append(seq, copyOf...)
+			repeatBudget -= len(copyOf)
+		default:
+			seq = append(seq, randomBases(rng, 300+rng.Intn(1200), cfg.GC)...)
+		}
+	}
+	return seq[:cfg.Length], clipGenes(genes, cfg.Length)
+}
+
+// makeGene emits a gene (exons separated by introns) starting at offset.
+func makeGene(rng *rand.Rand, cfg *Config, offset, idx int) (Gene, []byte) {
+	nExons := 3 + rng.Intn(6)
+	g := Gene{Name: fmt.Sprintf("gene%04d", idx)}
+	var seq []byte
+	for e := 0; e < nExons; e++ {
+		if e > 0 {
+			intron := randomBases(rng, 150+rng.Intn(700), cfg.GC)
+			seq = append(seq, intron...)
+		}
+		exonLen := 80 + rng.Intn(220)
+		start := offset + len(seq)
+		// Exons are slightly GC-richer, as in real genomes.
+		seq = append(seq, randomBases(rng, exonLen, min(cfg.GC+0.08, 0.8))...)
+		g.Exons = append(g.Exons, Interval{Start: start, End: start + exonLen})
+	}
+	return g, seq
+}
+
+// clipGenes drops genes (and exons) extending past the genome end.
+func clipGenes(genes []Gene, length int) []Gene {
+	out := genes[:0]
+	for _, g := range genes {
+		var exons []Interval
+		for _, e := range g.Exons {
+			if e.End <= length {
+				exons = append(exons, e)
+			}
+		}
+		if len(exons) > 0 {
+			g.Exons = exons
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// classifyRegions assigns a selective regime to every target base:
+// alternating conserved islands (mean IslandMeanLen) and fully
+// turned-over segments sized so that turnover covers FastFraction of
+// the genome. Each island gets its own divergence multiplier (drawn
+// uniformly in [0.7, 1.9]) — real conserved elements span a wide
+// conservation range, and it is the weakly-conserved "twilight zone"
+// tail that ungapped filtering loses (Figure 9's example region aligns
+// at only 58%% identity).
+func classifyRegions(rng *rand.Rand, cfg *Config, length int, genes []Gene) ([]regionClass, []float32) {
+	regions := make([]regionClass, length)
+	scale := make([]float32, length)
+	for i := range scale {
+		scale[i] = 1
+	}
+	f := cfg.FastFraction
+	islandMean := float64(cfg.IslandMeanLen)
+	turnMean := islandMean * f / (1 - f)
+	expLen := func(mean float64) int {
+		l := int(rng.ExpFloat64() * mean)
+		return max(l, 40)
+	}
+	// Exons first: purifying selection slows them...
+	for _, g := range genes {
+		for _, e := range g.Exons {
+			for i := e.Start; i < e.End && i < length; i++ {
+				regions[i] = regionExon
+			}
+		}
+	}
+	pos := 0
+	for pos < length {
+		// Island lengths are uniform in [80, 2.5*mean): real conserved
+		// elements have a bounded size distribution, and an unbounded
+		// exponential tail would concentrate the alignable mass in a few
+		// long, easy islands.
+		islandLen := 80 + rng.Intn(max(int(2.5*islandMean)-80, 1))
+		// Island divergence multiplier: most islands sit near the pair's
+		// nominal rate, but a heavy tail of fast islands exists at every
+		// phylogenetic distance (young repeats, relaxed constraint) — for
+		// close pairs these are the twilight-zone alignments ungapped
+		// filtering loses; for distant pairs they fall out of reach of
+		// any aligner.
+		factor := float32(0.6 + 1.0*rng.Float64())
+		if rng.Float64() < 0.18 {
+			factor = float32(2.0 + 3.0*rng.Float64())
+		}
+		for i := pos; i < min(pos+islandLen, length); i++ {
+			scale[i] = factor
+		}
+		pos += islandLen
+		// ...but turnover overrides even exons: distantly related species
+		// really do lose genes, which is why the paper's TBLASTX
+		// denominator sits below the full exon count.
+		turnLen := expLen(turnMean)
+		for i := pos; i < min(pos+turnLen, length); i++ {
+			regions[i] = regionFast
+		}
+		pos += turnLen
+	}
+	return regions, scale
+}
+
+// evolveQuery walks the target emitting query bases, recording the
+// coordinate map.
+func evolveQuery(rng *rand.Rand, cfg *Config, target []byte, regions []regionClass, rateScale []float32) ([]byte, *CoordMap) {
+	query := make([]byte, 0, len(target)+len(target)/8)
+	m := &CoordMap{
+		QPos:    make([]int32, len(target)),
+		Reverse: make([]bool, len(target)),
+	}
+	t := 0
+	for t < len(target) {
+		// Fast regions turn over completely: between diverged species the
+		// fast-evolving fraction of the genome retains no detectable
+		// similarity, so the query gets fresh sequence of comparable
+		// length and the target bases map nowhere. This is what confines
+		// homology to islands, the structure whole genome aligners
+		// actually face.
+		if regions[t] == regionFast {
+			start := t
+			for t < len(target) && regions[t] == regionFast {
+				m.QPos[t] = Unmapped
+				t++
+			}
+			turnLen := scaledLen(rng, t-start)
+			query = append(query, randomBases(rng, turnLen, cfg.GC)...)
+			continue
+		}
+		factor := float64(rateScale[t])
+		if regions[t] == regionExon {
+			// Exons evolve slower than their surroundings but inherit the
+			// island's divergence multiplier: exons of weakly-constrained
+			// genes sit in the twilight zone too, which is exactly where
+			// the paper's differential exon coverage (Table III, Figure 9)
+			// comes from.
+			factor *= cfg.ExonRateFactor * 2.2
+		}
+		subP := clamp01(cfg.SubRate * factor)
+		indelP := clamp01(cfg.IndelRate * factor)
+		r := rng.Float64()
+		switch {
+		case r < indelP/2: // deletion of L target bases
+			l := indelLen(rng, cfg)
+			for k := 0; k < l && t < len(target); k++ {
+				m.QPos[t] = Unmapped
+				t++
+			}
+		case r < indelP: // insertion of L query bases
+			l := indelLen(rng, cfg)
+			query = append(query, randomBases(rng, l, cfg.GC)...)
+			// The current target base maps to the base after the insert.
+			fallthrough
+		default:
+			b := target[t]
+			if r >= indelP && r < indelP+subP {
+				b = substituteBase(rng, b)
+			}
+			m.QPos[t] = int32(len(query))
+			query = append(query, b)
+			t++
+		}
+	}
+	return query, m
+}
+
+// scaledLen jitters a length by ±20%.
+func scaledLen(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return n
+	}
+	return n - n/5 + rng.Intn(max(1, 2*n/5))
+}
+
+// indelLen draws an indel length: geometric with the configured mean, or
+// a long structural event.
+func indelLen(rng *rand.Rand, cfg *Config) int {
+	if rng.Float64() < cfg.LongIndelProb {
+		return 50 + rng.Intn(350)
+	}
+	// Geometric with mean MeanIndelLen: p = 1/mean.
+	p := 1.0 / cfg.MeanIndelLen
+	l := 1
+	for rng.Float64() > p && l < 50 {
+		l++
+	}
+	return l
+}
+
+// substituteBase mutates a base with transition bias (kappa = 4: two
+// thirds of substitutions are transitions, as the paper's seed design
+// assumes).
+func substituteBase(rng *rand.Rand, b byte) byte {
+	code := genome.EncodeBase(b)
+	if code >= genome.CodeN {
+		return b
+	}
+	if rng.Float64() < 2.0/3.0 {
+		return genome.DecodeBase(code ^ 2) // transition partner
+	}
+	// Transversion: flip the complement bit, maybe both.
+	if rng.Float64() < 0.5 {
+		return genome.DecodeBase(code ^ 1)
+	}
+	return genome.DecodeBase(code ^ 3)
+}
+
+// applyInversions reverse-complements segments of the query in place and
+// updates the coordinate map.
+func applyInversions(rng *rand.Rand, cfg *Config, query []byte, m *CoordMap) {
+	for k := 0; k < cfg.Inversions; k++ {
+		if len(query) < 4000 {
+			return
+		}
+		l := 1000 + rng.Intn(3000)
+		a := rng.Intn(len(query) - l)
+		b := a + l
+		genome.ReverseComplementInPlace(query[a:b])
+		for t := range m.QPos {
+			if q := m.QPos[t]; q != Unmapped && int(q) >= a && int(q) < b {
+				m.QPos[t] = int32(a + b - 1 - int(q))
+				m.Reverse[t] = !m.Reverse[t]
+			}
+		}
+	}
+}
+
+// applyDuplications inserts mutated copies of random query segments —
+// the source of paralogous alignments — and shifts the coordinate map
+// past each insertion point.
+func applyDuplications(rng *rand.Rand, cfg *Config, query []byte, m *CoordMap) []byte {
+	for k := 0; k < cfg.Duplications; k++ {
+		if len(query) < 4000 {
+			break
+		}
+		l := 800 + rng.Intn(2400)
+		a := rng.Intn(len(query) - l)
+		dup := mutateCopy(rng, query[a:a+l], 0.03)
+		// Insert at a random position rather than appending, so the
+		// paralog lands between orthologous context.
+		at := rng.Intn(len(query))
+		query = append(query[:at:at], append(dup, query[at:]...)...)
+		for t := range m.QPos {
+			if q := m.QPos[t]; q != Unmapped && int(q) >= at {
+				m.QPos[t] = q + int32(len(dup))
+			}
+		}
+	}
+	return query
+}
+
+func randomBases(rng *rand.Rand, n int, gc float64) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		if rng.Float64() < gc {
+			if rng.Intn(2) == 0 {
+				out[i] = 'G'
+			} else {
+				out[i] = 'C'
+			}
+		} else {
+			if rng.Intn(2) == 0 {
+				out[i] = 'A'
+			} else {
+				out[i] = 'T'
+			}
+		}
+	}
+	return out
+}
+
+// mutateCopy returns a copy of seq with the given substitution rate.
+func mutateCopy(rng *rand.Rand, seq []byte, rate float64) []byte {
+	out := append([]byte{}, seq...)
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = substituteBase(rng, out[i])
+		}
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x > 0.95 {
+		return 0.95
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
+}

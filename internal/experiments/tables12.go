@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"darwinwga/internal/align"
+	"darwinwga/internal/core"
+	"darwinwga/internal/evolve"
+	"darwinwga/internal/genome"
+	"darwinwga/internal/stats"
+)
+
+// Table1 reproduces Table I: the species inventory with assembly names
+// and sizes. Sizes are the paper's, scaled by the lab's genome scale;
+// the generated query sizes are reported alongside.
+func Table1(l *Lab) error {
+	fmt.Fprintf(l.Out(), "Table I: species, assemblies, and (scaled) sizes — scale %.4g\n\n", l.Options().Scale)
+	tbl := stats.NewTable("Species pair", "Target", "Query", "Target size", "Query size (generated)")
+	for _, name := range evolve.StandardPairNames {
+		p, err := l.Pair(name)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(name,
+			p.Target.Name, p.Query.Name,
+			genome.FormatBP(p.Target.TotalLen()),
+			genome.FormatBP(p.Query.TotalLen()))
+	}
+	_, err := fmt.Fprintln(l.Out(), tbl)
+	return err
+}
+
+// Table2 reproduces Table II: the scoring model and the BSW / GACT-X
+// parameters of the default configuration.
+func Table2(l *Lab) error {
+	out := l.Out()
+	sc := align.DefaultScoring()
+	fmt.Fprintln(out, "Table IIa: substitution matrix (W) and gap penalties")
+	mat := stats.NewTable("", "A", "C", "G", "T")
+	bases := []byte{'A', 'C', 'G', 'T'}
+	for _, a := range bases {
+		row := []string{string(a)}
+		for _, b := range bases {
+			row = append(row, fmt.Sprintf("%d", sc.Score(a, b)))
+		}
+		mat.AddRow(row...)
+	}
+	fmt.Fprintln(out, mat)
+	fmt.Fprintf(out, "gap open (o)   -%d\ngap extend (e) -%d\n\n", sc.GapOpen, sc.GapExtend)
+
+	cfg := core.DefaultConfig()
+	fmt.Fprintln(out, "Table IIb: stage parameters")
+	params := stats.NewTable("Stage", "Parameter", "Value")
+	params.AddRow("Gapped filtering", "Tile Size (Tf)", fmt.Sprint(cfg.FilterTileSize))
+	params.AddRow("", "Band Size (B)", fmt.Sprint(cfg.FilterBand))
+	params.AddRow("", "Threshold (Hf)", fmt.Sprint(cfg.FilterThreshold))
+	params.AddRow("GACT-X", "Tile Size (Te)", fmt.Sprint(cfg.Extension.TileSize))
+	params.AddRow("", "Overlap (O)", fmt.Sprint(cfg.Extension.Overlap))
+	params.AddRow("", "Y-drop (Y)", fmt.Sprint(cfg.Extension.Y))
+	params.AddRow("", "Threshold (He)", fmt.Sprint(cfg.ExtensionThreshold))
+	params.AddRow("Seeding", "Seed pattern", cfg.SeedPattern)
+	params.AddRow("", "Transitions", fmt.Sprint(cfg.DSoft.Transitions))
+	_, err := fmt.Fprintln(out, params)
+	return err
+}

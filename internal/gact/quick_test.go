@@ -1,0 +1,67 @@
+package gact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"darwinwga/internal/align"
+)
+
+// Property: every extension produces a consistent transcript that
+// rescores exactly, contains the anchor, and stays within bounds —
+// for random anchors over random related pairs.
+func TestQuickExtensionInvariants(t *testing.T) {
+	sc := align.DefaultScoring()
+	ext, err := NewExtender(sc, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []byte, anchorRaw uint16) bool {
+		if len(raw) == 0 {
+			raw = []byte{1}
+		}
+		rng := rand.New(rand.NewSource(int64(raw[0]) + int64(len(raw))<<8))
+		n := 100 + len(raw)%2000
+		target := randSeq(rng, n)
+		query := mutate(rng, target, 0.12, 0.02)
+		tA := int(anchorRaw) % (n + 1)
+		qA := min(tA, len(query))
+		a := ext.Extend(target, query, tA, qA, nil)
+		if err := a.CheckConsistency(len(target), len(query)); err != nil {
+			return false
+		}
+		if a.TStart > tA || a.TEnd < tA || a.QStart > qA || a.QEnd < qA {
+			return false // the anchor must lie inside the extension
+		}
+		return a.Rescore(sc, target, query) == a.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: smaller tiles never let the extension escape the sequence
+// bounds, and stats cells grow with tile size on identical sequences.
+func TestQuickTileSizeSafety(t *testing.T) {
+	sc := align.DefaultScoring()
+	f := func(raw []byte, tileRaw uint8) bool {
+		if len(raw) == 0 {
+			raw = []byte{7}
+		}
+		rng := rand.New(rand.NewSource(int64(raw[0])))
+		n := 50 + len(raw)%500
+		seq := randSeq(rng, n)
+		tile := 32 + int(tileRaw)%512
+		cfg := Config{TileSize: tile, Overlap: min(16, tile/4), Y: 9430}
+		ext, err := NewExtender(sc, cfg)
+		if err != nil {
+			return false
+		}
+		a := ext.Extend(seq, seq, n/2, n/2, nil)
+		return a.TStart == 0 && a.TEnd == n && a.QStart == 0 && a.QEnd == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

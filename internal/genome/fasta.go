@@ -1,0 +1,113 @@
+package genome
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadFASTA parses FASTA-formatted sequences from r. Header lines begin
+// with '>'; the first whitespace-delimited token becomes the sequence
+// name. Bases are upper-cased and validated against the extended
+// alphabet.
+func ReadFASTA(r io.Reader) ([]*Sequence, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var seqs []*Sequence
+	var cur *Sequence
+	lineno := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return nil, fmt.Errorf("genome: reading FASTA: %w", err)
+		}
+		lineno++
+		line = bytes.TrimRight(line, "\r\n")
+		if len(line) > 0 {
+			if line[0] == '>' {
+				name := string(bytes.Fields(line[1:])[0])
+				cur = &Sequence{Name: name}
+				seqs = append(seqs, cur)
+			} else if line[0] != ';' { // ';' comments are legacy FASTA
+				if cur == nil {
+					return nil, fmt.Errorf("genome: FASTA line %d: sequence data before first header", lineno)
+				}
+				cur.Bases = append(cur.Bases, line...)
+			}
+		}
+		if atEOF {
+			break
+		}
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("genome: FASTA input contains no sequences")
+	}
+	for _, s := range seqs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return seqs, nil
+}
+
+// ReadFASTAFile reads a FASTA file from disk and labels the assembly with
+// the file's base name (without extension).
+func ReadFASTAFile(path string) (*Assembly, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seqs, err := ReadFASTA(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	return &Assembly{Name: name, Seqs: seqs}, nil
+}
+
+// WriteFASTA writes sequences in FASTA format with the given line width
+// (60 if width <= 0).
+func WriteFASTA(w io.Writer, seqs []*Sequence, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", s.Name); err != nil {
+			return err
+		}
+		for i := 0; i < len(s.Bases); i += width {
+			end := min(i+width, len(s.Bases))
+			if _, err := bw.Write(s.Bases[i:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFASTAFile writes an assembly to a FASTA file.
+func WriteFASTAFile(path string, a *Assembly) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFASTA(f, a.Seqs, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,308 @@
+package genome
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeBase(t *testing.T) {
+	cases := []struct {
+		ascii byte
+		code  byte
+	}{
+		{'A', CodeA}, {'C', CodeC}, {'G', CodeG}, {'T', CodeT}, {'N', CodeN},
+		{'a', CodeA}, {'c', CodeC}, {'g', CodeG}, {'t', CodeT}, {'n', CodeN},
+	}
+	for _, c := range cases {
+		if got := EncodeBase(c.ascii); got != c.code {
+			t.Errorf("EncodeBase(%q) = %d, want %d", c.ascii, got, c.code)
+		}
+	}
+	for code := byte(0); code < AlphabetSize; code++ {
+		if EncodeBase(DecodeBase(code)) != code {
+			t.Errorf("round trip failed for code %d", code)
+		}
+	}
+	if EncodeBase('X') != 0xFF {
+		t.Errorf("EncodeBase('X') should be invalid")
+	}
+}
+
+func TestTransitionPairs(t *testing.T) {
+	trans := [][2]byte{{'A', 'G'}, {'G', 'A'}, {'C', 'T'}, {'T', 'C'}}
+	for _, p := range trans {
+		if !IsTransition(p[0], p[1]) {
+			t.Errorf("IsTransition(%q,%q) = false, want true", p[0], p[1])
+		}
+	}
+	notTrans := [][2]byte{{'A', 'A'}, {'A', 'C'}, {'A', 'T'}, {'G', 'C'}, {'G', 'T'}, {'N', 'A'}, {'A', 'N'}, {'N', 'N'}}
+	for _, p := range notTrans {
+		if IsTransition(p[0], p[1]) {
+			t.Errorf("IsTransition(%q,%q) = true, want false", p[0], p[1])
+		}
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	in := []byte("ACGTN")
+	want := []byte("NACGT")
+	if got := ReverseComplement(in); !bytes.Equal(got, want) {
+		t.Errorf("ReverseComplement(%s) = %s, want %s", in, got, want)
+	}
+	// Involution property on random sequences.
+	f := func(raw []byte) bool {
+		seq := randomizeToDNA(raw)
+		rc := ReverseComplement(seq)
+		rcrc := ReverseComplement(rc)
+		return bytes.Equal(seq, rcrc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseComplementInPlace(t *testing.T) {
+	for _, s := range []string{"", "A", "AC", "ACG", "ACGT", "GATTACA"} {
+		seq := []byte(s)
+		want := ReverseComplement(seq)
+		ReverseComplementInPlace(seq)
+		if !bytes.Equal(seq, want) {
+			t.Errorf("in-place RC of %q = %s, want %s", s, seq, want)
+		}
+	}
+}
+
+func randomizeToDNA(raw []byte) []byte {
+	const bases = "ACGT"
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = bases[int(b)%4]
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		seq := randomizeToDNA(raw)
+		return bytes.Equal(Decode(Encode(seq)), seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeInvalidBecomesN(t *testing.T) {
+	got := Encode([]byte("AXC"))
+	if got[1] != CodeN {
+		t.Errorf("invalid base encoded as %d, want CodeN", got[1])
+	}
+}
+
+func TestSequenceValidate(t *testing.T) {
+	s := &Sequence{Name: "s", Bases: []byte("acgtN")}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if string(s.Bases) != "ACGTN" {
+		t.Errorf("Validate did not upper-case: %s", s.Bases)
+	}
+	bad := &Sequence{Name: "bad", Bases: []byte("AC-GT")}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted invalid base")
+	}
+}
+
+func TestGCContent(t *testing.T) {
+	s := &Sequence{Bases: []byte("GGCCAATT")}
+	if gc := s.GC(); gc != 0.5 {
+		t.Errorf("GC = %v, want 0.5", gc)
+	}
+	n := &Sequence{Bases: []byte("NNNN")}
+	if gc := n.GC(); gc != 0 {
+		t.Errorf("GC of all-N = %v, want 0", gc)
+	}
+	withN := &Sequence{Bases: []byte("GCNN")}
+	if gc := withN.GC(); gc != 1.0 {
+		t.Errorf("GC ignoring N = %v, want 1.0", gc)
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	seqs := []*Sequence{
+		{Name: "chr1", Bases: []byte("ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT")},
+		{Name: "chr2", Bases: []byte("NNNACGT")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, seqs, 10); err != nil {
+		t.Fatalf("WriteFASTA: %v", err)
+	}
+	got, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatalf("ReadFASTA: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d sequences, want 2", len(got))
+	}
+	for i := range seqs {
+		if got[i].Name != seqs[i].Name || !bytes.Equal(got[i].Bases, seqs[i].Bases) {
+			t.Errorf("sequence %d mismatch", i)
+		}
+	}
+}
+
+func TestFASTAHeaderParsing(t *testing.T) {
+	in := ">chrX some description here\nACGT\nacgt\n"
+	seqs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqs[0].Name != "chrX" {
+		t.Errorf("name = %q, want chrX", seqs[0].Name)
+	}
+	if string(seqs[0].Bases) != "ACGTACGT" {
+		t.Errorf("bases = %s", seqs[0].Bases)
+	}
+}
+
+func TestFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("data before header accepted")
+	}
+	if _, err := ReadFASTA(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadFASTA(strings.NewReader(">s\nAC!GT\n")); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestPackUnpackKmer(t *testing.T) {
+	seq := []byte("ACGTACGTACGT")
+	key, ok := PackKmer(seq)
+	if !ok {
+		t.Fatal("PackKmer failed")
+	}
+	if got := UnpackKmer(key, len(seq)); !bytes.Equal(got, seq) {
+		t.Errorf("round trip = %s, want %s", got, seq)
+	}
+	if _, ok := PackKmer([]byte("ACGN")); ok {
+		t.Error("PackKmer accepted N")
+	}
+	long := bytes.Repeat([]byte("A"), 32)
+	if _, ok := PackKmer(long); ok {
+		t.Error("PackKmer accepted 32-mer")
+	}
+}
+
+func TestPackKmerDistinct(t *testing.T) {
+	// All 4^6 6-mers must pack to distinct keys.
+	seen := make(map[KmerKey]bool)
+	var gen func(prefix []byte)
+	gen = func(prefix []byte) {
+		if len(prefix) == 6 {
+			key, ok := PackKmer(prefix)
+			if !ok {
+				t.Fatalf("PackKmer(%s) failed", prefix)
+			}
+			if seen[key] {
+				t.Fatalf("duplicate key for %s", prefix)
+			}
+			seen[key] = true
+			return
+		}
+		for _, b := range []byte("ACGT") {
+			gen(append(prefix, b))
+		}
+	}
+	gen(nil)
+	if len(seen) != 4096 {
+		t.Errorf("distinct keys = %d, want 4096", len(seen))
+	}
+}
+
+func TestCountKmers(t *testing.T) {
+	if n := CountKmers([]byte("AAAA"), 2); n != 1 {
+		t.Errorf("CountKmers(AAAA,2) = %d, want 1", n)
+	}
+	if n := CountKmers([]byte("ACGT"), 2); n != 3 {
+		t.Errorf("CountKmers(ACGT,2) = %d, want 3", n)
+	}
+	if n := CountKmers([]byte("ACNGT"), 2); n != 2 {
+		t.Errorf("CountKmers with N = %d, want 2", n)
+	}
+	if n := CountKmers([]byte("AC"), 3); n != 0 {
+		t.Errorf("CountKmers short = %d, want 0", n)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	seqs := []*Sequence{
+		{Name: "a", Bases: []byte("AAA")},
+		{Name: "b", Bases: []byte("CC")},
+		{Name: "c", Bases: []byte("G")},
+	}
+	bases, starts := Concat(seqs)
+	if string(bases) != "AAACCG" {
+		t.Errorf("bases = %s", bases)
+	}
+	wantStarts := []int{0, 3, 5, 6}
+	for i, w := range wantStarts {
+		if starts[i] != w {
+			t.Errorf("starts[%d] = %d, want %d", i, starts[i], w)
+		}
+	}
+}
+
+func TestAssemblyHelpers(t *testing.T) {
+	a := FromString("test", "acgt")
+	if a.TotalLen() != 4 {
+		t.Errorf("TotalLen = %d", a.TotalLen())
+	}
+	if a.Seq("test") == nil || a.Seq("missing") != nil {
+		t.Error("Seq lookup wrong")
+	}
+	if got := a.String(); !strings.Contains(got, "test") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFormatBP(t *testing.T) {
+	cases := map[int]string{
+		5:          "5 bp",
+		1500:       "1.5 Kbp",
+		2500000:    "2.5 Mbp",
+		3000000000: "3.0 Gbp",
+	}
+	for n, want := range cases {
+		if got := FormatBP(n); got != want {
+			t.Errorf("FormatBP(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFASTAFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/toy.fa"
+	rng := rand.New(rand.NewSource(1))
+	bases := make([]byte, 1000)
+	for i := range bases {
+		bases[i] = "ACGT"[rng.Intn(4)]
+	}
+	a := &Assembly{Name: "toy", Seqs: []*Sequence{{Name: "chr1", Bases: bases}}}
+	if err := WriteFASTAFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTAFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "toy" {
+		t.Errorf("assembly name = %q, want toy", got.Name)
+	}
+	if !bytes.Equal(got.Seqs[0].Bases, bases) {
+		t.Error("bases mismatch after file round trip")
+	}
+}

@@ -1,0 +1,48 @@
+package genome
+
+// KmerKey packs the w informative bases selected by a spaced-seed shape
+// into a 2-bit-per-base integer key. Keys are used to address the seed
+// position table. A k-mer containing N (or any invalid base) has no key.
+type KmerKey uint64
+
+// PackKmer packs k consecutive bases (ASCII) into a key, 2 bits per base.
+// ok is false if the window contains a non-ACGT character or k > 31.
+func PackKmer(seq []byte) (key KmerKey, ok bool) {
+	if len(seq) > 31 {
+		return 0, false
+	}
+	for _, b := range seq {
+		code := encodeTable[b]
+		if code >= CodeN {
+			return 0, false
+		}
+		key = key<<2 | KmerKey(code)
+	}
+	return key, true
+}
+
+// UnpackKmer renders a packed key of length k back to ASCII, most
+// significant base first.
+func UnpackKmer(key KmerKey, k int) []byte {
+	out := make([]byte, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = decodeTable[key&3]
+		key >>= 2
+	}
+	return out
+}
+
+// CountKmers returns the number of distinct packed k-mers present in seq
+// (exact, via map). Intended for tests and diagnostics, not hot paths.
+func CountKmers(seq []byte, k int) int {
+	if k <= 0 || k > 31 || len(seq) < k {
+		return 0
+	}
+	seen := make(map[KmerKey]struct{})
+	for i := 0; i+k <= len(seq); i++ {
+		if key, ok := PackKmer(seq[i : i+k]); ok {
+			seen[key] = struct{}{}
+		}
+	}
+	return len(seen)
+}

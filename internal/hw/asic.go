@@ -1,0 +1,81 @@
+package hw
+
+import "darwinwga/internal/stats"
+
+// ASIC area/power model (Table IV). The paper derives these numbers
+// from Synopsys Design Compiler synthesis (logic), Cacti (SRAM) and
+// DRAMPower (memory) at TSMC 40nm, 1 GHz, worst-case PVT. We encode the
+// resulting per-unit constants — area and power per PE for each array
+// type, per-KB SRAM costs, and per-channel DRAM power — and rebuild the
+// table from the deployment's configuration, so alternative
+// configurations (ablations) re-derive consistent area/power.
+const (
+	// BSW PE: score-only banded Smith-Waterman datapath.
+	asicBSWAreaPerPE  = 16.6 / (64.0 * 64.0) // mm^2
+	asicBSWPowerPerPE = 25.6 / (64.0 * 64.0) // W
+	// GACT-X PE: adds traceback-pointer generation and X-drop control.
+	asicGACTXAreaPerPE  = 4.2 / (12.0 * 64.0)  // mm^2
+	asicGACTXPowerPerPE = 6.72 / (12.0 * 64.0) // W
+	// Traceback SRAM (Cacti): per-KB costs; 16 KB per GACT-X PE.
+	asicSRAMAreaPerKB  = 15.12 / (12.0 * 64.0 * 16.0) // mm^2
+	asicSRAMPowerPerKB = 7.92 / (12.0 * 64.0 * 16.0)  // W
+	asicSRAMKBPerPE    = 16.0
+	// DRAM: four DDR4-2400R x8 channels (DRAMPower estimate).
+	asicDRAMPowerPerChannel = 3.10 / 4.0 // W
+	asicDRAMChannels        = 4
+)
+
+// Component is one row of the Table IV breakdown.
+type Component struct {
+	Name    string
+	Config  string
+	AreaMM2 float64
+	PowerW  float64
+}
+
+// ASICBreakdown rebuilds Table IV for a deployment with the given array
+// counts and PEs per array.
+func ASICBreakdown(bswArrays, gactxArrays, npe int) []Component {
+	bswPEs := float64(bswArrays * npe)
+	gactxPEs := float64(gactxArrays * npe)
+	sramKB := gactxPEs * asicSRAMKBPerPE
+	comps := []Component{
+		{
+			Name:    "BSW Logic",
+			Config:  configString(bswArrays, npe),
+			AreaMM2: bswPEs * asicBSWAreaPerPE,
+			PowerW:  bswPEs * asicBSWPowerPerPE,
+		},
+		{
+			Name:    "GACT-X Logic",
+			Config:  configString(gactxArrays, npe),
+			AreaMM2: gactxPEs * asicGACTXAreaPerPE,
+			PowerW:  gactxPEs * asicGACTXPowerPerPE,
+		},
+		{
+			Name:    "Traceback SRAM",
+			Config:  configString(gactxArrays, npe) + " x 16KB/PE",
+			AreaMM2: sramKB * asicSRAMAreaPerKB,
+			PowerW:  sramKB * asicSRAMPowerPerKB,
+		},
+		{
+			Name:   "DRAM",
+			Config: "4 x DDR4-2400R",
+			PowerW: asicDRAMChannels * asicDRAMPowerPerChannel,
+		},
+	}
+	return comps
+}
+
+func configString(arrays, npe int) string {
+	return stats.Comma(int64(arrays)) + " x (" + stats.Comma(int64(npe)) + "PE array)"
+}
+
+// Totals sums a breakdown.
+func Totals(comps []Component) (areaMM2, powerW float64) {
+	for _, c := range comps {
+		areaMM2 += c.AreaMM2
+		powerW += c.PowerW
+	}
+	return areaMM2, powerW
+}

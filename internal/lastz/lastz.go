@@ -1,0 +1,56 @@
+// Package lastz is the software baseline of the evaluation: a
+// LASTZ-equivalent whole genome aligner (seed, ungapped X-drop filter,
+// gapped extension) built from the same substrates as Darwin-WGA. The
+// paper's framing — Darwin-WGA is LASTZ with the ungapped filter
+// swapped for hardware-accelerated gapped filtering — makes the
+// baseline a configuration of the shared pipeline; this package pins
+// that configuration (LASTZ 1.02.00 defaults: ungapped filtering,
+// filter and extension thresholds at 3000) under its own name and adds
+// the baseline-specific knobs the paper varies.
+package lastz
+
+import (
+	"darwinwga/internal/core"
+)
+
+// Options are the LASTZ parameters the paper discusses varying.
+type Options struct {
+	// HSPThreshold is the ungapped filter score cutoff (LASTZ's
+	// --hspthresh, default 3000). Lowering it recovers more alignments
+	// at a steep cost — the observation from [16], [18] that motivates
+	// the paper.
+	HSPThreshold int32
+	// GappedThreshold is the final alignment score cutoff (LASTZ's
+	// --gappedthresh, default 3000).
+	GappedThreshold int32
+	// Transitions enables the seed's one-transition tolerance (LASTZ
+	// default: on).
+	Transitions bool
+	// Workers is the process/thread parallelism (the paper shards LASTZ
+	// across 36 hardware threads with GNU parallel).
+	Workers int
+}
+
+// DefaultOptions mirrors LASTZ 1.02.00 defaults.
+func DefaultOptions() Options {
+	return Options{HSPThreshold: 3000, GappedThreshold: 3000, Transitions: true}
+}
+
+// Config expands the options into a full pipeline configuration.
+func Config(opts Options) core.Config {
+	cfg := core.LASTZConfig()
+	if opts.HSPThreshold != 0 {
+		cfg.FilterThreshold = opts.HSPThreshold
+	}
+	if opts.GappedThreshold != 0 {
+		cfg.ExtensionThreshold = opts.GappedThreshold
+	}
+	cfg.DSoft.Transitions = opts.Transitions
+	cfg.Workers = opts.Workers
+	return cfg
+}
+
+// NewAligner builds the LASTZ-baseline aligner over a target genome.
+func NewAligner(target []byte, opts Options) (*core.Aligner, error) {
+	return core.NewAligner(target, Config(opts))
+}

@@ -1,0 +1,115 @@
+package maf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleBlock() *Block {
+	return &Block{
+		Score: 12345,
+		TName: "tgt.chr1", TStart: 100, TSize: 8, TSrc: 1000, TText: "ACGT--ACGT",
+		QName: "qry.chr1", QStart: 200, QSize: 10, QSrc: 2000, QStrand: '+', QText: "ACGTGGACGT",
+	}
+}
+
+func TestBlockValidate(t *testing.T) {
+	b := sampleBlock()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("valid block rejected: %v", err)
+	}
+	bad := sampleBlock()
+	bad.TText = "ACGT"
+	if err := bad.Validate(); err == nil {
+		t.Error("unequal text lengths accepted")
+	}
+	bad = sampleBlock()
+	bad.TSize = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong TSize accepted")
+	}
+	bad = sampleBlock()
+	bad.QStrand = 'x'
+	if err := bad.Validate(); err == nil {
+		t.Error("bad strand accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	b1 := sampleBlock()
+	b2 := sampleBlock()
+	b2.QStrand = '-'
+	b2.Score = -5
+	if err := w.Write(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "##maf") {
+		t.Error("missing ##maf header")
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d blocks, want 2", len(got))
+	}
+	if *got[0] != *b1 {
+		t.Errorf("block 0 mismatch:\n got %+v\nwant %+v", got[0], b1)
+	}
+	if got[1].QStrand != '-' || got[1].Score != -5 {
+		t.Errorf("block 1 mismatch: %+v", got[1])
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"s tgt 0 4 + 10 ACGT\n",                                                // s before a
+		"a score=1\ns tgt 0 4 + 10\n",                                          // too few fields
+		"a score=bogus\ns tgt 0 4 + 10 ACGT\n",                                 // bad score
+		"a score=1\ns t 0 4 + 10 ACGT\ns q 0 4 + 10 ACGT\ns x 0 4 + 10 ACGT\n", // 3 s-lines
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "##maf version=1\n# comment\n\na score=10\ns t 0 4 + 10 ACGT\ns q 0 4 + 10 ACGT\n\n"
+	blocks, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0].Score != 10 {
+		t.Errorf("blocks = %+v", blocks)
+	}
+}
+
+func TestRenderTexts(t *testing.T) {
+	target := []byte("AACCGGTT")
+	query := []byte("AAXCGG")
+	ops := []byte{'M', 'M', 'D', 'M', 'M', 'M', 'M'}
+	ttext, qtext := RenderTexts(target, query, 0, 0, ops)
+	if ttext != "AACCGGT" {
+		t.Errorf("ttext = %q", ttext)
+	}
+	if qtext != "AA-XCGG" {
+		t.Errorf("qtext = %q", qtext)
+	}
+	// Insertions gap the target.
+	ops = []byte{'M', 'I', 'M'}
+	ttext, qtext = RenderTexts(target, query, 0, 0, ops)
+	if ttext != "A-A" || qtext != "AAX" {
+		t.Errorf("insert render = %q / %q", ttext, qtext)
+	}
+}

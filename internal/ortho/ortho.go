@@ -1,0 +1,137 @@
+// Package ortho measures exon-level sensitivity — the paper's third
+// Table III metric. The paper aligns each protein-coding exon of the
+// target against the query with TBLASTX to establish which exons have a
+// detectable ortholog at all (the denominator), then counts how many of
+// those land inside each aligner's chains. Our genome simulator knows
+// the true target-to-query coordinate map, so the TBLASTX role is
+// played by an exact oracle: an exon is detectable when its counterpart
+// survived in the query (not deleted or turned over) and a sensitive
+// full Smith-Waterman alignment of the exon against its true query
+// window still scores above a threshold.
+package ortho
+
+import (
+	"sort"
+
+	"darwinwga/internal/align"
+	"darwinwga/internal/chain"
+	"darwinwga/internal/evolve"
+	"darwinwga/internal/genome"
+)
+
+// Oracle parameters.
+type Params struct {
+	// MinMappedFrac is the fraction of exon bases that must survive in
+	// the query (default 0.5).
+	MinMappedFrac float64
+	// MinScore is the Smith-Waterman score the exon-to-window alignment
+	// must reach to count as detectable (default 2000 — the sensitivity
+	// of a translated search on a ~100-300bp exon).
+	MinScore int32
+	// WindowPad extends the true query window on each side before the
+	// oracle alignment (default 50).
+	WindowPad int
+	// MinCoverage is the fraction of exon bases a chain must cover for
+	// the exon to count as found (default 0.5).
+	MinCoverage float64
+}
+
+// DefaultParams returns the oracle defaults.
+func DefaultParams() Params {
+	return Params{MinMappedFrac: 0.5, MinScore: 2000, WindowPad: 50, MinCoverage: 0.5}
+}
+
+// Exon is one exon with its oracle verdict.
+type Exon struct {
+	Gene     string
+	Interval evolve.Interval
+	// Detectable is the TBLASTX-substitute verdict.
+	Detectable bool
+	// OracleScore is the sensitive-alignment score against the true
+	// query window (0 when unmapped).
+	OracleScore int32
+}
+
+// Classify runs the detectability oracle over every exon of the pair.
+func Classify(p *evolve.Pair, sc *align.Scoring, params Params) []Exon {
+	if sc == nil {
+		sc = align.DefaultScoring()
+	}
+	target, query := p.TargetSeq(), p.QuerySeq()
+	var out []Exon
+	for _, g := range p.Genes {
+		for _, iv := range g.Exons {
+			e := Exon{Gene: g.Name, Interval: iv}
+			qiv, frac, inverted := p.Map.MapInterval(iv)
+			if frac >= params.MinMappedFrac {
+				lo := max(0, qiv.Start-params.WindowPad)
+				hi := min(len(query), qiv.End+params.WindowPad)
+				window := query[lo:hi]
+				if inverted {
+					window = genome.ReverseComplement(window)
+				}
+				a := align.SmithWaterman(sc, target[iv.Start:iv.End], window)
+				e.OracleScore = a.Score
+				e.Detectable = a.Score >= params.MinScore
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountDetectable returns the oracle denominator (Table III's "Total
+// (TBLASTX)" column).
+func CountDetectable(exons []Exon) int {
+	n := 0
+	for _, e := range exons {
+		if e.Detectable {
+			n++
+		}
+	}
+	return n
+}
+
+// CoveredByChains counts detectable exons covered by the chains (the
+// per-aligner Table III exon column). An exon counts when at least
+// MinCoverage of its bases lie inside chain blocks.
+func CoveredByChains(exons []Exon, chains []chain.Chain, params Params) int {
+	// Gather block target intervals once, sorted by start.
+	type span struct{ start, end int }
+	var spans []span
+	for ci := range chains {
+		for _, b := range chains[ci].Blocks {
+			spans = append(spans, span{b.TStart, b.TEnd})
+		}
+	}
+	found := 0
+	for _, e := range exons {
+		if !e.Detectable {
+			continue
+		}
+		// Merge block overlaps within the exon so overlapping chains do
+		// not double-count coverage.
+		var clipped []span
+		for _, s := range spans {
+			lo := max(s.start, e.Interval.Start)
+			hi := min(s.end, e.Interval.End)
+			if hi > lo {
+				clipped = append(clipped, span{lo, hi})
+			}
+		}
+		sort.Slice(clipped, func(i, j int) bool { return clipped[i].start < clipped[j].start })
+		covered, end := 0, e.Interval.Start
+		for _, s := range clipped {
+			if s.end <= end {
+				continue
+			}
+			lo := max(s.start, end)
+			covered += s.end - lo
+			end = s.end
+		}
+		if float64(covered) >= params.MinCoverage*float64(e.Interval.Len()) {
+			found++
+		}
+	}
+	return found
+}

@@ -1,0 +1,119 @@
+package ortho
+
+import (
+	"testing"
+
+	"darwinwga/internal/align"
+	"darwinwga/internal/chain"
+	"darwinwga/internal/evolve"
+)
+
+func genPair(t *testing.T, subRate float64) *evolve.Pair {
+	t.Helper()
+	p, err := evolve.Generate(evolve.Config{
+		Name: "test", TargetName: "tgt", QueryName: "qry",
+		Length: 60000, SubRate: subRate, IndelRate: 0.01,
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestClassifyFindsConservedExons(t *testing.T) {
+	p := genPair(t, 0.10)
+	exons := Classify(p, nil, DefaultParams())
+	if len(exons) == 0 {
+		t.Fatal("no exons classified")
+	}
+	total := 0
+	for range p.Genes {
+	}
+	for _, g := range p.Genes {
+		total += len(g.Exons)
+	}
+	if len(exons) != total {
+		t.Fatalf("classified %d exons, annotation has %d", len(exons), total)
+	}
+	det := CountDetectable(exons)
+	// At 10% divergence with exons evolving 4x slower, nearly every
+	// surviving exon is detectable. Some fall in turned-over regions.
+	if det < total/2 {
+		t.Errorf("only %d of %d exons detectable at low divergence", det, total)
+	}
+	for _, e := range exons {
+		if e.Detectable && e.OracleScore < DefaultParams().MinScore {
+			t.Fatalf("detectable exon with score %d below threshold", e.OracleScore)
+		}
+	}
+}
+
+func TestDetectabilityDropsWithTurnover(t *testing.T) {
+	// Exons evolve slowly (purifying selection), so per-base divergence
+	// rarely deletes them from the denominator; what does is sequence
+	// turnover — exons caught in fully turned-over regions lose their
+	// query counterpart entirely.
+	gen := func(fastFraction float64) []Exon {
+		p, err := evolve.Generate(evolve.Config{
+			Name: "test", TargetName: "tgt", QueryName: "qry",
+			Length: 60000, SubRate: 0.15, IndelRate: 0.01,
+			FastFraction: fastFraction, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Classify(p, nil, DefaultParams())
+	}
+	intact := CountDetectable(gen(0.05))
+	churned := CountDetectable(gen(0.65))
+	if churned >= intact {
+		t.Errorf("detectable exons did not drop with turnover: %d vs %d", intact, churned)
+	}
+}
+
+func TestCoveredByChains(t *testing.T) {
+	exons := []Exon{
+		{Interval: evolve.Interval{Start: 100, End: 200}, Detectable: true},
+		{Interval: evolve.Interval{Start: 500, End: 600}, Detectable: true},
+		{Interval: evolve.Interval{Start: 900, End: 1000}, Detectable: false}, // not in denominator
+	}
+	chains := []chain.Chain{{Blocks: []*chain.Block{
+		{TStart: 50, TEnd: 160, QStart: 0, QEnd: 110},     // covers 60% of exon 1
+		{TStart: 590, TEnd: 1000, QStart: 200, QEnd: 610}, // covers 10% of exon 2, all of exon 3
+	}}}
+	got := CoveredByChains(exons, chains, DefaultParams())
+	if got != 1 {
+		t.Errorf("covered = %d, want 1 (exon 1 only)", got)
+	}
+	// Lower coverage requirement admits exon 2.
+	loose := DefaultParams()
+	loose.MinCoverage = 0.05
+	if got := CoveredByChains(exons, chains, loose); got != 2 {
+		t.Errorf("loose covered = %d, want 2", got)
+	}
+}
+
+func TestCoverageCapsDoubleCounting(t *testing.T) {
+	exons := []Exon{{Interval: evolve.Interval{Start: 0, End: 100}, Detectable: true}}
+	// Two fully-overlapping blocks must not make coverage exceed 100%.
+	chains := []chain.Chain{{Blocks: []*chain.Block{
+		{TStart: 0, TEnd: 40},
+		{TStart: 0, TEnd: 40},
+	}}}
+	if got := CoveredByChains(exons, chains, DefaultParams()); got != 0 {
+		t.Errorf("double-counted overlap: covered = %d, want 0 (only 40%% covered)", got)
+	}
+}
+
+func TestClassifyUnmappedExon(t *testing.T) {
+	p := genPair(t, 0.10)
+	// Force every map entry to Unmapped: nothing is detectable.
+	for i := range p.Map.QPos {
+		p.Map.QPos[i] = evolve.Unmapped
+	}
+	exons := Classify(p, align.DefaultScoring(), DefaultParams())
+	if CountDetectable(exons) != 0 {
+		t.Error("exons detectable with a fully-unmapped query")
+	}
+}

@@ -1,0 +1,188 @@
+// Package phylo estimates phylogenetic distances between species from
+// their alignments — the role PHAST plays in the paper (Figure 8). It
+// implements the Jukes-Cantor (JC69) and Kimura two-parameter (K2P)
+// corrections and a small neighbor-joining tree builder for rendering
+// the Figure 8 trees.
+package phylo
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"darwinwga/internal/genome"
+)
+
+// SiteCounts tallies aligned base pairs by substitution class.
+type SiteCounts struct {
+	// Sites is the number of aligned (non-gap, non-N) columns.
+	Sites int
+	// Transitions and Transversions count mismatched columns by class.
+	Transitions   int
+	Transversions int
+}
+
+// Add tallies one aligned column.
+func (s *SiteCounts) Add(a, b byte) {
+	ca, cb := genome.EncodeBase(a), genome.EncodeBase(b)
+	if ca >= genome.CodeN || cb >= genome.CodeN {
+		return
+	}
+	s.Sites++
+	if ca == cb {
+		return
+	}
+	if ca^2 == cb {
+		s.Transitions++
+	} else {
+		s.Transversions++
+	}
+}
+
+// P and Q return the transition and transversion proportions.
+func (s *SiteCounts) P() float64 {
+	if s.Sites == 0 {
+		return 0
+	}
+	return float64(s.Transitions) / float64(s.Sites)
+}
+
+func (s *SiteCounts) Q() float64 {
+	if s.Sites == 0 {
+		return 0
+	}
+	return float64(s.Transversions) / float64(s.Sites)
+}
+
+// ErrSaturated is returned when divergence exceeds the model's valid
+// range (the "twilight zone" of Section II).
+var ErrSaturated = fmt.Errorf("phylo: substitution saturation: distance undefined")
+
+// JC69 returns the Jukes-Cantor distance (substitutions/site) for a
+// mismatch proportion p = P + Q.
+func (s *SiteCounts) JC69() (float64, error) {
+	p := s.P() + s.Q()
+	if p >= 0.75 {
+		return 0, ErrSaturated
+	}
+	return -0.75 * math.Log(1-4.0/3.0*p), nil
+}
+
+// K2P returns the Kimura two-parameter distance, which weighs
+// transitions and transversions separately.
+func (s *SiteCounts) K2P() (float64, error) {
+	p, q := s.P(), s.Q()
+	a := 1 - 2*p - q
+	b := 1 - 2*q
+	if a <= 0 || b <= 0 {
+		return 0, ErrSaturated
+	}
+	return -0.5*math.Log(a) - 0.25*math.Log(b), nil
+}
+
+// Node is a binary phylogenetic tree node. Leaves have a Name and no
+// children.
+type Node struct {
+	Name        string
+	Left, Right *Node
+	// LeftLen and RightLen are branch lengths to the children.
+	LeftLen, RightLen float64
+}
+
+// Newick renders the tree in Newick format, e.g. "((a:0.1,b:0.2):0.05,c:0.3);".
+func (n *Node) Newick() string {
+	var b strings.Builder
+	n.render(&b)
+	b.WriteByte(';')
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	if n.Left == nil && n.Right == nil {
+		b.WriteString(n.Name)
+		return
+	}
+	b.WriteByte('(')
+	n.Left.render(b)
+	fmt.Fprintf(b, ":%.4g,", n.LeftLen)
+	n.Right.render(b)
+	fmt.Fprintf(b, ":%.4g", n.RightLen)
+	b.WriteByte(')')
+}
+
+// NeighborJoining builds an (unrooted, arbitrarily rooted at the last
+// join) tree from a symmetric distance matrix over names. It implements
+// the classic Saitou-Nei algorithm; fine for the handful of species in
+// Figure 8.
+func NeighborJoining(names []string, dist [][]float64) (*Node, error) {
+	n := len(names)
+	if n < 2 || len(dist) != n {
+		return nil, fmt.Errorf("phylo: need >= 2 taxa with a square matrix")
+	}
+	for i := range dist {
+		if len(dist[i]) != n {
+			return nil, fmt.Errorf("phylo: matrix not square")
+		}
+	}
+	nodes := make([]*Node, n)
+	for i, name := range names {
+		nodes[i] = &Node{Name: name}
+	}
+	// Working copies.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = append([]float64{}, dist[i]...)
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+
+	for len(active) > 2 {
+		m := len(active)
+		// Row sums.
+		r := make([]float64, m)
+		for ai, i := range active {
+			for _, j := range active {
+				r[ai] += d[i][j]
+			}
+		}
+		// Pick the pair minimizing the Q criterion.
+		bestA, bestB := 0, 1
+		bestQ := math.Inf(1)
+		for ai := 0; ai < m; ai++ {
+			for bi := ai + 1; bi < m; bi++ {
+				q := float64(m-2)*d[active[ai]][active[bi]] - r[ai] - r[bi]
+				if q < bestQ {
+					bestQ = q
+					bestA, bestB = ai, bi
+				}
+			}
+		}
+		i, j := active[bestA], active[bestB]
+		dij := d[i][j]
+		li := dij/2 + (r[bestA]-r[bestB])/(2*float64(m-2))
+		lj := dij - li
+		parent := &Node{Left: nodes[i], Right: nodes[j], LeftLen: math.Max(li, 0), RightLen: math.Max(lj, 0)}
+		// Replace i with the parent; drop j.
+		nodes[i] = parent
+		for _, k := range active {
+			if k != i && k != j {
+				d[i][k] = (d[i][k] + d[j][k] - dij) / 2
+				d[k][i] = d[i][k]
+			}
+		}
+		next := active[:0]
+		for _, k := range active {
+			if k != j {
+				next = append(next, k)
+			}
+		}
+		active = next
+	}
+	i, j := active[0], active[1]
+	return &Node{
+		Left: nodes[i], Right: nodes[j],
+		LeftLen: d[i][j] / 2, RightLen: d[i][j] / 2,
+	}, nil
+}

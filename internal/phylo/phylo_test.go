@@ -1,0 +1,194 @@
+package phylo
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSiteCounts(t *testing.T) {
+	var s SiteCounts
+	s.Add('A', 'A') // identical
+	s.Add('A', 'G') // transition
+	s.Add('C', 'T') // transition
+	s.Add('A', 'C') // transversion
+	s.Add('N', 'A') // ignored
+	s.Add('A', '-') // ignored (invalid byte)
+	if s.Sites != 4 {
+		t.Errorf("sites = %d, want 4", s.Sites)
+	}
+	if s.Transitions != 2 || s.Transversions != 1 {
+		t.Errorf("ts/tv = %d/%d, want 2/1", s.Transitions, s.Transversions)
+	}
+	if s.P() != 0.5 || s.Q() != 0.25 {
+		t.Errorf("P/Q = %v/%v", s.P(), s.Q())
+	}
+}
+
+func TestJC69KnownValues(t *testing.T) {
+	// p = 0.1 -> d = -3/4 ln(1 - 4/30) ≈ 0.10732.
+	s := SiteCounts{Sites: 1000, Transitions: 60, Transversions: 40}
+	d, err := s.JC69()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.10732) > 1e-4 {
+		t.Errorf("JC69 = %v, want ~0.10732", d)
+	}
+	// Distance exceeds p (correction inflates).
+	if d <= 0.1 {
+		t.Error("JC69 must exceed raw mismatch fraction")
+	}
+}
+
+func TestJC69Saturation(t *testing.T) {
+	s := SiteCounts{Sites: 100, Transitions: 50, Transversions: 30}
+	if _, err := s.JC69(); err == nil {
+		t.Error("saturated input accepted")
+	}
+}
+
+func TestK2PKnownValues(t *testing.T) {
+	// Kimura's worked example regime: P=0.1, Q=0.05.
+	s := SiteCounts{Sites: 1000, Transitions: 100, Transversions: 50}
+	d, err := s.K2P()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -0.5*math.Log(1-0.2-0.05) - 0.25*math.Log(1-0.1)
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("K2P = %v, want %v", d, want)
+	}
+	// K2P >= JC69 when transitions dominate.
+	jc, _ := s.JC69()
+	if d < jc {
+		t.Errorf("K2P %v < JC69 %v with transition excess", d, jc)
+	}
+}
+
+func TestK2PSaturation(t *testing.T) {
+	s := SiteCounts{Sites: 100, Transitions: 45, Transversions: 10}
+	if _, err := s.K2P(); err == nil {
+		t.Error("saturated transitions accepted")
+	}
+}
+
+func TestZeroDistance(t *testing.T) {
+	s := SiteCounts{Sites: 100}
+	if d, err := s.JC69(); err != nil || d != 0 {
+		t.Errorf("JC69 identical = %v, %v", d, err)
+	}
+	if d, err := s.K2P(); err != nil || d != 0 {
+		t.Errorf("K2P identical = %v, %v", d, err)
+	}
+}
+
+func TestNeighborJoiningFourTaxa(t *testing.T) {
+	// Additive tree: ((a:1,b:2):1,(c:3,d:4)) with internal edge 1.
+	// Pairwise distances from the tree.
+	names := []string{"a", "b", "c", "d"}
+	dist := [][]float64{
+		{0, 3, 5, 6},
+		{3, 0, 6, 7},
+		{5, 6, 0, 7},
+		{6, 7, 0 + 7, 0},
+	}
+	dist[2][3] = 7
+	dist[3][2] = 7
+	root, err := NeighborJoining(names, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := root.Newick()
+	for _, taxon := range names {
+		if !strings.Contains(nw, taxon) {
+			t.Fatalf("Newick missing taxon %s: %s", taxon, nw)
+		}
+	}
+	// NJ recovers additive trees exactly: leaf-to-leaf path lengths in
+	// the reconstructed tree must equal the input distances.
+	for i := range names {
+		for j := range names {
+			if i == j {
+				continue
+			}
+			got := pathLen(root, names[i], names[j])
+			if math.Abs(got-dist[i][j]) > 1e-9 {
+				t.Errorf("tree distance %s-%s = %v, want %v (%s)",
+					names[i], names[j], got, dist[i][j], nw)
+			}
+		}
+	}
+}
+
+// pathLen computes the path length between two leaves of a rooted tree.
+func pathLen(root *Node, a, b string) float64 {
+	// depth returns the distance from n to the named leaf, or -1.
+	var depth func(n *Node, name string) float64
+	depth = func(n *Node, name string) float64 {
+		if n == nil {
+			return -1
+		}
+		if n.Left == nil && n.Right == nil {
+			if n.Name == name {
+				return 0
+			}
+			return -1
+		}
+		if d := depth(n.Left, name); d >= 0 {
+			return d + n.LeftLen
+		}
+		if d := depth(n.Right, name); d >= 0 {
+			return d + n.RightLen
+		}
+		return -1
+	}
+	// LCA-based: find the deepest node containing both.
+	var walk func(n *Node) float64
+	walk = func(n *Node) float64 {
+		if n == nil || (n.Left == nil && n.Right == nil) {
+			return -1
+		}
+		if d := walk(n.Left); d >= 0 {
+			return d
+		}
+		if d := walk(n.Right); d >= 0 {
+			return d
+		}
+		da, db := depth(n, a), depth(n, b)
+		if da >= 0 && db >= 0 {
+			return da + db
+		}
+		return -1
+	}
+	return walk(root)
+}
+
+func TestNeighborJoiningTwoTaxa(t *testing.T) {
+	root, err := NeighborJoining([]string{"x", "y"}, [][]float64{{0, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.LeftLen+root.RightLen != 2 {
+		t.Errorf("branch lengths %v + %v != 2", root.LeftLen, root.RightLen)
+	}
+}
+
+func TestNeighborJoiningErrors(t *testing.T) {
+	if _, err := NeighborJoining([]string{"a"}, [][]float64{{0}}); err == nil {
+		t.Error("single taxon accepted")
+	}
+	if _, err := NeighborJoining([]string{"a", "b"}, [][]float64{{0, 1}}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, err := NeighborJoining([]string{"a", "b"}, [][]float64{{0, 1}, {1}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestNewickLeaf(t *testing.T) {
+	n := &Node{Name: "solo"}
+	if got := n.Newick(); got != "solo;" {
+		t.Errorf("Newick = %q", got)
+	}
+}

@@ -1,0 +1,243 @@
+// Package protein implements translated (amino-acid space) sequence
+// search — the paper's stated future work (Section IX: "A future
+// version of Darwin-WGA will also allow for TBLASTX-like search in the
+// amino acid space for protein-coding genes") and the tool its
+// evaluation leans on (TBLASTX establishes the orthologous-exon
+// denominator of Table III). It provides the standard genetic code,
+// six-frame translation, the BLOSUM62 substitution matrix, and a
+// translated Smith-Waterman search that aligns two DNA sequences in
+// protein space.
+package protein
+
+import (
+	"fmt"
+
+	"darwinwga/internal/genome"
+)
+
+// StopAA is the amino-acid byte used for stop codons.
+const StopAA = '*'
+
+// UnknownAA marks codons containing N.
+const UnknownAA = 'X'
+
+// codonTable is the standard genetic code, indexed by the 6-bit packed
+// codon (2 bits per base, ACGT order).
+var codonTable [64]byte
+
+func init() {
+	// Laid out by first base (A,C,G,T), then second, then third.
+	code := "" +
+		"KNKNTTTTRSRSIIMI" + // Axx
+		"QHQHPPPPRRRRLLLL" + // Cxx
+		"EDEDAAAAGGGGVVVV" + // Gxx
+		"*Y*YSSSS*CWCLFLF" //   Txx
+	for i := 0; i < 64; i++ {
+		codonTable[i] = code[i]
+	}
+}
+
+// TranslateCodon returns the amino acid for three DNA bases.
+func TranslateCodon(a, b, c byte) byte {
+	ca, cb, cc := genome.EncodeBase(a), genome.EncodeBase(b), genome.EncodeBase(c)
+	if ca >= genome.CodeN || cb >= genome.CodeN || cc >= genome.CodeN {
+		return UnknownAA
+	}
+	return codonTable[int(ca)<<4|int(cb)<<2|int(cc)]
+}
+
+// Translate translates a DNA sequence in reading frame 0; trailing
+// partial codons are dropped.
+func Translate(dna []byte) []byte {
+	out := make([]byte, 0, len(dna)/3)
+	for i := 0; i+3 <= len(dna); i += 3 {
+		out = append(out, TranslateCodon(dna[i], dna[i+1], dna[i+2]))
+	}
+	return out
+}
+
+// Frame identifies one of the six reading frames: +1,+2,+3 on the
+// forward strand and -1,-2,-3 on the reverse complement.
+type Frame int8
+
+// Frames lists all six frames in TBLASTX order.
+var Frames = []Frame{1, 2, 3, -1, -2, -3}
+
+// TranslateFrame translates dna in the given frame.
+func TranslateFrame(dna []byte, f Frame) ([]byte, error) {
+	switch {
+	case f >= 1 && f <= 3:
+		return Translate(dna[f-1:]), nil
+	case f <= -1 && f >= -3:
+		rc := genome.ReverseComplement(dna)
+		return Translate(rc[-f-1:]), nil
+	default:
+		return nil, fmt.Errorf("protein: invalid frame %d", f)
+	}
+}
+
+// SixFrames translates dna in every frame.
+func SixFrames(dna []byte) map[Frame][]byte {
+	out := make(map[Frame][]byte, 6)
+	for _, f := range Frames {
+		aa, _ := TranslateFrame(dna, f)
+		out[f] = aa
+	}
+	return out
+}
+
+// aaIndex maps the 20 amino acids (plus * and X) to matrix indices.
+const aaOrder = "ARNDCQEGHILKMFPSTWYV"
+
+var aaIndex [256]int8
+
+func init() {
+	for i := range aaIndex {
+		aaIndex[i] = -1
+	}
+	for i := 0; i < len(aaOrder); i++ {
+		aaIndex[aaOrder[i]] = int8(i)
+	}
+}
+
+// blosum62 is the standard BLOSUM62 matrix in aaOrder.
+var blosum62 = [20][20]int8{
+	{4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+	{-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+	{-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+	{-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+	{0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+	{-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+	{-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+	{0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+	{-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+	{-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+	{-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+	{-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+	{-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+	{-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+	{-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+	{1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+	{0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+	{-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+	{-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -2},
+	{0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -2, 4},
+}
+
+// Score returns the BLOSUM62 score of two amino acids. Stops pair
+// harshly (-4 against everything); X scores -1.
+func Score(a, b byte) int32 {
+	ia, ib := aaIndex[a], aaIndex[b]
+	if a == StopAA || b == StopAA {
+		return -4
+	}
+	if ia < 0 || ib < 0 {
+		return -1
+	}
+	return int32(blosum62[ia][ib])
+}
+
+// Hit is a translated local alignment between two DNA sequences.
+type Hit struct {
+	// Score is the BLOSUM62 Smith-Waterman score in protein space.
+	Score int32
+	// TFrame and QFrame are the reading frames.
+	TFrame, QFrame Frame
+	// TStart/TEnd and QStart/QEnd are amino-acid coordinates within the
+	// translated frames.
+	TStart, TEnd int
+	QStart, QEnd int
+}
+
+// SearchParams tunes the translated search.
+type SearchParams struct {
+	// GapOpen and GapExtend are protein-space gap costs (defaults 11/1,
+	// BLAST's BLOSUM62 defaults).
+	GapOpen, GapExtend int32
+	// MinScore drops hits below this score (default 0: keep best only).
+	MinScore int32
+}
+
+// DefaultSearchParams returns BLAST-like defaults.
+func DefaultSearchParams() SearchParams {
+	return SearchParams{GapOpen: 11, GapExtend: 1}
+}
+
+// Search aligns every target frame against every query frame (36
+// combinations, as TBLASTX does) and returns the best hit, plus all
+// hits meeting MinScore when it is positive.
+func Search(targetDNA, queryDNA []byte, p SearchParams) (best Hit, hits []Hit) {
+	if p.GapOpen == 0 {
+		p.GapOpen = 11
+	}
+	if p.GapExtend == 0 {
+		p.GapExtend = 1
+	}
+	tFrames := SixFrames(targetDNA)
+	qFrames := SixFrames(queryDNA)
+	for _, tf := range Frames {
+		for _, qf := range Frames {
+			h := swProtein(tFrames[tf], qFrames[qf], p)
+			h.TFrame, h.QFrame = tf, qf
+			if h.Score > best.Score {
+				best = h
+			}
+			if p.MinScore > 0 && h.Score >= p.MinScore {
+				hits = append(hits, h)
+			}
+		}
+	}
+	return best, hits
+}
+
+// swProtein is an affine-gap local DP over amino-acid sequences
+// (score and end positions only; translated searches need no
+// traceback).
+func swProtein(target, query []byte, p SearchParams) Hit {
+	n, m := len(target), len(query)
+	if n == 0 || m == 0 {
+		return Hit{}
+	}
+	const negInf = int32(-1 << 29)
+	vPrev := make([]int32, m+1)
+	vCur := make([]int32, m+1)
+	dPrev := make([]int32, m+1)
+	dCur := make([]int32, m+1)
+	for j := 0; j <= m; j++ {
+		dPrev[j] = negInf
+	}
+	var best Hit
+	for i := 1; i <= n; i++ {
+		iRow := negInf
+		vCur[0] = 0
+		dCur[0] = negInf
+		ta := target[i-1]
+		for j := 1; j <= m; j++ {
+			iRow = max(vCur[j-1]-p.GapOpen, iRow-p.GapExtend)
+			dCur[j] = max(vPrev[j]-p.GapOpen, dPrev[j]-p.GapExtend)
+			v := vPrev[j-1] + Score(ta, query[j-1])
+			if dCur[j] > v {
+				v = dCur[j]
+			}
+			if iRow > v {
+				v = iRow
+			}
+			if v < 0 {
+				v = 0
+			}
+			vCur[j] = v
+			if v > best.Score {
+				best.Score = v
+				best.TEnd, best.QEnd = i, j
+			}
+		}
+		vPrev, vCur = vCur, vPrev
+		dPrev, dCur = dCur, dPrev
+	}
+	// Approximate starts by the aligned span (exact starts would need a
+	// traceback, which translated filtering does not require).
+	span := min(best.TEnd, best.QEnd)
+	best.TStart = best.TEnd - span
+	best.QStart = best.QEnd - span
+	return best
+}

@@ -1,0 +1,155 @@
+package protein
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"darwinwga/internal/genome"
+)
+
+func TestTranslateCodonKnown(t *testing.T) {
+	cases := map[string]byte{
+		"ATG": 'M', "TGG": 'W', "AAA": 'K', "TTT": 'F',
+		"TAA": '*', "TAG": '*', "TGA": '*',
+		"GGG": 'G', "CCC": 'P', "ATT": 'I', "ATA": 'I',
+		"AGA": 'R', "CGA": 'R', "TCA": 'S', "AGC": 'S',
+	}
+	for codon, want := range cases {
+		if got := TranslateCodon(codon[0], codon[1], codon[2]); got != want {
+			t.Errorf("TranslateCodon(%s) = %c, want %c", codon, got, want)
+		}
+	}
+	if got := TranslateCodon('A', 'N', 'G'); got != UnknownAA {
+		t.Errorf("codon with N = %c, want X", got)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	if got := Translate([]byte("ATGAAATAG")); string(got) != "MK*" {
+		t.Errorf("Translate = %s, want MK*", got)
+	}
+	// Partial trailing codon dropped.
+	if got := Translate([]byte("ATGAA")); string(got) != "M" {
+		t.Errorf("Translate partial = %s, want M", got)
+	}
+}
+
+func TestTranslateFrames(t *testing.T) {
+	dna := []byte("ATGAAATTTGGG")
+	f1, err := TranslateFrame(dna, 1)
+	if err != nil || string(f1) != "MKFG" {
+		t.Errorf("frame +1 = %s (%v)", f1, err)
+	}
+	f2, _ := TranslateFrame(dna, 2)
+	if !bytes.Equal(f2, Translate(dna[1:])) {
+		t.Errorf("frame +2 = %s, want %s", f2, Translate(dna[1:]))
+	}
+	// Reverse frames translate the reverse complement.
+	rc := genome.ReverseComplement(dna)
+	fm1, _ := TranslateFrame(dna, -1)
+	if !bytes.Equal(fm1, Translate(rc)) {
+		t.Errorf("frame -1 = %s, want %s", fm1, Translate(rc))
+	}
+	if _, err := TranslateFrame(dna, 4); err == nil {
+		t.Error("invalid frame accepted")
+	}
+	if got := SixFrames(dna); len(got) != 6 {
+		t.Errorf("SixFrames returned %d frames", len(got))
+	}
+}
+
+func TestBlosumScores(t *testing.T) {
+	cases := []struct {
+		a, b byte
+		want int32
+	}{
+		{'A', 'A', 4}, {'W', 'W', 11}, {'C', 'C', 9},
+		{'R', 'K', 2}, {'I', 'V', 3}, {'W', 'D', -4},
+		{'A', 'R', -1},
+	}
+	for _, c := range cases {
+		if got := Score(c.a, c.b); got != c.want {
+			t.Errorf("Score(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Score(c.b, c.a); got != c.want {
+			t.Errorf("Score not symmetric for %c,%c", c.a, c.b)
+		}
+	}
+	if Score('*', 'A') != -4 || Score('X', 'A') != -1 {
+		t.Error("stop/unknown scoring wrong")
+	}
+}
+
+func TestSearchFindsCodingHomology(t *testing.T) {
+	// Build a "gene": a protein-coding sequence, then a copy with
+	// synonymous-ish DNA divergence (third positions randomized), which
+	// preserves much of the protein but only ~2/3 of the DNA.
+	rng := rand.New(rand.NewSource(1))
+	codons := []string{"ATG", "AAA", "GAA", "GAT", "TGG", "TTT", "CTG", "CAC", "GGC", "CGT"}
+	var tDNA, qDNA []byte
+	for i := 0; i < 60; i++ {
+		c := codons[rng.Intn(len(codons))]
+		tDNA = append(tDNA, c...)
+		// Mutate the third base (usually synonymous).
+		q := []byte(c)
+		if rng.Float64() < 0.8 {
+			q[2] = "ACGT"[rng.Intn(4)]
+		}
+		qDNA = append(qDNA, q...)
+	}
+	best, _ := Search(tDNA, qDNA, DefaultSearchParams())
+	if best.Score <= 0 {
+		t.Fatal("no translated hit found")
+	}
+	if best.TFrame != 1 || best.QFrame != 1 {
+		t.Errorf("best frames = %d/%d, want +1/+1", best.TFrame, best.QFrame)
+	}
+	// The protein-space alignment must span most of the 60 codons.
+	if best.TEnd-best.TStart < 40 {
+		t.Errorf("hit spans only %d aa", best.TEnd-best.TStart)
+	}
+}
+
+func TestSearchRejectsRandomDNA(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func() []byte {
+		out := make([]byte, 300)
+		for i := range out {
+			out[i] = "ACGT"[rng.Intn(4)]
+		}
+		return out
+	}
+	best, _ := Search(mk(), mk(), DefaultSearchParams())
+	// Random 100-aa sequences should only reach modest local scores.
+	if best.Score > 60 {
+		t.Errorf("random DNA scored %d in protein space", best.Score)
+	}
+}
+
+func TestSearchMinScoreCollectsHits(t *testing.T) {
+	dna := []byte("ATGAAAGAAGATTGGTTTCTGCACGGCCGTATGAAAGAAGATTGGTTTCTGCACGGCCGT")
+	p := DefaultSearchParams()
+	p.MinScore = 20
+	_, hits := Search(dna, dna, p)
+	if len(hits) == 0 {
+		t.Error("no hits collected above MinScore")
+	}
+	for _, h := range hits {
+		if h.Score < p.MinScore {
+			t.Errorf("hit below MinScore: %+v", h)
+		}
+	}
+}
+
+func TestFrameOffsetsDiffer(t *testing.T) {
+	dna := []byte("ATGATGATGATG")
+	f1, _ := TranslateFrame(dna, 1)
+	f2, _ := TranslateFrame(dna, 2)
+	if string(f1) != "MMMM" {
+		t.Errorf("frame 1 = %s", f1)
+	}
+	if string(f2) == string(f1) {
+		t.Error("frames 1 and 2 identical")
+	}
+}

@@ -1,0 +1,128 @@
+package seed
+
+import (
+	"fmt"
+
+	"darwinwga/internal/genome"
+)
+
+// Index is a direct-addressed seed position table over a target
+// sequence: for every seed key it stores the sorted list of target
+// positions whose window produces that key. This mirrors the seed
+// position table Darwin keeps in DRAM. The index is immutable after
+// construction and safe for concurrent lookups.
+type Index struct {
+	shape *Shape
+	// starts has 4^Weight+1 entries; bucket k occupies
+	// positions[starts[k]:starts[k+1]].
+	starts    []uint32
+	positions []uint32
+	// maxFreq masks buckets with more than this many positions (0 = no
+	// masking). Over-represented seeds come from repeats and would
+	// otherwise flood downstream stages — same rationale as LASTZ's word
+	// masking.
+	maxFreq int
+
+	targetLen int
+}
+
+// IndexOptions configures index construction.
+type IndexOptions struct {
+	// MaxFreq masks seed keys occurring more than this many times in the
+	// target (0 disables masking).
+	MaxFreq int
+}
+
+// BuildIndex constructs the position table for target under the shape.
+func BuildIndex(target []byte, shape *Shape, opts IndexOptions) (*Index, error) {
+	size, err := shape.TableSize()
+	if err != nil {
+		return nil, err
+	}
+	if len(target) > 1<<31 {
+		return nil, fmt.Errorf("seed: target longer than 2^31 bases")
+	}
+	ix := &Index{
+		shape:     shape,
+		starts:    make([]uint32, size+1),
+		maxFreq:   opts.MaxFreq,
+		targetLen: len(target),
+	}
+	counts := ix.starts[1:] // counts[k] accumulates into starts[k+1]
+	nPos := 0
+	last := len(target) - shape.Span
+	for pos := 0; pos <= last; pos++ {
+		if key, ok := shape.Key(target, pos); ok {
+			counts[key]++
+			nPos++
+		}
+	}
+	// Prefix-sum counts into bucket starts.
+	var sum uint32
+	for k := range counts {
+		sum += counts[k]
+		counts[k] = sum
+	}
+	// starts[0] is already 0; starts[k+1] now holds the end of bucket k.
+	ix.positions = make([]uint32, nPos)
+	// Fill backwards within each bucket so positions end up ascending.
+	for pos := last; pos >= 0; pos-- {
+		if key, ok := shape.Key(target, pos); ok {
+			counts[key]--
+			ix.positions[counts[key]] = uint32(pos)
+		}
+	}
+	// counts[k] (== starts[k+1] before filling) has been decremented down
+	// to the bucket start; shift the starts array back into place.
+	// After the fill, starts[k+1] holds bucket k's START. Rebuild ends.
+	// Simplest correct fix: recompute via a second prefix pass.
+	// (starts[0] = 0 is bucket 0's start, which equals counts[-1]; the
+	// array currently holds starts, we need [start_0, start_1, ...,
+	// total]. counts[k] = start of bucket k, so starts = [0-shifted].)
+	// Move every entry down one slot and append the total.
+	copy(ix.starts[0:], ix.starts[1:])
+	ix.starts[size] = uint32(nPos)
+	return ix, nil
+}
+
+// Shape returns the seed shape the index was built with.
+func (ix *Index) Shape() *Shape { return ix.shape }
+
+// TargetLen returns the length of the indexed target.
+func (ix *Index) TargetLen() int { return ix.targetLen }
+
+// Positions returns the target positions whose seed window hashes to
+// key, in ascending order. Buckets masked by MaxFreq return nil.
+func (ix *Index) Positions(key genome.KmerKey) []uint32 {
+	lo, hi := ix.starts[key], ix.starts[key+1]
+	if ix.maxFreq > 0 && int(hi-lo) > ix.maxFreq {
+		return nil
+	}
+	return ix.positions[lo:hi]
+}
+
+// RawPositions ignores frequency masking; diagnostics only.
+func (ix *Index) RawPositions(key genome.KmerKey) []uint32 {
+	return ix.positions[ix.starts[key]:ix.starts[key+1]]
+}
+
+// Stats summarizes the index for logging.
+func (ix *Index) Stats() (buckets, filled, totalPositions, maskedBuckets int) {
+	buckets = len(ix.starts) - 1
+	for k := 0; k < buckets; k++ {
+		n := int(ix.starts[k+1] - ix.starts[k])
+		if n > 0 {
+			filled++
+		}
+		if ix.maxFreq > 0 && n > ix.maxFreq {
+			maskedBuckets++
+		}
+	}
+	totalPositions = len(ix.positions)
+	return
+}
+
+// MemoryBytes estimates the index's resident size.
+func (ix *Index) MemoryBytes() int {
+	return 4*len(ix.starts) + 4*len(ix.positions)
+}

@@ -1,0 +1,237 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: log-binned histograms (Figure 2's ungapped-block-size
+// distribution uses a logarithmic x-axis), summary statistics, and
+// fixed-width text table rendering for regenerating the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a log-binned histogram over positive integer values.
+type Histogram struct {
+	// base is the bin growth factor.
+	base float64
+	// counts[k] counts values v with base^k <= v < base^(k+1).
+	counts map[int]int
+	total  int
+}
+
+// NewLogHistogram creates a histogram with the given bin growth factor
+// (e.g. 2 for doubling bins).
+func NewLogHistogram(base float64) *Histogram {
+	if base <= 1 {
+		base = 2
+	}
+	return &Histogram{base: base, counts: make(map[int]int)}
+}
+
+// Add records a value; non-positive values are ignored.
+func (h *Histogram) Add(v int) {
+	if v <= 0 {
+		return
+	}
+	k := int(math.Floor(math.Log(float64(v)) / math.Log(h.base)))
+	h.counts[k]++
+	h.total++
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int { return h.total }
+
+// Bin describes one histogram bin.
+type Bin struct {
+	Lo, Hi int // value range [Lo, Hi)
+	Count  int
+	Frac   float64
+}
+
+// Bins returns the non-empty bins in ascending order.
+func (h *Histogram) Bins() []Bin {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Bin, 0, len(keys))
+	for _, k := range keys {
+		lo := int(math.Ceil(math.Pow(h.base, float64(k))))
+		hi := int(math.Ceil(math.Pow(h.base, float64(k+1))))
+		out = append(out, Bin{
+			Lo: lo, Hi: hi,
+			Count: h.counts[k],
+			Frac:  float64(h.counts[k]) / float64(h.total),
+		})
+	}
+	return out
+}
+
+// FracBelow returns the fraction of recorded values < x (bin-resolution
+// approximation: bins entirely below x count fully, the straddling bin
+// counts proportionally).
+func (h *Histogram) FracBelow(x int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := 0.0
+	for _, b := range h.Bins() {
+		switch {
+		case b.Hi <= x:
+			n += float64(b.Count)
+		case b.Lo < x:
+			n += float64(b.Count) * float64(x-b.Lo) / float64(b.Hi-b.Lo)
+		}
+	}
+	return n / float64(h.total)
+}
+
+// Render draws the histogram as ASCII art, one row per bin.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	bins := h.Bins()
+	maxCount := 0
+	for _, b := range bins {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bins {
+		bar := 0
+		if maxCount > 0 {
+			bar = b.Count * width / maxCount
+		}
+		fmt.Fprintf(&sb, "%8d-%-8d %7d (%5.1f%%) %s\n",
+			b.Lo, b.Hi-1, b.Count, 100*b.Frac, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N            int
+	Mean, Median float64
+	Min, Max     int
+	P10, P90     float64
+}
+
+// Summarize computes descriptive statistics of values.
+func Summarize(values []int) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]int{}, values...)
+	sort.Ints(sorted)
+	sum := 0
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		idx := p * float64(len(sorted)-1)
+		lo := int(idx)
+		if lo+1 >= len(sorted) {
+			return float64(sorted[len(sorted)-1])
+		}
+		frac := idx - float64(lo)
+		return float64(sorted[lo])*(1-frac) + float64(sorted[lo+1])*frac
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   float64(sum) / float64(len(sorted)),
+		Median: pct(0.5),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P10:    pct(0.1),
+		P90:    pct(0.9),
+	}
+}
+
+// Table renders rows of cells as a fixed-width text table with a header
+// rule, matching the style the experiment harness prints the paper's
+// tables in.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// F formats a float compactly (3 significant decimals, trailing zeros
+// trimmed).
+func F(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Comma formats an integer with thousands separators, as the paper's
+// tables do.
+func Comma(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogHistogramBinning(t *testing.T) {
+	h := NewLogHistogram(2)
+	for _, v := range []int{1, 1, 2, 3, 4, 7, 8, 100} {
+		h.Add(v)
+	}
+	h.Add(0)  // ignored
+	h.Add(-5) // ignored
+	if h.Total() != 8 {
+		t.Errorf("total = %d, want 8", h.Total())
+	}
+	bins := h.Bins()
+	// Bin [1,2) has two 1s; [2,4) has 2,3; [4,8) has 4,7; [8,16) has 8.
+	want := map[int]int{1: 2, 2: 2, 4: 2, 8: 1, 64: 1}
+	for _, b := range bins {
+		if n, ok := want[b.Lo]; !ok || n != b.Count {
+			t.Errorf("bin [%d,%d) count %d unexpected", b.Lo, b.Hi, b.Count)
+		}
+	}
+}
+
+func TestHistogramFracBelow(t *testing.T) {
+	h := NewLogHistogram(2)
+	for v := 1; v <= 64; v++ {
+		h.Add(v)
+	}
+	f := h.FracBelow(32)
+	if f < 0.4 || f > 0.6 {
+		t.Errorf("FracBelow(32) = %v, want ~0.5", f)
+	}
+	if h.FracBelow(1) != 0 {
+		t.Errorf("FracBelow(1) = %v", h.FracBelow(1))
+	}
+	if got := h.FracBelow(1000); got != 1 {
+		t.Errorf("FracBelow(1000) = %v", got)
+	}
+	empty := NewLogHistogram(2)
+	if empty.FracBelow(10) != 0 {
+		t.Error("empty histogram FracBelow != 0")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewLogHistogram(2)
+	for i := 0; i < 10; i++ {
+		h.Add(5)
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "100.0%") {
+		t.Errorf("render output unexpected:\n%s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 3 || s.Median != 3 {
+		t.Errorf("mean/median = %v/%v", s.Mean, s.Median)
+	}
+	if s.P10 >= s.P90 {
+		t.Errorf("P10 %v >= P90 %v", s.P10, s.P90)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty summary")
+	}
+	one := Summarize([]int{7})
+	if one.Median != 7 || one.P90 != 7 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Pair", "Matches", "Ratio")
+	tb.AddRow("ce11-cb4", "1,234", "3.12x")
+	tb.AddRow("dm6-dp4", "99") // short row padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Pair") || !strings.Contains(lines[0], "Ratio") {
+		t.Errorf("header line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule line: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "3.12x") {
+		t.Errorf("row line: %q", lines[2])
+	}
+}
+
+func TestComma(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		999:        "999",
+		1000:       "1,000",
+		1234567:    "1,234,567",
+		-9876543:   "-9,876,543",
+		1000000000: "1,000,000,000",
+	}
+	for n, want := range cases {
+		if got := Comma(n); got != want {
+			t.Errorf("Comma(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(3.1400) != "3.14" {
+		t.Errorf("F(3.14) = %q", F(3.14))
+	}
+	if F(2.0) != "2" {
+		t.Errorf("F(2.0) = %q", F(2.0))
+	}
+	if F(0.5) != "0.5" {
+		t.Errorf("F(0.5) = %q", F(0.5))
+	}
+}

@@ -1,0 +1,66 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"darwinwga/internal/align"
+)
+
+// Cross-check: replaying a real GACT-X tile's row widths through the
+// stripe schedule yields a cycle count consistent with both the
+// cells-based estimate and the software DP's cell count.
+func TestGACTXCyclesAgainstRealTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1920
+	target := make([]byte, n)
+	for i := range target {
+		target[i] = "ACGT"[rng.Intn(4)]
+	}
+	query := make([]byte, 0, n)
+	for _, b := range target { // ~10% substitutions, 1% indels
+		r := rng.Float64()
+		switch {
+		case r < 0.005:
+		case r < 0.01:
+			query = append(query, "ACGT"[rng.Intn(4)], b)
+		case r < 0.11:
+			query = append(query, "ACGT"[rng.Intn(4)])
+		default:
+			query = append(query, b)
+		}
+	}
+	xa := align.NewXDropAligner(align.DefaultScoring(), 9430)
+	res := xa.Align(target, query)
+	if res.Score <= 0 {
+		t.Fatal("tile did not align")
+	}
+	widths := xa.LastRowWidths(nil)
+	// Group rows into NPE-row stripes: a stripe's streamed column count
+	// is the max row width within it (columns stream once per stripe).
+	a := Array{NPE: 32, ClockHz: 150e6}
+	var stripeWidths []int
+	for i := 0; i < len(widths); i += a.NPE {
+		w := 0
+		for j := i; j < min(i+a.NPE, len(widths)); j++ {
+			if widths[j] > w {
+				w = widths[j]
+			}
+		}
+		stripeWidths = append(stripeWidths, w)
+	}
+	exact := a.GACTXTileCycles(stripeWidths, len(res.Ops))
+	est := a.GACTXTileCyclesFromCells(res.Cells, res.TEnd, len(res.Ops))
+	ratio := float64(est) / float64(exact)
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("estimate %d vs exact replay %d (ratio %.2f)", est, exact, ratio)
+	}
+	// Sanity: the tile must take at least one cycle per streamed column
+	// and fewer cycles than computing every cell serially.
+	if exact < int64(res.TEnd) {
+		t.Errorf("exact cycles %d below row count %d", exact, res.TEnd)
+	}
+	if exact > int64(res.Cells) {
+		t.Errorf("exact cycles %d exceed serial cell count %d (no speedup?)", exact, res.Cells)
+	}
+}

@@ -1,0 +1,103 @@
+// Package systolic models the linear systolic arrays of Section IV at
+// cycle granularity. A stripe of NPE query rows is processed per pass:
+// query characters are loaded into the PEs, target characters stream
+// through, and one anti-diagonal wavefront of NPE cells (scores + 4-bit
+// pointers) completes per cycle. The model reproduces the stripe
+// schedule of the RTL — including the BSW band's closed-form jstart and
+// jstop (equations 4 and 5) and GACT-X's data-dependent row windows —
+// so cycles-per-tile matches what the hardware would take, which is how
+// the paper derives its FPGA and ASIC throughput numbers.
+package systolic
+
+import "fmt"
+
+// Array describes one linear systolic array.
+type Array struct {
+	// NPE is the number of processing elements.
+	NPE int
+	// ClockHz is the operating frequency.
+	ClockHz float64
+}
+
+// Validate checks the array parameters.
+func (a Array) Validate() error {
+	if a.NPE < 1 || a.ClockHz <= 0 {
+		return fmt.Errorf("systolic: invalid array %+v", a)
+	}
+	return nil
+}
+
+// Fixed per-tile overheads, in cycles: configuration load plus the DRAM
+// round trip fetching the two sequence windows into BRAM.
+const (
+	tileSetupCycles = 64
+	dramFetchCycles = 256
+)
+
+// BSWTileCycles returns the cycle count for one banded Smith-Waterman
+// tile of edge tileSize with band radius band. The band makes jstart
+// and jstop closed-form functions of the stripe number (equations 4-5):
+// each stripe computes about NPE + 2*band columns, one column per cycle
+// after an NPE-cycle wavefront fill.
+func (a Array) BSWTileCycles(tileSize, band int) int64 {
+	if tileSize <= 0 {
+		return 0
+	}
+	stripes := (tileSize + a.NPE - 1) / a.NPE
+	var cycles int64 = tileSetupCycles + dramFetchCycles
+	for n := 1; n <= stripes; n++ {
+		jstart := max(0, (n-1)*a.NPE+1-band)
+		jstop := min(tileSize-1, n*a.NPE+band)
+		cols := jstop - jstart + 1
+		if cols < 0 {
+			cols = 0
+		}
+		// One column per cycle once the wavefront is full; NPE cycles of
+		// fill at the stripe start.
+		cycles += int64(cols + a.NPE)
+	}
+	return cycles
+}
+
+// BSWTileRate returns tiles/second for one array.
+func (a Array) BSWTileRate(tileSize, band int) float64 {
+	c := a.BSWTileCycles(tileSize, band)
+	if c == 0 {
+		return 0
+	}
+	return a.ClockHz / float64(c)
+}
+
+// GACTXTileCycles returns the cycle count for one GACT-X extension tile
+// given the observed DP shape: rowWidths[i] is the number of columns
+// row stripe i actually computed (data-dependent under X-drop), and
+// tracebackLen is the committed path length (the traceback logic emits
+// one pointer per cycle).
+func (a Array) GACTXTileCycles(rowWidths []int, tracebackLen int) int64 {
+	var cycles int64 = tileSetupCycles + dramFetchCycles
+	for _, w := range rowWidths {
+		cycles += int64(w + a.NPE)
+	}
+	cycles += int64(tracebackLen)
+	return cycles
+}
+
+// GACTXTileCyclesFromCells estimates the cycle count when only the
+// total computed cell count and row count are known (which is what the
+// software pipeline records): cells/NPE streaming cycles plus the
+// per-stripe fill and the traceback walk.
+func (a Array) GACTXTileCyclesFromCells(cells, rows, tracebackLen int) int64 {
+	stripes := (rows + a.NPE - 1) / a.NPE
+	if stripes == 0 {
+		stripes = 1
+	}
+	stream := int64(cells) / int64(a.NPE)
+	return tileSetupCycles + dramFetchCycles + stream + int64(stripes*a.NPE) + int64(tracebackLen)
+}
+
+// Seconds converts cycles to seconds on this array.
+func (a Array) Seconds(cycles int64) float64 { return float64(cycles) / a.ClockHz }
+
+// TracebackBRAMBytes returns the per-array traceback storage needed for
+// a worst-case tile: 4 bits per computed cell, bounded by tile area.
+func TracebackBRAMBytes(maxTileCells int) int { return (maxTileCells + 1) / 2 }

@@ -1,0 +1,264 @@
+// Package ucsc implements the UCSC Genome Browser interchange formats
+// the paper's toolchain produces and consumes: AXT (pairwise alignment
+// blocks, the input of axtChain) and the chain format (axtChain's
+// output, which the browser's chain tracks — Figure 3 — render).
+package ucsc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"darwinwga/internal/chain"
+)
+
+// AXTBlock is one AXT alignment record.
+type AXTBlock struct {
+	Number  int
+	TName   string
+	TStart  int // 1-based inclusive, per AXT convention
+	TEnd    int // inclusive
+	QName   string
+	QStart  int
+	QEnd    int
+	QStrand byte
+	Score   int64
+	TText   string
+	QText   string
+}
+
+// WriteAXT writes blocks in AXT format.
+func WriteAXT(w io.Writer, blocks []AXTBlock) error {
+	bw := bufio.NewWriter(w)
+	for i, b := range blocks {
+		if len(b.TText) != len(b.QText) {
+			return fmt.Errorf("ucsc: AXT block %d: unequal text lengths", i)
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %d %d %s %d %d %c %d\n%s\n%s\n\n",
+			b.Number, b.TName, b.TStart, b.TEnd, b.QName, b.QStart, b.QEnd,
+			b.QStrand, b.Score, b.TText, b.QText); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAXT parses AXT records.
+func ReadAXT(r io.Reader) ([]AXTBlock, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var blocks []AXTBlock
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 9 {
+			return nil, fmt.Errorf("ucsc: AXT header wants 9 fields, got %d: %q", len(f), line)
+		}
+		var b AXTBlock
+		var err error
+		if b.Number, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("ucsc: AXT number: %v", err)
+		}
+		b.TName = f[1]
+		b.TStart, _ = strconv.Atoi(f[2])
+		b.TEnd, _ = strconv.Atoi(f[3])
+		b.QName = f[4]
+		b.QStart, _ = strconv.Atoi(f[5])
+		b.QEnd, _ = strconv.Atoi(f[6])
+		b.QStrand = f[7][0]
+		if b.Score, err = strconv.ParseInt(f[8], 10, 64); err != nil {
+			return nil, fmt.Errorf("ucsc: AXT score: %v", err)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("ucsc: AXT block %d: missing target line", b.Number)
+		}
+		b.TText = strings.TrimSpace(sc.Text())
+		if !sc.Scan() {
+			return nil, fmt.Errorf("ucsc: AXT block %d: missing query line", b.Number)
+		}
+		b.QText = strings.TrimSpace(sc.Text())
+		if len(b.TText) != len(b.QText) {
+			return nil, fmt.Errorf("ucsc: AXT block %d: unequal text lengths", b.Number)
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, sc.Err()
+}
+
+// ChainHeader carries the chain-format header fields.
+type ChainHeader struct {
+	Score   int64
+	TName   string
+	TSize   int
+	TStart  int // 0-based half-open, chain convention
+	TEnd    int
+	QName   string
+	QSize   int
+	QStrand byte
+	QStart  int
+	QEnd    int
+	ID      int
+}
+
+// ChainRecord is one chain: a header plus the block-size/gap triples.
+type ChainRecord struct {
+	Header ChainHeader
+	// Sizes[i] is the length of ungapped block i; DT[i]/DQ[i] are the
+	// gaps after it on target and query (absent for the last block).
+	Sizes []int
+	DT    []int
+	DQ    []int
+}
+
+// FromChain converts a chain.Chain (with its coordinate metadata) to a
+// chain-format record. Each chain block becomes one ungapped size entry
+// spanning the block's target extent; the residue-level gaps inside
+// blocks are already part of the blocks' scores.
+func FromChain(c *chain.Chain, id int, tName string, tSize int, qName string, qSize int, strand byte) ChainRecord {
+	rec := ChainRecord{Header: ChainHeader{
+		Score: c.Score,
+		TName: tName, TSize: tSize, TStart: c.TStart(), TEnd: c.TEnd(),
+		QName: qName, QSize: qSize, QStrand: strand, QStart: c.QStart(), QEnd: c.QEnd(),
+		ID: id,
+	}}
+	for i, b := range c.Blocks {
+		rec.Sizes = append(rec.Sizes, b.TEnd-b.TStart)
+		if i+1 < len(c.Blocks) {
+			next := c.Blocks[i+1]
+			rec.DT = append(rec.DT, next.TStart-b.TEnd)
+			rec.DQ = append(rec.DQ, next.QStart-b.QEnd)
+		}
+	}
+	return rec
+}
+
+// WriteChains writes records in UCSC chain format.
+func WriteChains(w io.Writer, recs []ChainRecord) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		h := r.Header
+		if _, err := fmt.Fprintf(bw, "chain %d %s %d + %d %d %s %d %c %d %d %d\n",
+			h.Score, h.TName, h.TSize, h.TStart, h.TEnd,
+			h.QName, h.QSize, h.QStrand, h.QStart, h.QEnd, h.ID); err != nil {
+			return err
+		}
+		for i, size := range r.Sizes {
+			if i+1 < len(r.Sizes) {
+				fmt.Fprintf(bw, "%d\t%d\t%d\n", size, r.DT[i], r.DQ[i])
+			} else {
+				fmt.Fprintf(bw, "%d\n", size)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadChains parses UCSC chain format.
+func ReadChains(r io.Reader) ([]ChainRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var recs []ChainRecord
+	var cur *ChainRecord
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			cur = nil
+			continue
+		}
+		if strings.HasPrefix(line, "chain ") {
+			f := strings.Fields(line)
+			// chain score tName tSize tStrand tStart tEnd qName qSize
+			// qStrand qStart qEnd id -> 13 fields.
+			if len(f) != 13 {
+				return nil, fmt.Errorf("ucsc: chain header wants 13 fields, got %d", len(f))
+			}
+			var h ChainHeader
+			h.Score, _ = strconv.ParseInt(f[1], 10, 64)
+			h.TName = f[2]
+			h.TSize, _ = strconv.Atoi(f[3])
+			// f[4] is the target strand, always '+'.
+			h.TStart, _ = strconv.Atoi(f[5])
+			h.TEnd, _ = strconv.Atoi(f[6])
+			h.QName = f[7]
+			h.QSize, _ = strconv.Atoi(f[8])
+			h.QStrand = f[9][0]
+			h.QStart, _ = strconv.Atoi(f[10])
+			h.QEnd, _ = strconv.Atoi(f[11])
+			var err error
+			if h.ID, err = strconv.Atoi(f[12]); err != nil {
+				return nil, fmt.Errorf("ucsc: chain id: %v", err)
+			}
+			recs = append(recs, ChainRecord{Header: h})
+			cur = &recs[len(recs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("ucsc: chain data before header: %q", line)
+		}
+		f := strings.Fields(line)
+		size, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("ucsc: chain block size: %v", err)
+		}
+		cur.Sizes = append(cur.Sizes, size)
+		if len(f) == 3 {
+			dt, _ := strconv.Atoi(f[1])
+			dq, _ := strconv.Atoi(f[2])
+			cur.DT = append(cur.DT, dt)
+			cur.DQ = append(cur.DQ, dq)
+		} else if len(f) != 1 {
+			return nil, fmt.Errorf("ucsc: chain block line wants 1 or 3 fields: %q", line)
+		}
+	}
+	return recs, sc.Err()
+}
+
+// Validate checks a record's internal consistency: sizes and gaps must
+// add up to the header extents.
+func (r *ChainRecord) Validate() error {
+	if len(r.Sizes) == 0 {
+		return fmt.Errorf("ucsc: chain %d has no blocks", r.Header.ID)
+	}
+	if len(r.DT) != len(r.Sizes)-1 || len(r.DQ) != len(r.Sizes)-1 {
+		return fmt.Errorf("ucsc: chain %d: %d sizes but %d/%d gaps",
+			r.Header.ID, len(r.Sizes), len(r.DT), len(r.DQ))
+	}
+	tSpan, qSpan := 0, 0
+	for i, s := range r.Sizes {
+		tSpan += s
+		qSpan += s
+		if i < len(r.DT) {
+			tSpan += r.DT[i]
+			qSpan += r.DQ[i]
+		}
+	}
+	h := r.Header
+	if h.TStart+tSpan != h.TEnd {
+		return fmt.Errorf("ucsc: chain %d: target span %d != extent %d",
+			h.ID, tSpan, h.TEnd-h.TStart)
+	}
+	// Query spans differ when blocks are gapped at residue level; allow
+	// the recorded extent to exceed the pure-size sum.
+	if h.QStart+qSpan > h.QEnd+qSpanSlack(r) {
+		return fmt.Errorf("ucsc: chain %d: query span %d exceeds extent %d",
+			h.ID, qSpan, h.QEnd-h.QStart)
+	}
+	return nil
+}
+
+// qSpanSlack tolerates residue-level indels inside blocks (our chain
+// blocks are whole gapped alignments, unlike axtChain's strictly
+// ungapped boxes).
+func qSpanSlack(r *ChainRecord) int {
+	slack := 0
+	for _, s := range r.Sizes {
+		slack += s / 4
+	}
+	return slack + 64
+}

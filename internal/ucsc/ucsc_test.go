@@ -1,0 +1,150 @@
+package ucsc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"darwinwga/internal/chain"
+)
+
+func sampleAXT() []AXTBlock {
+	return []AXTBlock{
+		{Number: 0, TName: "chr1", TStart: 101, TEnd: 110, QName: "chr2",
+			QStart: 201, QEnd: 210, QStrand: '+', Score: 3500,
+			TText: "ACGTACGTAC", QText: "ACGTACGTAC"},
+		{Number: 1, TName: "chr1", TStart: 500, TEnd: 504, QName: "chr3",
+			QStart: 10, QEnd: 15, QStrand: '-', Score: 900,
+			TText: "AC-GTA", QText: "ACCGTA"},
+	}
+}
+
+func TestAXTRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAXT(&buf, sampleAXT()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAXT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleAXT()
+	if len(got) != len(want) {
+		t.Fatalf("got %d blocks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("block %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAXTRejectsMalformed(t *testing.T) {
+	if _, err := ReadAXT(strings.NewReader("0 chr1 1 2 chr2\nACGT\nACGT\n")); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, err := ReadAXT(strings.NewReader("0 chr1 1 4 chr2 1 4 + 100\nACGT\n")); err == nil {
+		t.Error("missing query line accepted")
+	}
+	if _, err := ReadAXT(strings.NewReader("0 chr1 1 4 chr2 1 4 + 100\nACGT\nACG\n")); err == nil {
+		t.Error("unequal texts accepted")
+	}
+	bad := sampleAXT()
+	bad[0].QText = "AC"
+	var buf bytes.Buffer
+	if err := WriteAXT(&buf, bad); err == nil {
+		t.Error("WriteAXT accepted unequal texts")
+	}
+}
+
+func testChain() *chain.Chain {
+	return &chain.Chain{
+		Score: 123456,
+		Blocks: []*chain.Block{
+			{TStart: 100, TEnd: 200, QStart: 1000, QEnd: 1100, Score: 5000, Matches: 95},
+			{TStart: 250, TEnd: 400, QStart: 1160, QEnd: 1310, Score: 7000, Matches: 140},
+		},
+	}
+}
+
+func TestFromChain(t *testing.T) {
+	rec := FromChain(testChain(), 7, "chrT", 10000, "chrQ", 20000, '+')
+	if rec.Header.Score != 123456 || rec.Header.ID != 7 {
+		t.Errorf("header: %+v", rec.Header)
+	}
+	if rec.Header.TStart != 100 || rec.Header.TEnd != 400 {
+		t.Errorf("target extent: %+v", rec.Header)
+	}
+	if len(rec.Sizes) != 2 || rec.Sizes[0] != 100 || rec.Sizes[1] != 150 {
+		t.Errorf("sizes: %v", rec.Sizes)
+	}
+	if len(rec.DT) != 1 || rec.DT[0] != 50 || rec.DQ[0] != 60 {
+		t.Errorf("gaps: %v %v", rec.DT, rec.DQ)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestChainRoundTrip(t *testing.T) {
+	recs := []ChainRecord{
+		FromChain(testChain(), 1, "chrT", 10000, "chrQ", 20000, '+'),
+		FromChain(testChain(), 2, "chrT", 10000, "chrQ2", 5000, '-'),
+	}
+	var buf bytes.Buffer
+	if err := WriteChains(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChains(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		if got[i].Header != recs[i].Header {
+			t.Errorf("record %d header:\n got %+v\nwant %+v", i, got[i].Header, recs[i].Header)
+		}
+		if len(got[i].Sizes) != len(recs[i].Sizes) {
+			t.Fatalf("record %d sizes: %v vs %v", i, got[i].Sizes, recs[i].Sizes)
+		}
+		for j := range recs[i].Sizes {
+			if got[i].Sizes[j] != recs[i].Sizes[j] {
+				t.Errorf("record %d size %d mismatch", i, j)
+			}
+		}
+		if err := got[i].Validate(); err != nil {
+			t.Errorf("record %d: %v", i, err)
+		}
+	}
+}
+
+func TestChainValidateCatchesCorruption(t *testing.T) {
+	rec := FromChain(testChain(), 1, "chrT", 10000, "chrQ", 20000, '+')
+	rec.Sizes[0] = 9999
+	if err := rec.Validate(); err == nil {
+		t.Error("corrupted sizes validated")
+	}
+	empty := ChainRecord{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty record validated")
+	}
+	rec = FromChain(testChain(), 1, "chrT", 10000, "chrQ", 20000, '+')
+	rec.DT = nil
+	if err := rec.Validate(); err == nil {
+		t.Error("missing gaps validated")
+	}
+}
+
+func TestReadChainsRejectsMalformed(t *testing.T) {
+	if _, err := ReadChains(strings.NewReader("100\n")); err == nil {
+		t.Error("data before header accepted")
+	}
+	if _, err := ReadChains(strings.NewReader("chain 1 2 3\n")); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, err := ReadChains(strings.NewReader("chain 10 t 100 + 0 50 q 100 + 0 50 1\n10 5\n")); err == nil {
+		t.Error("two-field block line accepted")
+	}
+}

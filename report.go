@@ -1,0 +1,199 @@
+package darwinwga
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"darwinwga/internal/chain"
+	"darwinwga/internal/core"
+	"darwinwga/internal/genome"
+	"darwinwga/internal/maf"
+)
+
+// Report is the outcome of a whole-assembly alignment: the raw HSPs in
+// the concatenated coordinate space, the chains built from them, and
+// enough metadata to write MAF with per-sequence names and coordinates.
+type Report struct {
+	// TargetName and QueryName label the two assemblies.
+	TargetName, QueryName string
+	// HSPs are all alignments; target coordinates address the
+	// concatenated target, query coordinates the (strand-oriented)
+	// concatenated query.
+	HSPs []HSP
+	// Chains are the AXTCHAIN-style chains, sorted by descending score.
+	Chains []Chain
+	// Workload and Timings aggregate the pipeline stages.
+	Workload Workload
+	Timings  core.Timings
+
+	target       []byte
+	query        []byte
+	targetStarts []int
+	queryStarts  []int
+	targetNames  []string
+	queryNames   []string
+}
+
+// AlignAssemblies aligns a query assembly against a target assembly:
+// the pipeline runs over concatenated sequences, then alignments are
+// chained per strand. The target index is built once per call; to
+// align many queries against one target, use NewAligner directly.
+func AlignAssemblies(target, query *Assembly, cfg Config) (*Report, error) {
+	tBases, tStarts := genome.Concat(target.Seqs)
+	qBases, qStarts := genome.Concat(query.Seqs)
+	aligner, err := core.NewAligner(tBases, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := aligner.Align(qBases)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		TargetName:   target.Name,
+		QueryName:    query.Name,
+		HSPs:         res.HSPs,
+		Workload:     res.Workload,
+		Timings:      res.Timings,
+		target:       tBases,
+		query:        qBases,
+		targetStarts: tStarts,
+		queryStarts:  qStarts,
+	}
+	for _, s := range target.Seqs {
+		rep.targetNames = append(rep.targetNames, s.Name)
+	}
+	for _, s := range query.Seqs {
+		rep.queryNames = append(rep.queryNames, s.Name)
+	}
+	rep.Chains = BuildChains(res.HSPs, rep.target, rep.query, chain.DefaultOptions())
+	return rep, nil
+}
+
+// BuildChains chains HSPs per query strand and returns all chains
+// sorted by descending score. The sequences are needed to tally
+// matched bases and ungapped block lengths per alignment.
+func BuildChains(hsps []HSP, target, query []byte, opts chain.Options) []Chain {
+	rc := []byte(nil)
+	var byStrand [2][]*chain.Block
+	for i := range hsps {
+		h := &hsps[i]
+		q := query
+		si := 0
+		if h.Strand == '-' {
+			if rc == nil {
+				rc = genome.ReverseComplement(query)
+			}
+			q = rc
+			si = 1
+		}
+		matches, _, _ := h.Counts(target, q)
+		byStrand[si] = append(byStrand[si], &chain.Block{
+			TStart: h.TStart, TEnd: h.TEnd,
+			QStart: h.QStart, QEnd: h.QEnd,
+			Score:          h.Score,
+			Matches:        matches,
+			UngappedBlocks: h.UngappedBlocks(),
+		})
+	}
+	var chains []Chain
+	for _, blocks := range byStrand {
+		chains = append(chains, chain.Build(blocks, opts)...)
+	}
+	sort.Slice(chains, func(i, j int) bool { return chains[i].Score > chains[j].Score })
+	return chains
+}
+
+// TotalMatches sums matched base pairs over all chains (Table III's
+// matched-base-pairs metric).
+func (r *Report) TotalMatches() int { return chain.TotalMatches(r.Chains) }
+
+// TopChainScores returns the scores of the k best chains.
+func (r *Report) TopChainScores(k int) []int64 { return chain.TopScores(r.Chains, k) }
+
+// SumTopChainScores sums the k best chain scores (the paper compares
+// the top 10).
+func (r *Report) SumTopChainScores(k int) int64 { return chain.SumTopScores(r.Chains, k) }
+
+// WriteMAF writes every HSP as a pairwise MAF block with per-sequence
+// names and strand-correct query coordinates.
+func (r *Report) WriteMAF(w io.Writer) error {
+	mw := maf.NewWriter(w)
+	rc := []byte(nil)
+	for i := range r.HSPs {
+		h := &r.HSPs[i]
+		q := r.query
+		if h.Strand == '-' {
+			if rc == nil {
+				rc = genome.ReverseComplement(r.query)
+			}
+			q = rc
+		}
+		tName, tOff := locate(r.targetNames, r.targetStarts, h.TStart)
+		var qName string
+		var qOff int
+		if h.Strand == '-' {
+			// Reverse-complement space: sequence k's block occupies
+			// [L-end_k, L-start_k), with sequences in reverse order.
+			qName, qOff = locateRC(r.queryNames, r.queryStarts, len(r.query), h.QStart)
+		} else {
+			qName, qOff = locate(r.queryNames, r.queryStarts, h.QStart)
+		}
+		ops := make([]byte, len(h.Ops))
+		for k, op := range h.Ops {
+			ops[k] = byte(op)
+		}
+		ttext, qtext := maf.RenderTexts(r.target, q, h.TStart, h.QStart, ops)
+		block := &maf.Block{
+			Score:  int64(h.Score),
+			TName:  r.TargetName + "." + tName,
+			TStart: h.TStart - tOff, TSize: h.TSpan(), TSrc: sizeOf(r.targetStarts, r.targetNames, tName),
+			TText:  ttext,
+			QName:  r.QueryName + "." + qName,
+			QStart: h.QStart - qOff, QSize: h.QSpan(), QSrc: sizeOf(r.queryStarts, r.queryNames, qName),
+			QStrand: h.Strand,
+			QText:   qtext,
+		}
+		if err := mw.Write(block); err != nil {
+			return fmt.Errorf("darwinwga: writing MAF block %d: %w", i, err)
+		}
+	}
+	return mw.Flush()
+}
+
+// locate maps a concatenated-space position to (sequence name, its
+// start offset).
+func locate(names []string, starts []int, pos int) (string, int) {
+	i := sort.SearchInts(starts, pos+1) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(names) {
+		i = len(names) - 1
+	}
+	return names[i], starts[i]
+}
+
+// locateRC maps a reverse-complement-space position to (sequence name,
+// the sequence's start offset in RC space).
+func locateRC(names []string, starts []int, totalLen, pos int) (string, int) {
+	fwd := totalLen - 1 - pos
+	i := sort.SearchInts(starts, fwd+1) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(names) {
+		i = len(names) - 1
+	}
+	return names[i], totalLen - starts[i+1]
+}
+
+func sizeOf(starts []int, names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return starts[i+1] - starts[i]
+		}
+	}
+	return 0
+}
