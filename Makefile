@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test test-race ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The robustness suite (cancellation, budgets, fault-injected panics in
+# worker goroutines) is only meaningful under the race detector. -short
+# skips the end-to-end experiment renders, which the race detector
+# slows by an order of magnitude; the pipeline's race coverage comes
+# from the internal/core robustness suite, which always runs.
+test-race:
+	$(GO) test -race -short -timeout 30m ./...
+
+ci: build vet test test-race

@@ -9,63 +9,100 @@
 //
 // The second form synthesizes one of the paper's evaluation species
 // pairs instead of reading FASTA files.
+//
+// A run can be bounded with -timeout (soft wall-clock budget) or
+// interrupted with SIGINT/SIGTERM; in both cases the partial alignments
+// computed so far are still written, and the summary is tagged
+// (truncated).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"darwinwga"
 	"darwinwga/internal/stats"
 )
 
+// options collects every flag so run stays testable without a real
+// command line.
+type options struct {
+	targetPath, queryPath string
+	pairName              string
+	scale                 float64
+	outPath               string
+	ungapped              bool
+	hf, he                int32
+	workers               int
+	oneStrand             bool
+	topChains             int
+	timeout               time.Duration
+}
+
 func main() {
 	var (
-		targetPath = flag.String("target", "", "target genome FASTA")
-		queryPath  = flag.String("query", "", "query genome FASTA")
-		pairName   = flag.String("pair", "", "synthesize a standard pair instead (ce11-cb4, dm6-dp4, dm6-droYak2, dm6-droSim1)")
-		scale      = flag.Float64("scale", 0.01, "genome scale for -pair (fraction of real assembly size)")
-		outPath    = flag.String("out", "", "MAF output file (default stdout)")
-		ungapped   = flag.Bool("ungapped", false, "use LASTZ-style ungapped filtering (baseline mode)")
-		hf         = flag.Int("hf", 0, "filter threshold Hf (0 = configuration default)")
-		he         = flag.Int("he", 0, "extension threshold He (0 = configuration default)")
-		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		oneStrand  = flag.Bool("forward-only", false, "skip the reverse-complement strand")
-		topChains  = flag.Int("top", 10, "number of top chains to summarize")
+		opts options
+		hf   = flag.Int("hf", 0, "filter threshold Hf (0 = configuration default)")
+		he   = flag.Int("he", 0, "extension threshold He (0 = configuration default)")
 	)
+	flag.StringVar(&opts.targetPath, "target", "", "target genome FASTA")
+	flag.StringVar(&opts.queryPath, "query", "", "query genome FASTA")
+	flag.StringVar(&opts.pairName, "pair", "", "synthesize a standard pair instead (ce11-cb4, dm6-dp4, dm6-droYak2, dm6-droSim1)")
+	flag.Float64Var(&opts.scale, "scale", 0.01, "genome scale for -pair (fraction of real assembly size)")
+	flag.StringVar(&opts.outPath, "out", "", "MAF output file (default stdout)")
+	flag.BoolVar(&opts.ungapped, "ungapped", false, "use LASTZ-style ungapped filtering (baseline mode)")
+	flag.IntVar(&opts.workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	flag.BoolVar(&opts.oneStrand, "forward-only", false, "skip the reverse-complement strand")
+	flag.IntVar(&opts.topChains, "top", 10, "number of top chains to summarize")
+	flag.DurationVar(&opts.timeout, "timeout", 0, "soft wall-clock budget; on expiry the partial result is still written (0 = none)")
 	flag.Parse()
+	opts.hf, opts.he = int32(*hf), int32(*he)
 
-	if err := run(*targetPath, *queryPath, *pairName, *scale, *outPath,
-		*ungapped, int32(*hf), int32(*he), *workers, *oneStrand, *topChains); err != nil {
+	// SIGINT/SIGTERM cancel the pipeline; run still writes whatever was
+	// aligned before the signal landed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "darwin-wga:", err)
 		os.Exit(1)
 	}
 }
 
-func run(targetPath, queryPath, pairName string, scale float64, outPath string,
-	ungapped bool, hf, he int32, workers int, oneStrand bool, topChains int) error {
+func run(ctx context.Context, opts options) error {
+	switch {
+	case opts.scale <= 0:
+		return fmt.Errorf("-scale must be positive, got %g", opts.scale)
+	case opts.topChains < 0:
+		return fmt.Errorf("-top must be non-negative, got %d", opts.topChains)
+	case opts.timeout < 0:
+		return fmt.Errorf("-timeout must be non-negative, got %v", opts.timeout)
+	}
 
 	var target, query *darwinwga.Assembly
 	switch {
-	case pairName != "":
-		cfg, ok := darwinwga.StandardPair(pairName, scale)
+	case opts.pairName != "":
+		cfg, ok := darwinwga.StandardPair(opts.pairName, opts.scale)
 		if !ok {
-			return fmt.Errorf("unknown pair %q (want one of %v)", pairName, darwinwga.StandardPairNames())
+			return fmt.Errorf("unknown pair %q (want one of %v)", opts.pairName, darwinwga.StandardPairNames())
 		}
 		pair, err := darwinwga.GeneratePair(cfg)
 		if err != nil {
 			return err
 		}
 		target, query = pair.Target, pair.Query
-		fmt.Fprintf(os.Stderr, "synthesized %s: target %s, query %s\n", pairName, target, query)
-	case targetPath != "" && queryPath != "":
+		fmt.Fprintf(os.Stderr, "synthesized %s: target %s, query %s\n", opts.pairName, target, query)
+	case opts.targetPath != "" && opts.queryPath != "":
 		var err error
-		if target, err = darwinwga.ReadFASTA(targetPath); err != nil {
+		if target, err = darwinwga.ReadFASTA(opts.targetPath); err != nil {
 			return err
 		}
-		if query, err = darwinwga.ReadFASTA(queryPath); err != nil {
+		if query, err = darwinwga.ReadFASTA(opts.queryPath); err != nil {
 			return err
 		}
 	default:
@@ -73,46 +110,59 @@ func run(targetPath, queryPath, pairName string, scale float64, outPath string,
 	}
 
 	cfg := darwinwga.DefaultConfig()
-	if ungapped {
+	if opts.ungapped {
 		cfg = darwinwga.LASTZBaselineConfig()
 	}
-	if hf != 0 {
-		cfg.FilterThreshold = hf
+	if opts.hf != 0 {
+		cfg.FilterThreshold = opts.hf
 	}
-	if he != 0 {
-		cfg.ExtensionThreshold = he
+	if opts.he != 0 {
+		cfg.ExtensionThreshold = opts.he
 	}
-	cfg.Workers = workers
-	cfg.BothStrands = !oneStrand
+	cfg.Workers = opts.workers
+	cfg.BothStrands = !opts.oneStrand
+	cfg.Deadline = opts.timeout
 
-	rep, err := darwinwga.AlignAssemblies(target, query, cfg)
-	if err != nil {
-		return err
+	rep, alignErr := darwinwga.AlignAssembliesContext(ctx, target, query, cfg)
+	if rep == nil {
+		return alignErr
+	}
+	if alignErr != nil {
+		fmt.Fprintf(os.Stderr, "interrupted (%v): writing partial results\n", alignErr)
 	}
 
-	var out io.Writer = os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if opts.outPath != "" {
+		f, err := os.Create(opts.outPath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		out = f
-	}
-	if err := rep.WriteMAF(out); err != nil {
+		werr := rep.WriteMAF(f)
+		// Close errors matter: on a full or failing filesystem the data
+		// may only be rejected at close time.
+		if cerr := f.Close(); werr == nil && cerr != nil {
+			werr = fmt.Errorf("closing %s: %w", opts.outPath, cerr)
+		}
+		if werr != nil {
+			return werr
+		}
+	} else if err := rep.WriteMAF(os.Stdout); err != nil {
 		return err
 	}
 
+	trunc := ""
+	if rep.Truncated != "" {
+		trunc = fmt.Sprintf(" (truncated: %s)", rep.Truncated)
+	}
 	w := rep.Workload
-	fmt.Fprintf(os.Stderr, "\nfilter mode: %s\n", cfg.Filter)
+	fmt.Fprintf(os.Stderr, "\nfilter mode: %s%s\n", cfg.Filter, trunc)
 	fmt.Fprintf(os.Stderr, "workload: %s seed hits, %s filter tiles, %s passed, %s extension tiles\n",
 		stats.Comma(w.SeedHits), stats.Comma(w.FilterTiles), stats.Comma(w.PassedFilter), stats.Comma(w.ExtensionTiles))
 	fmt.Fprintf(os.Stderr, "timings: seeding %v, filtering %v, extension %v\n",
 		rep.Timings.Seeding, rep.Timings.Filtering, rep.Timings.Extension)
-	fmt.Fprintf(os.Stderr, "alignments: %d HSPs in %d chains, %s matched bp\n",
-		len(rep.HSPs), len(rep.Chains), stats.Comma(int64(rep.TotalMatches())))
-	for i, s := range rep.TopChainScores(topChains) {
+	fmt.Fprintf(os.Stderr, "alignments: %d HSPs in %d chains, %s matched bp%s\n",
+		len(rep.HSPs), len(rep.Chains), stats.Comma(int64(rep.TotalMatches())), trunc)
+	for i, s := range rep.TopChainScores(opts.topChains) {
 		fmt.Fprintf(os.Stderr, "chain %2d: score %s\n", i+1, stats.Comma(s))
 	}
-	return nil
+	return alignErr
 }

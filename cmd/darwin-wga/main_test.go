@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"darwinwga"
 	"darwinwga/internal/evolve"
@@ -12,7 +15,10 @@ import (
 
 func TestRunSyntheticPairToMAF(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.maf")
-	err := run("", "", "dm6-droSim1", 0.0004, out, false, 0, 0, 0, true, 5)
+	err := run(context.Background(), options{
+		pairName: "dm6-droSim1", scale: 0.0004, outPath: out,
+		oneStrand: true, topChains: 5,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +50,11 @@ func TestRunFASTAFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "out.maf")
-	if err := run(tPath, qPath, "", 0, out, true /* ungapped baseline */, 0, 0, 0, true, 3); err != nil {
+	err = run(context.Background(), options{
+		targetPath: tPath, queryPath: qPath, outPath: out,
+		ungapped: true /* baseline */, scale: 0.01, oneStrand: true, topChains: 3,
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
@@ -53,10 +63,63 @@ func TestRunFASTAFiles(t *testing.T) {
 }
 
 func TestRunArgumentValidation(t *testing.T) {
-	if err := run("", "", "", 0, "", false, 0, 0, 0, false, 5); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, options{scale: 0.01, topChains: 5}); err == nil {
 		t.Error("missing inputs accepted")
 	}
-	if err := run("", "", "bogus-pair", 1, "", false, 0, 0, 0, false, 5); err == nil {
+	if err := run(ctx, options{pairName: "bogus-pair", scale: 1, topChains: 5}); err == nil {
 		t.Error("unknown pair accepted")
+	}
+	if err := run(ctx, options{pairName: "dm6-droSim1", scale: 0, topChains: 5}); err == nil {
+		t.Error("-scale 0 accepted")
+	}
+	if err := run(ctx, options{pairName: "dm6-droSim1", scale: -0.5, topChains: 5}); err == nil {
+		t.Error("negative -scale accepted")
+	}
+	if err := run(ctx, options{pairName: "dm6-droSim1", scale: 0.001, topChains: -1}); err == nil {
+		t.Error("negative -top accepted")
+	}
+	if err := run(ctx, options{pairName: "dm6-droSim1", scale: 0.001, topChains: 5, timeout: -time.Second}); err == nil {
+		t.Error("negative -timeout accepted")
+	}
+}
+
+func TestRunTimeoutWritesPartialOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.maf")
+	err := run(context.Background(), options{
+		pairName: "dm6-droSim1", scale: 0.001, outPath: out,
+		topChains: 3, timeout: time.Nanosecond,
+	})
+	// A soft -timeout is graceful degradation, not a failure.
+	if err != nil {
+		t.Fatalf("soft timeout returned error: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "##maf") {
+		t.Errorf("partial output is not MAF: %q", string(data[:min(len(data), 40)]))
+	}
+}
+
+func TestRunCancelledContextWritesPartialOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.maf")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the pipeline starts: everything truncates
+	err := run(ctx, options{
+		pairName: "dm6-droSim1", scale: 0.001, outPath: out,
+		topChains: 3,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The (empty) partial MAF must still have been written.
+	data, rerr := os.ReadFile(out)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !strings.HasPrefix(string(data), "##maf") {
+		t.Errorf("partial output is not MAF: %q", string(data[:min(len(data), 40)]))
 	}
 }

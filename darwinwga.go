@@ -26,6 +26,17 @@
 //
 // For whole assemblies (FASTA files with many sequences) use
 // AlignAssemblies, which returns chained, MAF-writable results.
+//
+// # Robustness
+//
+// Long-running calls take a context: AlignContext and
+// AlignAssembliesContext stop at tile granularity when the context is
+// cancelled and return the partial result together with ctx.Err().
+// Config carries per-call resource budgets (MaxCandidates,
+// MaxFilterTiles, MaxExtensionCells, Deadline) whose exhaustion is not
+// an error — the partial result comes back with a TruncationReason
+// instead. A panic in any pipeline worker is contained and surfaced as
+// a *StageError, failing the call rather than the process.
 package darwinwga
 
 import (
@@ -51,6 +62,12 @@ type (
 	HSP = core.HSP
 	// Workload tallies per-stage work items (Table V's columns).
 	Workload = core.Workload
+	// TruncationReason explains why a Result or Report is partial
+	// (cancellation, deadline, or an exhausted resource budget).
+	TruncationReason = core.TruncationReason
+	// StageError is a contained worker failure: a panic in one shard of
+	// one pipeline stage, surfaced as an error instead of a crash.
+	StageError = core.StageError
 	// Scoring is the substitution matrix and affine-gap model.
 	Scoring = align.Scoring
 	// Alignment is a local alignment with an edit transcript.
@@ -71,6 +88,16 @@ type (
 const (
 	FilterGapped   = core.FilterGapped
 	FilterUngapped = core.FilterUngapped
+)
+
+// Truncation reasons carried by partial results (Result.Truncated,
+// Report.Truncated); the empty string means the run completed.
+const (
+	TruncatedCancelled         = core.TruncatedCancelled
+	TruncatedDeadline          = core.TruncatedDeadline
+	TruncatedMaxCandidates     = core.TruncatedMaxCandidates
+	TruncatedMaxFilterTiles    = core.TruncatedMaxFilterTiles
+	TruncatedMaxExtensionCells = core.TruncatedMaxExtensionCells
 )
 
 // DefaultConfig returns Darwin-WGA's default parameters (the paper's

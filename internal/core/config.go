@@ -76,6 +76,36 @@ type Config struct {
 	Workers int
 	// BothStrands also aligns the reverse complement of the query.
 	BothStrands bool
+
+	// Resource budgets. Each is a whole-call (both strands) budget;
+	// 0 means unlimited. When a budget is exhausted the pipeline stops
+	// starting new work and returns the partial Result with
+	// Result.Truncated set — exhaustion is graceful degradation, not an
+	// error. See also AlignContext for caller-driven cancellation.
+
+	// MaxCandidates stops seeding once this many D-SOFT candidates have
+	// been emitted (checked at chunk-block granularity per worker, so
+	// the final count can overshoot slightly; the reported Workload is
+	// always the work actually done).
+	MaxCandidates int64
+	// MaxFilterTiles caps the number of filter invocations.
+	MaxFilterTiles int64
+	// MaxExtensionCells caps the DP cells computed during extension
+	// (checked at GACT-X tile granularity).
+	MaxExtensionCells int64
+	// Deadline is a soft per-call wall-clock budget. Unlike a
+	// context deadline it is not an error: when it elapses the call
+	// returns the partial Result tagged TruncatedDeadline.
+	Deadline time.Duration
+
+	// FaultHook, when non-nil, is invoked at stage boundaries — once
+	// per seeding shard, per filter shard, and per extension anchor —
+	// with the stage name (StageSeeding, StageFilter, StageExtension)
+	// and the shard index. It exists for deterministic fault injection
+	// (see internal/faultinject); a panic from the hook is contained
+	// like any worker panic and surfaces as a *StageError. Nil (the
+	// default) costs nothing.
+	FaultHook func(stage string, shard int)
 }
 
 // DefaultConfig returns Darwin-WGA's default parameters (Table II plus
@@ -125,6 +155,13 @@ func (c *Config) Validate() error {
 		if err := c.Scoring.Validate(); err != nil {
 			return err
 		}
+	}
+	if c.MaxCandidates < 0 || c.MaxFilterTiles < 0 || c.MaxExtensionCells < 0 {
+		return fmt.Errorf("core: negative resource budget: candidates %d, filter tiles %d, extension cells %d",
+			c.MaxCandidates, c.MaxFilterTiles, c.MaxExtensionCells)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("core: negative deadline %v", c.Deadline)
 	}
 	return nil
 }
@@ -188,8 +225,14 @@ type Timings struct {
 func (t Timings) Total() time.Duration { return t.Seeding + t.Filtering + t.Extension }
 
 // Result is the outcome of aligning one query against the target.
+// A partial result (cancellation, deadline, or budget exhaustion)
+// carries the HSPs completed so far, workload counters for the work
+// that actually ran, and a non-empty Truncated reason.
 type Result struct {
 	HSPs     []HSP
 	Workload Workload
 	Timings  Timings
+	// Truncated is non-empty when the pipeline stopped early; the
+	// result is then a valid prefix of the full computation.
+	Truncated TruncationReason
 }

@@ -1,0 +1,52 @@
+package core
+
+import "fmt"
+
+// Stage names used by StageError and the fault-injection hook
+// (Config.FaultHook). They correspond to the three pipeline stages of
+// Figure 4.
+const (
+	StageSeeding   = "seeding"
+	StageFilter    = "filter"
+	StageExtension = "extension"
+)
+
+// StageError reports a contained failure (a recovered panic) in one
+// shard of one pipeline stage. A StageError fails the Align call that
+// produced it, not the process: worker panics never escape the pipeline.
+type StageError struct {
+	// Stage is one of StageSeeding, StageFilter, StageExtension.
+	Stage string
+	// Shard identifies the failing unit of work: the worker shard for
+	// seeding and filtering, the anchor index for extension.
+	Shard int
+	// Err is the recovered panic value (wrapped as an error when it was
+	// not one already).
+	Err error
+	// Stack is the goroutine stack captured at recovery time.
+	Stack []byte
+}
+
+func (e *StageError) Error() string {
+	return fmt.Sprintf("core: %s stage, shard %d: %v", e.Stage, e.Shard, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// TruncationReason explains why a Result is partial. The empty string
+// means the pipeline ran to completion.
+type TruncationReason string
+
+const (
+	// TruncatedCancelled: the caller's context was cancelled mid-call.
+	TruncatedCancelled TruncationReason = "cancelled"
+	// TruncatedDeadline: Config.Deadline elapsed.
+	TruncatedDeadline TruncationReason = "deadline"
+	// TruncatedMaxCandidates: seeding stopped at Config.MaxCandidates.
+	TruncatedMaxCandidates TruncationReason = "max-candidates"
+	// TruncatedMaxFilterTiles: filtering stopped at Config.MaxFilterTiles.
+	TruncatedMaxFilterTiles TruncationReason = "max-filter-tiles"
+	// TruncatedMaxExtensionCells: extension stopped at
+	// Config.MaxExtensionCells.
+	TruncatedMaxExtensionCells TruncationReason = "max-extension-cells"
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,6 +13,10 @@ import (
 	"darwinwga/internal/genome"
 	"darwinwga/internal/seed"
 )
+
+// seedBlockChunks is the cancellation/budget granularity of the seeding
+// stage, in D-SOFT chunks per check.
+const seedBlockChunks = 8
 
 // Aligner owns the prebuilt target index and immutable configuration;
 // it is safe to call Align from multiple goroutines (each call runs its
@@ -50,18 +55,47 @@ func (a *Aligner) Target() []byte { return a.target }
 // the reverse complement is aligned too, and minus-strand HSPs carry
 // coordinates in reverse-complement space (Strand == '-').
 func (a *Aligner) Align(query []byte) (*Result, error) {
+	return a.AlignContext(context.Background(), query)
+}
+
+// AlignContext is Align with cancellation and resource budgets.
+//
+// Cancellation is checked at tile granularity in every stage, so a
+// cancelled context stops the call within one tile's worth of work per
+// worker; the partial Result (tagged TruncatedCancelled) is returned
+// together with ctx.Err(). Budget exhaustion — Config.MaxCandidates,
+// MaxFilterTiles, MaxExtensionCells, or Deadline — is graceful
+// degradation, not an error: the call stops starting new work and
+// returns the partial Result with Result.Truncated set and a nil error.
+// A panic in any stage is contained and surfaces as a *StageError.
+func (a *Aligner) AlignContext(ctx context.Context, query []byte) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(query) < a.shape.Span {
 		return nil, fmt.Errorf("core: query shorter than the seed span (%d < %d)", len(query), a.shape.Span)
 	}
+	r := a.newRun(ctx)
+	defer r.stopTimer()
 	res := &Result{}
-	if err := a.alignStrand(query, '+', res); err != nil {
+	if err := a.alignStrand(r, query, '+', res); err != nil {
 		return nil, err
 	}
-	if a.cfg.BothStrands {
+	if a.cfg.BothStrands && !r.stopSlow() {
 		rc := genome.ReverseComplement(query)
-		if err := a.alignStrand(rc, '-', res); err != nil {
+		if err := a.alignStrand(r, rc, '-', res); err != nil {
 			return nil, err
 		}
+	}
+	// A cancellation the watcher has not yet delivered is still a
+	// cancellation: callers handed a cancelled context must get ctx.Err()
+	// back deterministically.
+	if r.ctx.Err() != nil {
+		r.truncate(TruncatedCancelled)
+	}
+	res.Truncated = r.truncation()
+	if res.Truncated == TruncatedCancelled {
+		return res, r.ctx.Err()
 	}
 	return res, nil
 }
@@ -88,8 +122,16 @@ func (a *Aligner) Anchors(query []byte) ([]ExtensionAnchor, error) {
 	if len(query) < a.shape.Span {
 		return nil, fmt.Errorf("core: query shorter than the seed span (%d < %d)", len(query), a.shape.Span)
 	}
-	anchors, _ := a.runSeeding(query)
-	passed, _, _ := a.runFilter(query, anchors)
+	r := a.newRun(context.Background())
+	defer r.stopTimer()
+	anchors, _ := a.runSeeding(r, query)
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	passed, _, _ := a.runFilter(r, query, anchors)
+	if err := r.err(); err != nil {
+		return nil, err
+	}
 	sort.Slice(passed, func(i, j int) bool { return passed[i].score > passed[j].score })
 	out := make([]ExtensionAnchor, len(passed))
 	for i, p := range passed {
@@ -98,40 +140,86 @@ func (a *Aligner) Anchors(query []byte) ([]ExtensionAnchor, error) {
 	return out, nil
 }
 
-func (a *Aligner) alignStrand(query []byte, strand byte, res *Result) error {
+func (a *Aligner) alignStrand(r *run, query []byte, strand byte, res *Result) error {
+	// Authoritative stop check per strand: a context that is already
+	// cancelled (or a deadline that has already elapsed) is observed
+	// here even if the asynchronous watcher has not fired yet.
+	if r.stopSlow() {
+		return nil
+	}
+
 	// Stage 1: D-SOFT seeding over query shards.
 	t0 := time.Now()
-	anchors, seedStats := a.runSeeding(query)
+	anchors, seedStats := a.runSeeding(r, query)
 	res.Workload.SeedHits += int64(seedStats.SeedHits)
 	res.Workload.Candidates += int64(seedStats.Candidates)
 	res.Timings.Seeding += time.Since(t0)
+	if err := r.err(); err != nil {
+		return err
+	}
 
 	// Stage 2: filtering (gapped BSW or ungapped X-drop).
 	t1 := time.Now()
-	passed, filterTiles, filterCells := a.runFilter(query, anchors)
+	passed, filterTiles, filterCells := a.runFilter(r, query, anchors)
 	res.Workload.FilterTiles += filterTiles
 	res.Workload.FilterCells += filterCells
 	res.Workload.PassedFilter += int64(len(passed))
 	res.Timings.Filtering += time.Since(t1)
+	if err := r.err(); err != nil {
+		return err
+	}
 
 	// Stage 3: extension with anchor absorption, best filter score
 	// first so strong alignments absorb their shadows.
 	t2 := time.Now()
+	err := a.runExtension(r, query, strand, passed, res)
+	res.Timings.Extension += time.Since(t2)
+	return err
+}
+
+// runExtension extends the surviving anchors serially (best filter
+// score first). Cancellation and the cell budget are polled at GACT-X
+// tile granularity through the extender's Stop hook; a panic while
+// extending one anchor is contained as a *StageError for that anchor.
+func (a *Aligner) runExtension(r *run, query []byte, strand byte, passed []passedAnchor, res *Result) error {
 	sort.Slice(passed, func(i, j int) bool { return passed[i].score > passed[j].score })
-	ext, err := gact.NewExtender(a.sc, a.cfg.Extension)
+
+	// cellsDone/inFlight let the Stop hook see the cumulative cell
+	// count mid-Extend; extension is single-goroutine so plain reads
+	// are safe.
+	cellsDone := res.Workload.ExtensionCells
+	var inFlight *gact.Stats
+	ecfg := a.cfg.Extension
+	ecfg.Stop = func() bool {
+		cells := cellsDone
+		if inFlight != nil {
+			cells += int64(inFlight.Cells)
+		}
+		return r.stopSlow() || r.extCellsExceeded(cells)
+	}
+	ext, err := gact.NewExtender(a.sc, ecfg)
 	if err != nil {
 		return err
 	}
 	absorb := newAbsorber(a.cfg.AbsorbBand)
-	for _, p := range passed {
+	for i, p := range passed {
+		if r.extensionStopped() {
+			break
+		}
 		if absorb.covered(p.tPos, p.qPos) {
 			res.Workload.Absorbed++
 			continue
 		}
 		var st gact.Stats
-		aln := ext.Extend(a.target, query, p.tPos, p.qPos, &st)
+		inFlight = &st
+		aln, err := a.extendAnchor(r, ext, query, p, i, &st)
+		inFlight = nil
+		cellsDone += int64(st.Cells)
 		res.Workload.ExtensionTiles += int64(st.Tiles)
 		res.Workload.ExtensionCells += int64(st.Cells)
+		if err != nil {
+			return err
+		}
 		if aln.Score < a.cfg.ExtensionThreshold {
 			continue
 		}
@@ -145,13 +233,30 @@ func (a *Aligner) alignStrand(query []byte, strand byte, res *Result) error {
 		dMin, dMax := pathDiagRange(aln.TStart, aln.QStart, aln.Ops)
 		absorb.add(aln.TStart, aln.TEnd, dMin, dMax)
 	}
-	res.Timings.Extension += time.Since(t2)
 	return nil
 }
 
+// extendAnchor extends one anchor with panic containment: a panic (from
+// the extender or the fault hook) becomes a *StageError whose shard is
+// the anchor index.
+func (a *Aligner) extendAnchor(r *run, ext *gact.Extender, query []byte, p passedAnchor, shard int, st *gact.Stats) (aln align.Alignment, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.fail(StageExtension, shard, rec)
+			err = r.err()
+		}
+	}()
+	if r.hook != nil {
+		r.hook(StageExtension, shard)
+	}
+	return ext.Extend(a.target, query, p.tPos, p.qPos, st), nil
+}
+
 // runSeeding shards the query across workers and concatenates their
-// D-SOFT candidates.
-func (a *Aligner) runSeeding(query []byte) ([]dsoft.Anchor, dsoft.Stats) {
+// D-SOFT candidates. Workers poll cancellation and the candidate budget
+// every seedBlockChunks chunks; a worker panic is contained and
+// recorded on the run.
+func (a *Aligner) runSeeding(r *run, query []byte) ([]dsoft.Anchor, dsoft.Stats) {
 	seeder, err := dsoft.NewSeeder(a.index, a.cfg.DSoft)
 	if err != nil {
 		// Params were validated in NewAligner; unreachable.
@@ -162,6 +267,7 @@ func (a *Aligner) runSeeding(query []byte) ([]dsoft.Anchor, dsoft.Stats) {
 	// Shard boundaries land on chunk boundaries so band counting within
 	// a chunk never straddles workers.
 	shard := (len(query)/workers/chunk + 1) * chunk
+	block := seedBlockChunks * chunk
 
 	type part struct {
 		anchors []dsoft.Anchor
@@ -178,8 +284,23 @@ func (a *Aligner) runSeeding(query []byte) ([]dsoft.Anchor, dsoft.Stats) {
 		wg.Add(1)
 		go func(w, start, end int) {
 			defer wg.Done()
+			defer r.protect(StageSeeding, w)
+			if r.hook != nil {
+				r.hook(StageSeeding, w)
+			}
 			scratch := dsoft.NewScratch()
-			parts[w].anchors = seeder.Collect(query, start, end, nil, &parts[w].stats, scratch)
+			p := &parts[w]
+			for bs := start; bs < end; bs += block {
+				if r.seedingStopped() {
+					return
+				}
+				be := min(bs+block, end)
+				before := p.stats.Candidates
+				p.anchors = seeder.Collect(query, bs, be, p.anchors, &p.stats, scratch)
+				if r.noteCandidates(p.stats.Candidates - before) {
+					return
+				}
+			}
 		}(w, start, end)
 	}
 	wg.Wait()
@@ -196,8 +317,10 @@ func (a *Aligner) runSeeding(query []byte) ([]dsoft.Anchor, dsoft.Stats) {
 }
 
 // runFilter scores every anchor with the configured filter across
-// workers and returns the survivors.
-func (a *Aligner) runFilter(query []byte, anchors []dsoft.Anchor) (passed []passedAnchor, tiles, cells int64) {
+// workers and returns the survivors. Cancellation and the tile budget
+// are polled per tile; a worker panic is contained and recorded on the
+// run.
+func (a *Aligner) runFilter(r *run, query []byte, anchors []dsoft.Anchor) (passed []passedAnchor, tiles, cells int64) {
 	workers := a.cfg.workers()
 	type part struct {
 		passed []passedAnchor
@@ -216,28 +339,38 @@ func (a *Aligner) runFilter(query []byte, anchors []dsoft.Anchor) (passed []pass
 		wg.Add(1)
 		go func(w int, anchors []dsoft.Anchor) {
 			defer wg.Done()
+			defer r.protect(StageFilter, w)
+			if r.hook != nil {
+				r.hook(StageFilter, w)
+			}
 			p := &parts[w]
 			switch a.cfg.Filter {
 			case FilterGapped:
 				ba := align.NewBandedAligner(a.sc, a.cfg.FilterBand)
 				for _, an := range anchors {
-					r := ba.FilterTile(a.target, query, an.TPos, an.QPos, a.cfg.FilterTileSize)
+					if r.stop() || !r.takeFilterTile() {
+						return
+					}
+					res := ba.FilterTile(a.target, query, an.TPos, an.QPos, a.cfg.FilterTileSize)
 					p.tiles++
-					p.cells += int64(r.Cells)
-					if r.Score >= a.cfg.FilterThreshold {
-						p.passed = append(p.passed, passedAnchor{tPos: r.TPos, qPos: r.QPos, score: r.Score})
+					p.cells += int64(res.Cells)
+					if res.Score >= a.cfg.FilterThreshold {
+						p.passed = append(p.passed, passedAnchor{tPos: res.TPos, qPos: res.QPos, score: res.Score})
 					}
 				}
 			case FilterUngapped:
 				ue := align.NewUngappedExtender(a.sc, a.cfg.UngappedXDrop)
 				for _, an := range anchors {
-					r := ue.Extend(a.target, query, an.TPos, an.QPos, a.shape.Span)
+					if r.stop() || !r.takeFilterTile() {
+						return
+					}
+					res := ue.Extend(a.target, query, an.TPos, an.QPos, a.shape.Span)
 					p.tiles++
-					p.cells += int64(r.Cells)
-					if r.Score >= a.cfg.FilterThreshold {
+					p.cells += int64(res.Cells)
+					if res.Score >= a.cfg.FilterThreshold {
 						// Anchor extension starts at the segment's end
 						// (the equivalent of BSW's Vmax position).
-						p.passed = append(p.passed, passedAnchor{tPos: r.TEnd, qPos: r.QEnd, score: r.Score})
+						p.passed = append(p.passed, passedAnchor{tPos: res.TEnd, qPos: res.QEnd, score: res.Score})
 					}
 				}
 			}

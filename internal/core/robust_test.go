@@ -1,0 +1,336 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"darwinwga/internal/faultinject"
+)
+
+// checkWorkloadInvariants asserts the cross-stage accounting identities
+// that must hold for complete AND partial results: downstream stages
+// never report more work than upstream stages handed them.
+func checkWorkloadInvariants(t *testing.T, res *Result) {
+	t.Helper()
+	w := res.Workload
+	if w.FilterTiles > w.Candidates {
+		t.Errorf("filter tiles %d > candidates %d", w.FilterTiles, w.Candidates)
+	}
+	if w.PassedFilter > w.FilterTiles {
+		t.Errorf("passed %d > filter tiles %d", w.PassedFilter, w.FilterTiles)
+	}
+	if got := int64(len(res.HSPs)) + w.Absorbed; got > w.PassedFilter {
+		t.Errorf("HSPs+absorbed %d > passed %d", got, w.PassedFilter)
+	}
+	if w.SeedHits < 0 || w.Candidates < 0 || w.FilterCells < 0 || w.ExtensionTiles < 0 || w.ExtensionCells < 0 {
+		t.Errorf("negative workload counter: %+v", w)
+	}
+	if (w.ExtensionTiles == 0) != (w.ExtensionCells == 0) {
+		t.Errorf("extension tiles %d vs cells %d", w.ExtensionTiles, w.ExtensionCells)
+	}
+}
+
+func TestAlignContextNilAndBackground(t *testing.T) {
+	p := testPair(t, 15000, 0.08, 0.005)
+	cfg := DefaultConfig()
+	cfg.BothStrands = false
+	a := newAligner(t, p.TargetSeq(), cfg)
+	res, err := a.AlignContext(nil, p.QuerySeq()) //nolint:staticcheck // nil must behave as Background
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated != "" {
+		t.Errorf("uncancelled run truncated: %q", res.Truncated)
+	}
+	if len(res.HSPs) == 0 {
+		t.Error("no HSPs")
+	}
+	checkWorkloadInvariants(t, res)
+}
+
+func TestAlignContextCancelMidFilter(t *testing.T) {
+	p := testPair(t, 30000, 0.10, 0.01)
+	cfg := DefaultConfig()
+	cfg.BothStrands = false
+	cfg.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Fire the cancellation exactly when the first filter shard starts:
+	// deterministic mid-call cancellation with no sleeps.
+	inj := faultinject.New(faultinject.Rule{
+		Stage: StageFilter, Shard: -1, Hit: 1,
+		Action: faultinject.Cancel, Cancel: cancel,
+	})
+	cfg.FaultHook = inj.Hook()
+	a := newAligner(t, p.TargetSeq(), cfg)
+
+	start := time.Now()
+	res, err := a.AlignContext(ctx, p.QuerySeq())
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled call returned no partial result")
+	}
+	if res.Truncated != TruncatedCancelled {
+		t.Errorf("Truncated = %q, want %q", res.Truncated, TruncatedCancelled)
+	}
+	if inj.FiredCount() != 1 {
+		t.Errorf("injector fired %d times, want 1", inj.FiredCount())
+	}
+	// Cancelled during filtering: extension never starts.
+	if res.Workload.ExtensionTiles != 0 {
+		t.Errorf("extension ran %d tiles after mid-filter cancel", res.Workload.ExtensionTiles)
+	}
+	checkWorkloadInvariants(t, res)
+	// Cancellation is checked per tile; the whole return path after the
+	// cancel lands is bounded by one tile of work per worker.
+	if elapsed > 2*time.Second {
+		t.Errorf("cancelled call took %v", elapsed)
+	}
+	t.Logf("cancel-to-return in %v with %d seed hits done", elapsed, res.Workload.SeedHits)
+}
+
+func TestAlignContextCancelPromptness(t *testing.T) {
+	// The acceptance bar: with stages artificially slowed (50 ms stalls
+	// at every filter-shard start), an async cancel still returns in
+	// roughly one stall, not the full alignment time.
+	p := testPair(t, 30000, 0.10, 0.01)
+	cfg := DefaultConfig()
+	cfg.BothStrands = true
+	cfg.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj := faultinject.New(faultinject.Rule{
+		Stage: StageFilter, Shard: -1,
+		Action: faultinject.Delay, Delay: 50 * time.Millisecond,
+	})
+	cfg.FaultHook = inj.Hook()
+	a := newAligner(t, p.TargetSeq(), cfg)
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := a.AlignContext(ctx, p.QuerySeq())
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Truncated != TruncatedCancelled {
+		t.Fatalf("partial result missing or untagged: %+v", res)
+	}
+	// 10 ms until cancel + one 50 ms stall + per-tile epsilon; allow
+	// generous CI headroom while still catching a non-prompt return
+	// (the full run takes 2x50ms stalls plus both strands' work).
+	if elapsed > time.Second {
+		t.Errorf("cancelled call took %v, want prompt return", elapsed)
+	}
+	t.Logf("cancel-to-return in %v", elapsed)
+}
+
+func TestDeadlineBudget(t *testing.T) {
+	p := testPair(t, 20000, 0.10, 0.01)
+	cfg := DefaultConfig()
+	cfg.BothStrands = true
+	cfg.Deadline = time.Nanosecond
+	a := newAligner(t, p.TargetSeq(), cfg)
+	res, err := a.AlignContext(context.Background(), p.QuerySeq())
+	if err != nil {
+		t.Fatalf("soft deadline must not be an error, got %v", err)
+	}
+	if res.Truncated != TruncatedDeadline {
+		t.Errorf("Truncated = %q, want %q", res.Truncated, TruncatedDeadline)
+	}
+	checkWorkloadInvariants(t, res)
+}
+
+func TestMaxCandidatesBudget(t *testing.T) {
+	p := testPair(t, 30000, 0.10, 0.01)
+	cfg := DefaultConfig()
+	cfg.BothStrands = false
+	cfg.Workers = 1
+	cfg.MaxCandidates = 5
+	a := newAligner(t, p.TargetSeq(), cfg)
+	res, err := a.AlignContext(context.Background(), p.QuerySeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated != TruncatedMaxCandidates {
+		t.Fatalf("Truncated = %q, want %q", res.Truncated, TruncatedMaxCandidates)
+	}
+	if res.Workload.Candidates < 5 {
+		t.Errorf("stopped before reaching the budget: %d candidates", res.Workload.Candidates)
+	}
+	// One worker checks every seedBlockChunks chunks; the overshoot is
+	// bounded by one block's worth of candidates, far below the
+	// unbudgeted count (tens of thousands on this pair).
+	if res.Workload.Candidates > 5000 {
+		t.Errorf("budget barely limited seeding: %d candidates", res.Workload.Candidates)
+	}
+	checkWorkloadInvariants(t, res)
+}
+
+func TestMaxFilterTilesBudget(t *testing.T) {
+	p := testPair(t, 30000, 0.10, 0.01)
+	cfg := DefaultConfig()
+	cfg.BothStrands = false
+	cfg.Workers = 1
+	cfg.MaxFilterTiles = 3
+	a := newAligner(t, p.TargetSeq(), cfg)
+	res, err := a.AlignContext(context.Background(), p.QuerySeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated != TruncatedMaxFilterTiles {
+		t.Fatalf("Truncated = %q, want %q", res.Truncated, TruncatedMaxFilterTiles)
+	}
+	// The reservation is exact: precisely MaxFilterTiles tiles ran.
+	if res.Workload.FilterTiles != 3 {
+		t.Errorf("FilterTiles = %d, want exactly 3", res.Workload.FilterTiles)
+	}
+	checkWorkloadInvariants(t, res)
+}
+
+func TestMaxExtensionCellsBudget(t *testing.T) {
+	p := testPair(t, 30000, 0.10, 0.01)
+	cfg := DefaultConfig()
+	cfg.BothStrands = false
+	cfg.Workers = 1
+	cfg.MaxExtensionCells = 1000 // far below one GACT-X tile
+	a := newAligner(t, p.TargetSeq(), cfg)
+	res, err := a.AlignContext(context.Background(), p.QuerySeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated != TruncatedMaxExtensionCells {
+		t.Fatalf("Truncated = %q, want %q", res.Truncated, TruncatedMaxExtensionCells)
+	}
+	// The budget is polled before each tile, so at least one tile ran
+	// and the counters reflect the work actually done.
+	if res.Workload.ExtensionTiles < 1 {
+		t.Errorf("no extension tile ran before truncation")
+	}
+	if res.Workload.ExtensionCells <= 1000 {
+		t.Errorf("ExtensionCells = %d, expected the tile that crossed the budget to be counted",
+			res.Workload.ExtensionCells)
+	}
+	checkWorkloadInvariants(t, res)
+}
+
+func TestBudgetsLeaveCompleteRunsUntouched(t *testing.T) {
+	p := testPair(t, 15000, 0.08, 0.005)
+	free := DefaultConfig()
+	free.BothStrands = false
+	af := newAligner(t, p.TargetSeq(), free)
+	resF, err := af.Align(p.QuerySeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy := free
+	roomy.MaxCandidates = 1 << 40
+	roomy.MaxFilterTiles = 1 << 40
+	roomy.MaxExtensionCells = 1 << 40
+	roomy.Deadline = time.Hour
+	ar := newAligner(t, p.TargetSeq(), roomy)
+	resR, err := ar.Align(p.QuerySeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resR.Truncated != "" {
+		t.Errorf("roomy budgets truncated: %q", resR.Truncated)
+	}
+	if totalMatches(resF) != totalMatches(resR) {
+		t.Errorf("budgets changed a complete run: %d vs %d matches", totalMatches(resF), totalMatches(resR))
+	}
+}
+
+func TestInjectedPanicBecomesStageError(t *testing.T) {
+	p := testPair(t, 20000, 0.10, 0.01)
+	for _, stage := range []string{StageSeeding, StageFilter, StageExtension} {
+		t.Run(stage, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.BothStrands = false
+			cfg.Workers = 2
+			inj := faultinject.New(faultinject.Rule{
+				Stage: stage, Shard: -1, Hit: 1, Action: faultinject.Panic,
+			})
+			cfg.FaultHook = inj.Hook()
+			a := newAligner(t, p.TargetSeq(), cfg)
+			res, err := a.AlignContext(context.Background(), p.QuerySeq())
+			if err == nil {
+				t.Fatalf("injected %s panic produced no error", stage)
+			}
+			if res != nil {
+				t.Errorf("failed call returned a result")
+			}
+			var se *StageError
+			if !errors.As(err, &se) {
+				t.Fatalf("err %T is not *StageError: %v", err, err)
+			}
+			if se.Stage != stage {
+				t.Errorf("StageError.Stage = %q, want %q", se.Stage, stage)
+			}
+			if se.Err == nil || len(se.Stack) == 0 {
+				t.Errorf("StageError missing cause or stack: %+v", se)
+			}
+		})
+	}
+}
+
+func TestSeededPanicPlacements(t *testing.T) {
+	// Sweep seed-derived fault placements across extension anchors:
+	// every placement must surface as a *StageError (or, when the
+	// placement lands past the last anchor, a clean run) — never an
+	// uncontained panic.
+	p := testPair(t, 15000, 0.10, 0.01)
+	cfg := DefaultConfig()
+	cfg.BothStrands = false
+	for seed := int64(0); seed < 4; seed++ {
+		inj := faultinject.Seeded(seed, StageExtension, 20, faultinject.Rule{Action: faultinject.Panic})
+		c := cfg
+		c.FaultHook = inj.Hook()
+		a := newAligner(t, p.TargetSeq(), c)
+		res, err := a.AlignContext(context.Background(), p.QuerySeq())
+		switch {
+		case err != nil:
+			var se *StageError
+			if !errors.As(err, &se) || se.Stage != StageExtension {
+				t.Fatalf("seed %d: err = %v, want extension StageError", seed, err)
+			}
+		case inj.FiredCount() != 0:
+			t.Fatalf("seed %d: fault fired but call succeeded (res=%v)", seed, res != nil)
+		}
+	}
+}
+
+func TestStageErrorFormatting(t *testing.T) {
+	cause := errors.New("bad shard")
+	se := &StageError{Stage: StageFilter, Shard: 3, Err: cause}
+	if se.Error() != "core: filter stage, shard 3: bad shard" {
+		t.Errorf("Error() = %q", se.Error())
+	}
+	if !errors.Is(se, cause) {
+		t.Error("Unwrap does not reach the cause")
+	}
+}
+
+func TestBudgetConfigValidation(t *testing.T) {
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.MaxCandidates = -1 },
+		func(c *Config) { c.MaxFilterTiles = -1 },
+		func(c *Config) { c.MaxExtensionCells = -1 },
+		func(c *Config) { c.Deadline = -time.Second },
+	} {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("negative budget accepted: %+v", cfg)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// run is the per-AlignContext call state: cancellation, the soft
+// deadline, resource budgets, and the first contained failure. One run
+// spans both strands of a call; budgets are whole-call budgets.
+//
+// Stops come in two strengths. A hard stop (caller cancellation,
+// elapsed Deadline, or a contained panic) halts every stage. An
+// exhausted per-stage budget halts only that stage's new work — the
+// downstream stages still process whatever was collected, which is the
+// graceful-degradation half of the contract: MaxCandidates caps a
+// repeat-rich seeding blowup but the survivors are still filtered and
+// extended into usable alignments.
+type run struct {
+	ctx       context.Context // caller's context (hard cancellation)
+	soft      context.Context // ctx plus Config.Deadline; == ctx when no deadline
+	stopTimer context.CancelFunc
+	hook      func(stage string, shard int)
+
+	maxCandidates  int64
+	maxFilterTiles int64
+	maxExtCells    int64
+
+	candidates  atomic.Int64
+	filterTiles atomic.Int64
+
+	// halted flips once on the first hard stop so hot loops can poll
+	// cheaply; the per-stage flags flip when that stage's budget runs
+	// out.
+	halted          atomic.Bool
+	seedExhausted   atomic.Bool
+	filterExhausted atomic.Bool
+	extExhausted    atomic.Bool
+
+	mu      sync.Mutex
+	reason  TruncationReason
+	failure *StageError
+}
+
+func (a *Aligner) newRun(ctx context.Context) *run {
+	r := &run{
+		ctx:            ctx,
+		soft:           ctx,
+		hook:           a.cfg.FaultHook,
+		maxCandidates:  a.cfg.MaxCandidates,
+		maxFilterTiles: a.cfg.MaxFilterTiles,
+		maxExtCells:    a.cfg.MaxExtensionCells,
+	}
+	cancelTimer := context.CancelFunc(func() {})
+	if a.cfg.Deadline > 0 {
+		r.soft, cancelTimer = context.WithTimeout(ctx, a.cfg.Deadline)
+	}
+	// The watcher pushes cancellation/deadline into the halted flag so
+	// the per-tile hot-path poll is a single atomic load — polling the
+	// context's Done channel from every worker on every tile is far too
+	// expensive (especially under the race detector). Stopping the watch
+	// before the timer keeps a post-return timer pop from being
+	// misrecorded as a truncation.
+	watch := context.AfterFunc(r.soft, r.observeStop)
+	r.stopTimer = func() { watch(); cancelTimer() }
+	return r
+}
+
+// observeStop records why the soft context ended and halts all work.
+func (r *run) observeStop() {
+	if r.ctx.Err() != nil {
+		r.truncate(TruncatedCancelled)
+	} else {
+		r.truncate(TruncatedDeadline)
+	}
+	r.halted.Store(true)
+}
+
+// stop reports whether the call must stop all work (cancellation,
+// deadline, or a contained failure). It is the hot-path poll, used at
+// tile granularity by every stage: a single atomic load, with the
+// context watcher in newRun responsible for flipping it.
+func (r *run) stop() bool {
+	return r.halted.Load()
+}
+
+// stopSlow is the authoritative form of stop: it additionally checks
+// the soft context directly, so a cancellation or deadline that the
+// asynchronous watcher has not yet delivered is still observed. It is
+// used at coarse granularity — stage and strand boundaries, extension
+// anchors — where the channel poll's cost is amortized, which is what
+// makes cancellation deterministic at those boundaries (e.g. a context
+// cancelled during filtering never starts the extension stage).
+func (r *run) stopSlow() bool {
+	if r.halted.Load() {
+		return true
+	}
+	select {
+	case <-r.soft.Done():
+		r.observeStop()
+		return true
+	default:
+		return false
+	}
+}
+
+// truncate records the first truncation reason (later ones lose).
+func (r *run) truncate(reason TruncationReason) {
+	r.mu.Lock()
+	if r.reason == "" {
+		r.reason = reason
+	}
+	r.mu.Unlock()
+}
+
+// truncation returns the recorded truncation reason ("" if none).
+func (r *run) truncation() TruncationReason {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reason
+}
+
+// seedingStopped reports whether the seeding stage should stop starting
+// new chunk blocks.
+func (r *run) seedingStopped() bool {
+	return r.stop() || r.seedExhausted.Load()
+}
+
+// noteCandidates charges n emitted candidates against the seeding
+// budget and reports whether the budget is now exhausted.
+func (r *run) noteCandidates(n int) bool {
+	if n > 0 {
+		r.candidates.Add(int64(n))
+	}
+	if r.maxCandidates <= 0 {
+		return false
+	}
+	if r.candidates.Load() >= r.maxCandidates {
+		r.truncate(TruncatedMaxCandidates)
+		r.seedExhausted.Store(true)
+		return true
+	}
+	return false
+}
+
+// takeFilterTile reserves one filter-tile budget slot; false means the
+// filter budget is exhausted and the tile must not run. The
+// reservation is exact: precisely MaxFilterTiles tiles ever run.
+func (r *run) takeFilterTile() bool {
+	if r.maxFilterTiles <= 0 {
+		return true
+	}
+	if r.filterExhausted.Load() {
+		return false
+	}
+	if r.filterTiles.Add(1) > r.maxFilterTiles {
+		r.filterTiles.Add(-1)
+		r.truncate(TruncatedMaxFilterTiles)
+		r.filterExhausted.Store(true)
+		return false
+	}
+	return true
+}
+
+// extensionStopped reports whether the extension stage should stop
+// starting new anchors or tiles. Anchors and GACT-X tiles are coarse
+// units of work, so the authoritative check is affordable here.
+func (r *run) extensionStopped() bool {
+	return r.stopSlow() || r.extExhausted.Load()
+}
+
+// extCellsExceeded checks the cumulative extension-cell count against
+// the budget, recording the truncation on first excess.
+func (r *run) extCellsExceeded(cells int64) bool {
+	if r.extExhausted.Load() {
+		return true
+	}
+	if r.maxExtCells <= 0 || cells <= r.maxExtCells {
+		return false
+	}
+	r.truncate(TruncatedMaxExtensionCells)
+	r.extExhausted.Store(true)
+	return true
+}
+
+// fail records the first contained failure and halts all work.
+func (r *run) fail(stage string, shard int, rec any) {
+	err, ok := rec.(error)
+	if !ok {
+		err = fmt.Errorf("panic: %v", rec)
+	}
+	r.mu.Lock()
+	if r.failure == nil {
+		r.failure = &StageError{Stage: stage, Shard: shard, Err: err, Stack: debug.Stack()}
+	}
+	r.mu.Unlock()
+	r.halted.Store(true)
+}
+
+// protect is deferred by every worker goroutine (and around each
+// extension anchor) to convert a panic into a recorded StageError.
+func (r *run) protect(stage string, shard int) {
+	if rec := recover(); rec != nil {
+		r.fail(stage, shard, rec)
+	}
+}
+
+// err returns the first recorded StageError, or nil.
+func (r *run) err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failure != nil {
+		return r.failure
+	}
+	return nil
+}

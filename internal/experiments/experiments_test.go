@@ -15,6 +15,18 @@ func tinyLab() *Lab {
 
 func labOut(l *Lab) *bytes.Buffer { return l.opts.Out.(*bytes.Buffer) }
 
+// skipIfShort gates the end-to-end experiment drivers out of -short
+// runs: each one aligns synthesized genome pairs through the full
+// pipeline, which is far too slow under the race detector (the race CI
+// step runs with -short; the pipeline itself gets its race coverage
+// from the internal/core robustness suite).
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full experiment driver; skipped in -short mode")
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	all := All()
 	if len(all) != 13 {
@@ -39,6 +51,7 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestLabCachesPairsAndRuns(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	p1, err := l.Pair("dm6-droSim1")
 	if err != nil {
@@ -62,6 +75,7 @@ func TestLabCachesPairsAndRuns(t *testing.T) {
 }
 
 func TestTable1And2Render(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	if err := Table1(l); err != nil {
 		t.Fatal(err)
@@ -85,6 +99,7 @@ func TestTable1And2Render(t *testing.T) {
 }
 
 func TestTable3SmokeAndShape(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	data, err := RunTable3(l)
 	if err != nil {
@@ -119,6 +134,7 @@ func TestTable3SmokeAndShape(t *testing.T) {
 }
 
 func TestTable5Shape(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	data, err := RunTable5(l)
 	if err != nil {
@@ -156,6 +172,7 @@ func TestTable5Shape(t *testing.T) {
 }
 
 func TestFig2Renders(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	if err := Fig2(l); err != nil {
 		t.Fatal(err)
@@ -167,6 +184,7 @@ func TestFig2Renders(t *testing.T) {
 }
 
 func TestFig8Renders(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	if err := Fig8(l); err != nil {
 		t.Fatal(err)
@@ -181,6 +199,7 @@ func TestFig8Renders(t *testing.T) {
 }
 
 func TestFig9Renders(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	if err := Fig9(l); err != nil {
 		t.Fatal(err)
@@ -194,6 +213,7 @@ func TestFig9Renders(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	points, err := RunFig10(l)
 	if err != nil {
@@ -220,6 +240,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFPRShape(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	results, err := RunFPR(l)
 	if err != nil {
@@ -248,6 +269,7 @@ func TestFPRShape(t *testing.T) {
 }
 
 func TestTruthShape(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	rows, err := RunTruth(l)
 	if err != nil {
@@ -282,6 +304,7 @@ func TestTruthShape(t *testing.T) {
 }
 
 func TestHfSweepShape(t *testing.T) {
+	skipIfShort(t)
 	l := tinyLab()
 	rows, err := RunHfSweep(l, []int32{2500, 4000, 8000})
 	if err != nil {

@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRuleMatching(t *testing.T) {
+	in := New(
+		Rule{Stage: "filter", Shard: 2, Hit: 1, Action: Cancel, Cancel: func() {}},
+		Rule{Stage: "seeding", Shard: -1, Hit: 3, Action: Cancel, Cancel: func() {}},
+	)
+	hook := in.Hook()
+	hook("filter", 0)  // wrong shard
+	hook("seeding", 0) // seen 1
+	hook("filter", 2)  // fires rule 0
+	hook("seeding", 1) // seen 2
+	hook("seeding", 5) // seen 3 -> fires rule 1
+	hook("seeding", 6) // past Hit, no fire
+
+	fired := in.Fired()
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2: %+v", len(fired), fired)
+	}
+	if fired[0] != (Event{Stage: "filter", Shard: 2, Action: Cancel}) {
+		t.Errorf("event 0 = %+v", fired[0])
+	}
+	if fired[1] != (Event{Stage: "seeding", Shard: 5, Action: Cancel}) {
+		t.Errorf("event 1 = %+v", fired[1])
+	}
+}
+
+func TestEveryVisitRule(t *testing.T) {
+	in := New(Rule{Shard: -1, Action: Delay, Delay: 0})
+	hook := in.Hook()
+	for i := 0; i < 5; i++ {
+		hook("extension", i)
+	}
+	if in.FiredCount() != 5 {
+		t.Errorf("wildcard every-visit rule fired %d times, want 5", in.FiredCount())
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	in := New(Rule{Stage: "filter", Shard: -1, Hit: 1, Action: Panic, Msg: "boom"})
+	hook := in.Hook()
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	hook("filter", 0)
+	t.Error("panic action did not panic")
+}
+
+func TestCancelAction(t *testing.T) {
+	called := false
+	in := New(Rule{Shard: -1, Hit: 2, Action: Cancel, Cancel: func() { called = true }})
+	hook := in.Hook()
+	hook("seeding", 0)
+	if called {
+		t.Error("cancel fired on first visit with Hit=2")
+	}
+	hook("seeding", 1)
+	if !called {
+		t.Error("cancel did not fire on second visit")
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	in := New(Rule{Shard: -1, Action: Delay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	in.Hook()("filter", 0)
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("delay action slept %v, want >= 10ms", elapsed)
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	place := func(seed int64) int {
+		in := Seeded(seed, "filter", 100, Rule{Action: Cancel, Cancel: func() {}})
+		hook := in.Hook()
+		for i := 1; i <= 100; i++ {
+			hook("filter", i)
+			if in.FiredCount() > 0 {
+				return i
+			}
+		}
+		return 0
+	}
+	if a, b := place(42), place(42); a != b || a == 0 {
+		t.Errorf("same seed placed fault at visits %d and %d", a, b)
+	}
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		seen[place(seed)] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("20 seeds produced only %d distinct placements", len(seen))
+	}
+}
+
+func TestConcurrentVisits(t *testing.T) {
+	// The hook is called from pipeline worker goroutines; hammer it
+	// under -race.
+	in := New(Rule{Shard: -1, Hit: 50, Action: Cancel, Cancel: func() {}})
+	hook := in.Hook()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				hook("filter", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if in.FiredCount() != 1 {
+		t.Errorf("Hit rule fired %d times under concurrency, want 1", in.FiredCount())
+	}
+}

@@ -25,6 +25,11 @@ type Config struct {
 	// Y is the X-drop threshold inside a tile (default 9430). Y <= 0
 	// means unbounded: full-tile DP, i.e. classic GACT.
 	Y int32
+	// Stop, when non-nil, is polled before every tile DP; returning
+	// true abandons the extension at the current tile boundary, keeping
+	// the transcript committed so far. Callers use it for cancellation
+	// and cell budgets; nil means run to completion.
+	Stop func() bool
 }
 
 // DefaultConfig returns the paper's GACT-X defaults.
@@ -132,6 +137,9 @@ func (e *Extender) Extend(target, query []byte, tAnchor, qAnchor int, stats *Sta
 func (e *Extender) extendDir(target, query []byte, stats *Stats) (ops []align.EditOp, dT, dQ int) {
 	ti, qi := 0, 0
 	for ti < len(target) || qi < len(query) {
+		if e.cfg.Stop != nil && e.cfg.Stop() {
+			break
+		}
 		tileT := min(e.cfg.TileSize, len(target)-ti)
 		tileQ := min(e.cfg.TileSize, len(query)-qi)
 		if tileT == 0 && tileQ == 0 {

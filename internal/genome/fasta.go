@@ -11,8 +11,10 @@ import (
 
 // ReadFASTA parses FASTA-formatted sequences from r. Header lines begin
 // with '>'; the first whitespace-delimited token becomes the sequence
-// name. Bases are upper-cased and validated against the extended
-// alphabet.
+// name, which must be non-empty. Bases are case-folded to upper case,
+// IUPAC ambiguity codes (and U) become 'N', and any character outside
+// that alphabet is rejected with its line and column number. CRLF and
+// trailing-whitespace line endings are accepted.
 func ReadFASTA(r io.Reader) ([]*Sequence, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var seqs []*Sequence
@@ -25,17 +27,29 @@ func ReadFASTA(r io.Reader) ([]*Sequence, error) {
 			return nil, fmt.Errorf("genome: reading FASTA: %w", err)
 		}
 		lineno++
-		line = bytes.TrimRight(line, "\r\n")
+		line = bytes.TrimRight(line, "\r\n \t")
 		if len(line) > 0 {
 			if line[0] == '>' {
-				name := string(bytes.Fields(line[1:])[0])
-				cur = &Sequence{Name: name}
+				fields := bytes.Fields(line[1:])
+				if len(fields) == 0 {
+					return nil, fmt.Errorf("genome: FASTA line %d: empty sequence name", lineno)
+				}
+				cur = &Sequence{Name: string(fields[0])}
 				seqs = append(seqs, cur)
 			} else if line[0] != ';' { // ';' comments are legacy FASTA
 				if cur == nil {
 					return nil, fmt.Errorf("genome: FASTA line %d: sequence data before first header", lineno)
 				}
+				start := len(cur.Bases)
 				cur.Bases = append(cur.Bases, line...)
+				for i := start; i < len(cur.Bases); i++ {
+					c, ok := NormalizeBase(cur.Bases[i])
+					if !ok {
+						return nil, fmt.Errorf("genome: FASTA line %d, column %d: invalid character %q in sequence %q",
+							lineno, i-start+1, cur.Bases[i], cur.Name)
+					}
+					cur.Bases[i] = c
+				}
 			}
 		}
 		if atEOF {
@@ -44,11 +58,6 @@ func ReadFASTA(r io.Reader) ([]*Sequence, error) {
 	}
 	if len(seqs) == 0 {
 		return nil, fmt.Errorf("genome: FASTA input contains no sequences")
-	}
-	for _, s := range seqs {
-		if err := s.Validate(); err != nil {
-			return nil, err
-		}
 	}
 	return seqs, nil
 }

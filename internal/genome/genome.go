@@ -30,6 +30,12 @@ const (
 // encodeTable maps ASCII to base codes; 0xFF marks invalid characters.
 var encodeTable [256]byte
 
+// normalizeTable maps ASCII to the canonical upper-case alphabet stored
+// in sequences: ACGTN map to themselves (case-folded), IUPAC ambiguity
+// codes and U map to 'N'; 0 marks characters outside the FASTA
+// nucleotide alphabet.
+var normalizeTable [256]byte
+
 // decodeTable maps base codes back to ASCII.
 var decodeTable = [AlphabetSize]byte{'A', 'C', 'G', 'T', 'N'}
 
@@ -49,6 +55,18 @@ func init() {
 	set('G', CodeG)
 	set('T', CodeT)
 	set('N', CodeN)
+
+	for _, b := range []byte("ACGTN") {
+		normalizeTable[b] = b
+		normalizeTable[b|0x20] = b
+	}
+	// IUPAC ambiguity codes, plus U (RNA): all collapse to N, the
+	// pipeline's catch-all base. Gap characters are deliberately NOT
+	// accepted — aligners consume unaligned sequence.
+	for _, b := range []byte("URYSWKMBDHV") {
+		normalizeTable[b] = 'N'
+		normalizeTable[b|0x20] = 'N'
+	}
 
 	for i := range complementTable {
 		complementTable[i] = 'N'
@@ -78,6 +96,15 @@ func DecodeBase(code byte) byte {
 
 // ComplementBase returns the Watson-Crick complement of an ASCII base.
 func ComplementBase(b byte) byte { return complementTable[b] }
+
+// NormalizeBase maps an ASCII character onto the canonical {A,C,G,T,N}
+// alphabet after case folding: the IUPAC ambiguity codes
+// (R,Y,S,W,K,M,B,D,H,V) and U become 'N'. ok is false for any other
+// character.
+func NormalizeBase(b byte) (canon byte, ok bool) {
+	c := normalizeTable[b]
+	return c, c != 0
+}
 
 // IsTransition reports whether two ASCII bases form a transition pair
 // (A<->G or C<->T). Identical bases are not transitions.

@@ -179,6 +179,77 @@ func TestFASTAErrors(t *testing.T) {
 	}
 }
 
+func TestFASTAErrorsCarryLineNumbers(t *testing.T) {
+	_, err := ReadFASTA(strings.NewReader(">s\nACGT\nAC!GT\n"))
+	if err == nil {
+		t.Fatal("invalid base accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "column 3") {
+		t.Errorf("error lacks line/column position: %v", err)
+	}
+	_, err = ReadFASTA(strings.NewReader(">a\nACGT\n>\nACGT\n"))
+	if err == nil {
+		t.Fatal("empty sequence name accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("empty-name error lacks line number: %v", err)
+	}
+	// A bare ">" with trailing spaces must error too, not panic.
+	if _, err := ReadFASTA(strings.NewReader(">   \nACGT\n")); err == nil {
+		t.Error("whitespace-only sequence name accepted")
+	}
+}
+
+func TestFASTACRLFAndTrailingWhitespace(t *testing.T) {
+	in := ">chr1 desc\r\nACGT\r\nacgt  \r\n>chr2\r\nTTTT\r\n"
+	seqs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0].Name != "chr1" || seqs[1].Name != "chr2" {
+		t.Fatalf("parsed %d sequences: %+v", len(seqs), seqs)
+	}
+	if string(seqs[0].Bases) != "ACGTACGT" {
+		t.Errorf("chr1 bases = %s", seqs[0].Bases)
+	}
+	if string(seqs[1].Bases) != "TTTT" {
+		t.Errorf("chr2 bases = %s", seqs[1].Bases)
+	}
+}
+
+func TestFASTAIUPACToN(t *testing.T) {
+	seqs, err := ReadFASTA(strings.NewReader(">s\nAcRySWkmBdHVun\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seqs[0].Bases) != "ACNNNNNNNNNNNN" {
+		t.Errorf("IUPAC mapping: %s", seqs[0].Bases)
+	}
+	// Gap and alignment characters stay invalid.
+	for _, bad := range []string{">s\nAC-GT\n", ">s\nAC.GT\n", ">s\nAC*GT\n"} {
+		if _, err := ReadFASTA(strings.NewReader(bad)); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestNormalizeBase(t *testing.T) {
+	for _, tc := range []struct {
+		in   byte
+		want byte
+		ok   bool
+	}{
+		{'A', 'A', true}, {'c', 'C', true}, {'N', 'N', true},
+		{'r', 'N', true}, {'V', 'N', true}, {'u', 'N', true},
+		{'-', 0, false}, {'!', 0, false}, {' ', 0, false}, {0, 0, false},
+	} {
+		got, ok := NormalizeBase(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("NormalizeBase(%q) = %q,%v want %q,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
 func TestPackUnpackKmer(t *testing.T) {
 	seq := []byte("ACGTACGTACGT")
 	key, ok := PackKmer(seq)

@@ -69,16 +69,25 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<20)}
 }
 
+// writeHeader emits the ##maf header once.
+func (mw *Writer) writeHeader() error {
+	if mw.header {
+		return nil
+	}
+	if _, err := fmt.Fprintf(mw.w, "##maf version=1 scoring=darwin-wga\n"); err != nil {
+		return err
+	}
+	mw.header = true
+	return nil
+}
+
 // Write emits one block (writing the ##maf header first if needed).
 func (mw *Writer) Write(b *Block) error {
 	if err := b.Validate(); err != nil {
 		return err
 	}
-	if !mw.header {
-		if _, err := fmt.Fprintf(mw.w, "##maf version=1 scoring=darwin-wga\n"); err != nil {
-			return err
-		}
-		mw.header = true
+	if err := mw.writeHeader(); err != nil {
+		return err
 	}
 	if _, err := fmt.Fprintf(mw.w, "a score=%d\n", b.Score); err != nil {
 		return err
@@ -94,8 +103,15 @@ func (mw *Writer) Write(b *Block) error {
 	return nil
 }
 
-// Flush flushes buffered output.
-func (mw *Writer) Flush() error { return mw.w.Flush() }
+// Flush flushes buffered output, writing the ##maf header first if no
+// block ever did — zero-block output (e.g. a truncated run with no
+// alignments) is still a valid, self-identifying MAF file.
+func (mw *Writer) Flush() error {
+	if err := mw.writeHeader(); err != nil {
+		return err
+	}
+	return mw.w.Flush()
+}
 
 // Read parses all pairwise blocks from r.
 func Read(r io.Reader) ([]*Block, error) {

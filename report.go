@@ -1,6 +1,7 @@
 package darwinwga
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -26,6 +27,10 @@ type Report struct {
 	// Workload and Timings aggregate the pipeline stages.
 	Workload Workload
 	Timings  core.Timings
+	// Truncated is non-empty when the underlying pipeline run stopped
+	// early (cancellation, deadline, or budget exhaustion); the HSPs
+	// and chains are then a valid partial result.
+	Truncated TruncationReason
 
 	target       []byte
 	query        []byte
@@ -40,15 +45,26 @@ type Report struct {
 // chained per strand. The target index is built once per call; to
 // align many queries against one target, use NewAligner directly.
 func AlignAssemblies(target, query *Assembly, cfg Config) (*Report, error) {
+	return AlignAssembliesContext(context.Background(), target, query, cfg)
+}
+
+// AlignAssembliesContext is AlignAssemblies with cancellation and the
+// Config resource budgets. When ctx is cancelled mid-run the partial
+// report — with the HSPs and chains completed so far and
+// Report.Truncated set — is returned together with ctx.Err(), so
+// callers can persist what was computed. Budget exhaustion
+// (Config.MaxCandidates, MaxFilterTiles, MaxExtensionCells, Deadline)
+// returns a truncated report with a nil error.
+func AlignAssembliesContext(ctx context.Context, target, query *Assembly, cfg Config) (*Report, error) {
 	tBases, tStarts := genome.Concat(target.Seqs)
 	qBases, qStarts := genome.Concat(query.Seqs)
 	aligner, err := core.NewAligner(tBases, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := aligner.Align(qBases)
-	if err != nil {
-		return nil, err
+	res, alignErr := aligner.AlignContext(ctx, qBases)
+	if res == nil {
+		return nil, alignErr
 	}
 	rep := &Report{
 		TargetName:   target.Name,
@@ -56,6 +72,7 @@ func AlignAssemblies(target, query *Assembly, cfg Config) (*Report, error) {
 		HSPs:         res.HSPs,
 		Workload:     res.Workload,
 		Timings:      res.Timings,
+		Truncated:    res.Truncated,
 		target:       tBases,
 		query:        qBases,
 		targetStarts: tStarts,
@@ -68,7 +85,7 @@ func AlignAssemblies(target, query *Assembly, cfg Config) (*Report, error) {
 		rep.queryNames = append(rep.queryNames, s.Name)
 	}
 	rep.Chains = BuildChains(res.HSPs, rep.target, rep.query, chain.DefaultOptions())
-	return rep, nil
+	return rep, alignErr
 }
 
 // BuildChains chains HSPs per query strand and returns all chains
