@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race ci
+.PHONY: all build vet test test-race test-resume ci
 
 all: build
 
@@ -21,4 +21,13 @@ test:
 test-race:
 	$(GO) test -race -short -timeout 30m ./...
 
-ci: build vet test test-race
+# Durability suite: the subprocess crash–resume e2e (SIGKILL mid
+# journal write, resume, byte-compare the MAF), the journal
+# truncation/corruption sweeps, and the in-process resume/retry tests.
+# Not -short: the e2e re-execs the test binary as the CLI.
+test-resume:
+	$(GO) test -timeout 15m -run 'TestCrashResume|TestRetry' ./cmd/darwin-wga/
+	$(GO) test -timeout 15m ./internal/checkpoint/
+	$(GO) test -timeout 15m -run 'TestResume|TestRetry|TestFailureAggregation' ./internal/core/
+
+ci: build vet test test-race test-resume

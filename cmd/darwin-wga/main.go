@@ -14,6 +14,14 @@
 // interrupted with SIGINT/SIGTERM; in both cases the partial alignments
 // computed so far are still written, and the summary is tagged
 // (truncated).
+//
+// With -checkpoint <dir> the pipeline journals its progress to a
+// crash-safe write-ahead log in <dir>; a killed run rerun with the same
+// flags resumes from the journal and produces byte-identical output.
+// -retries (with -retry-delay/-retry-max-delay backoff) re-runs failed
+// pipeline shards before degrading to a partial result. The final MAF
+// is written atomically: to <out>.tmp first, fsynced, then renamed over
+// <out>, so an existing output file is never left half-overwritten.
 package main
 
 import (
@@ -22,10 +30,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"darwinwga"
+	"darwinwga/internal/checkpoint"
+	"darwinwga/internal/faultinject"
 	"darwinwga/internal/stats"
 )
 
@@ -42,6 +55,10 @@ type options struct {
 	oneStrand             bool
 	topChains             int
 	timeout               time.Duration
+	checkpointDir         string
+	retries               int
+	retryDelay            time.Duration
+	retryMaxDelay         time.Duration
 }
 
 func main() {
@@ -60,6 +77,10 @@ func main() {
 	flag.BoolVar(&opts.oneStrand, "forward-only", false, "skip the reverse-complement strand")
 	flag.IntVar(&opts.topChains, "top", 10, "number of top chains to summarize")
 	flag.DurationVar(&opts.timeout, "timeout", 0, "soft wall-clock budget; on expiry the partial result is still written (0 = none)")
+	flag.StringVar(&opts.checkpointDir, "checkpoint", "", "journal progress to this directory; a killed run rerun with the same flags resumes from it")
+	flag.IntVar(&opts.retries, "retries", 0, "re-run a failed pipeline shard up to this many extra times before dropping it (0 = fail the call on first shard failure)")
+	flag.DurationVar(&opts.retryDelay, "retry-delay", 100*time.Millisecond, "base backoff before a shard retry (doubles per attempt, with jitter)")
+	flag.DurationVar(&opts.retryMaxDelay, "retry-max-delay", 5*time.Second, "cap on the per-retry backoff delay")
 	flag.Parse()
 	opts.hf, opts.he = int32(*hf), int32(*he)
 
@@ -82,6 +103,12 @@ func run(ctx context.Context, opts options) error {
 		return fmt.Errorf("-top must be non-negative, got %d", opts.topChains)
 	case opts.timeout < 0:
 		return fmt.Errorf("-timeout must be non-negative, got %v", opts.timeout)
+	case opts.retries < 0:
+		return fmt.Errorf("-retries must be non-negative, got %d", opts.retries)
+	case opts.retryDelay < 0:
+		return fmt.Errorf("-retry-delay must be non-negative, got %v", opts.retryDelay)
+	case opts.retryMaxDelay < 0:
+		return fmt.Errorf("-retry-max-delay must be non-negative, got %v", opts.retryMaxDelay)
 	}
 
 	var target, query *darwinwga.Assembly
@@ -122,6 +149,15 @@ func run(ctx context.Context, opts options) error {
 	cfg.Workers = opts.workers
 	cfg.BothStrands = !opts.oneStrand
 	cfg.Deadline = opts.timeout
+	cfg.CheckpointDir = opts.checkpointDir
+	if opts.retries > 0 {
+		cfg.Retry = darwinwga.RetryPolicy{
+			MaxAttempts: opts.retries + 1,
+			BaseDelay:   opts.retryDelay,
+			MaxDelay:    opts.retryMaxDelay,
+		}
+	}
+	cfg.CheckpointFaults = crashFaultsFromEnv()
 
 	rep, alignErr := darwinwga.AlignAssembliesContext(ctx, target, query, cfg)
 	if rep == nil {
@@ -132,21 +168,20 @@ func run(ctx context.Context, opts options) error {
 	}
 
 	if opts.outPath != "" {
-		f, err := os.Create(opts.outPath)
-		if err != nil {
+		if err := writeMAFAtomic(rep, opts.outPath); err != nil {
 			return err
-		}
-		werr := rep.WriteMAF(f)
-		// Close errors matter: on a full or failing filesystem the data
-		// may only be rejected at close time.
-		if cerr := f.Close(); werr == nil && cerr != nil {
-			werr = fmt.Errorf("closing %s: %w", opts.outPath, cerr)
-		}
-		if werr != nil {
-			return werr
 		}
 	} else if err := rep.WriteMAF(os.Stdout); err != nil {
 		return err
+	}
+
+	// A complete run has no further use for its journal; removing it
+	// keeps a later run with different inputs from tripping over a stale
+	// ErrCheckpointMismatch. Partial runs keep theirs for resuming.
+	if opts.checkpointDir != "" && alignErr == nil && rep.Truncated == "" {
+		if err := checkpoint.Remove(opts.checkpointDir); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: removing completed checkpoint journal: %v\n", err)
+		}
 	}
 
 	trunc := ""
@@ -165,4 +200,82 @@ func run(ctx context.Context, opts options) error {
 		fmt.Fprintf(os.Stderr, "chain %2d: score %s\n", i+1, stats.Comma(s))
 	}
 	return alignErr
+}
+
+// writeMAFAtomic writes the report's MAF to path via a temp file in the
+// same directory, fsyncs it, and renames it into place, so a crash at
+// any point leaves either the previous file or the complete new one —
+// never a torn mixture.
+func writeMAFAtomic(rep *darwinwga.Report, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = rep.WriteMAF(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	// Close errors matter: on a full or failing filesystem the data may
+	// only be rejected at close time.
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("closing %s: %w", tmp, cerr)
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return checkpoint.SyncDir(filepath.Dir(path))
+}
+
+// crashFaultsFromEnv builds the deterministic I/O fault plan the
+// crash–resume end-to-end test injects into a child process:
+//
+//	DARWINWGA_CRASH_AFTER_CKPT_WRITES=N   SIGKILL self on the Nth
+//	                                      (1-based) checkpoint write
+//	DARWINWGA_CRASH_SHORT=K               first write K bytes of that
+//	                                      record's frame (torn write)
+//	DARWINWGA_IOERR_ON_CKPT_WRITE=N       fail the Nth checkpoint write
+//	                                      with a transient error
+//
+// Unset (the normal case) returns nil — no injection.
+func crashFaultsFromEnv() *faultinject.IOFaults {
+	var rules []faultinject.IORule
+	if hit, ok := envHit("DARWINWGA_CRASH_AFTER_CKPT_WRITES"); ok {
+		short := 0
+		if s, ok := envHit("DARWINWGA_CRASH_SHORT"); ok {
+			short = s
+		}
+		rules = append(rules, faultinject.IORule{
+			Op: faultinject.OpWrite, Hit: hit,
+			Action: faultinject.IOCrash, Short: short,
+		})
+	}
+	if hit, ok := envHit("DARWINWGA_IOERR_ON_CKPT_WRITE"); ok {
+		rules = append(rules, faultinject.IORule{
+			Op: faultinject.OpWrite, Hit: hit, Action: faultinject.IOErr,
+		})
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+	return faultinject.NewIO(rules...)
+}
+
+// envHit parses a positive integer fault-injection variable; malformed
+// values are ignored with a warning rather than failing a real run.
+func envHit(name string) (int, bool) {
+	s := os.Getenv(name)
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 1 {
+		fmt.Fprintf(os.Stderr, "warning: ignoring bad %s=%q\n", name, s)
+		return 0, false
+	}
+	return n, true
 }

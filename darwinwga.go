@@ -37,6 +37,20 @@
 // an error — the partial result comes back with a TruncationReason
 // instead. A panic in any pipeline worker is contained and surfaced as
 // a *StageError, failing the call rather than the process.
+//
+// # Durability and resume
+//
+// Setting Config.CheckpointDir makes a run journal its progress to a
+// crash-safe write-ahead log: completed seeding/filtering per strand
+// and each finished extension anchor. A run killed mid-flight (even by
+// SIGKILL) and restarted with the same configuration, target, query,
+// and CheckpointDir replays the journaled work and continues where it
+// stopped, producing the same Result as an uninterrupted run; a journal
+// from a different run is refused with ErrCheckpointMismatch.
+// Config.Retry adds per-shard retry with exponential backoff: a shard
+// that keeps failing after MaxAttempts is dropped and the call returns
+// a partial Result tagged TruncatedShardFailures, with the per-shard
+// causes in Result.FailedShards.
 package darwinwga
 
 import (
@@ -68,6 +82,9 @@ type (
 	// StageError is a contained worker failure: a panic in one shard of
 	// one pipeline stage, surfaced as an error instead of a crash.
 	StageError = core.StageError
+	// RetryPolicy re-runs a failed shard with exponential backoff before
+	// the run degrades to a partial result (Config.Retry).
+	RetryPolicy = core.RetryPolicy
 	// Scoring is the substitution matrix and affine-gap model.
 	Scoring = align.Scoring
 	// Alignment is a local alignment with an edit transcript.
@@ -98,7 +115,13 @@ const (
 	TruncatedMaxCandidates     = core.TruncatedMaxCandidates
 	TruncatedMaxFilterTiles    = core.TruncatedMaxFilterTiles
 	TruncatedMaxExtensionCells = core.TruncatedMaxExtensionCells
+	TruncatedShardFailures     = core.TruncatedShardFailures
 )
+
+// ErrCheckpointMismatch is returned when Config.CheckpointDir points at
+// a journal written by a run with a different configuration, target, or
+// query; resuming it would splice incompatible work into the result.
+var ErrCheckpointMismatch = core.ErrCheckpointMismatch
 
 // DefaultConfig returns Darwin-WGA's default parameters (the paper's
 // Table II, with the Hf=4000 default of Section VI-B).

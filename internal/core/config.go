@@ -8,11 +8,13 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"time"
 
 	"darwinwga/internal/align"
 	"darwinwga/internal/dsoft"
+	"darwinwga/internal/faultinject"
 	"darwinwga/internal/gact"
 	"darwinwga/internal/seed"
 )
@@ -104,8 +106,95 @@ type Config struct {
 	// and the shard index. It exists for deterministic fault injection
 	// (see internal/faultinject); a panic from the hook is contained
 	// like any worker panic and surfaces as a *StageError. Nil (the
-	// default) costs nothing.
+	// default) costs nothing. Under a Retry policy the hook is invoked
+	// again on every retry attempt, which is how injectors model
+	// transient (fire-once) versus persistent (fire-always) faults.
 	FaultHook func(stage string, shard int)
+
+	// Retry is the per-shard retry policy. With MaxAttempts > 1, a
+	// shard that fails with a contained error (a worker panic, e.g. an
+	// injected fault) is re-run with exponential backoff instead of
+	// failing the call; a shard that exhausts its attempts is dropped
+	// and the call degrades to a partial Result tagged
+	// TruncatedShardFailures, with the per-shard causes in
+	// Result.FailedShards. The zero value preserves the strict
+	// behaviour: the first contained failure fails the whole call.
+	Retry RetryPolicy
+
+	// CheckpointDir, when non-empty, journals pipeline progress (input
+	// fingerprints, per-strand filter survivors, per-anchor extension
+	// outcomes) to an append-only journal in that directory, fsynced
+	// record by record. A later call with the same config, target, and
+	// query — e.g. a rerun after a SIGKILL — verifies the fingerprints,
+	// replays the journaled work into the Result without recomputing
+	// it, and re-enters the pipeline at the first unfinished anchor,
+	// producing a Result identical to an uninterrupted run. A journal
+	// written under a different config or input is refused with
+	// ErrCheckpointMismatch.
+	CheckpointDir string
+
+	// CheckpointNoSync skips the per-record fsync of the checkpoint
+	// journal, trading crash durability for speed. Tests use it; leave
+	// it false when the journal is the crash-recovery story.
+	CheckpointNoSync bool
+
+	// CheckpointFaults injects I/O faults (transient errors, torn
+	// writes, crash-at-offset) into the checkpoint writer; nil injects
+	// nothing. See internal/faultinject.
+	CheckpointFaults *faultinject.IOFaults
+}
+
+// RetryPolicy bounds how persistently the pipeline re-runs a failing
+// shard (and how persistently the checkpoint writer re-tries a failing
+// journal append). Backoff before attempt n+1 is
+// BaseDelay·2^(n-1), capped at MaxDelay, with deterministic ±50%
+// jitter derived from the (stage, shard, attempt) triple.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per shard; 0 and 1
+	// both mean "no retry".
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (0 = retry
+	// immediately).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0 = uncapped).
+	MaxDelay time.Duration
+}
+
+// attempts normalizes MaxAttempts to at least one attempt.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay returns the backoff to sleep after failed attempt `attempt`
+// (1-based), jittered deterministically by seed.
+func (p RetryPolicy) delay(attempt int, seed uint64) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20 // past ~10^6× the base the cap always governs
+	}
+	d := p.BaseDelay << shift
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Jitter to [0.5d, 1.5d): splitmix64 keeps placement stable across
+	// Go releases, so retry schedules are reproducible in tests.
+	frac := float64(mix64(seed)>>11) / float64(1<<53)
+	return time.Duration((0.5 + frac) * float64(d))
+}
+
+// mix64 is Vigna's SplitMix64 finalizer (same as internal/faultinject's;
+// duplicated to keep the dependency one-directional).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // DefaultConfig returns Darwin-WGA's default parameters (Table II plus
@@ -163,7 +252,42 @@ func (c *Config) Validate() error {
 	if c.Deadline < 0 {
 		return fmt.Errorf("core: negative deadline %v", c.Deadline)
 	}
+	if c.Retry.MaxAttempts < 0 {
+		return fmt.Errorf("core: negative retry attempts %d", c.Retry.MaxAttempts)
+	}
+	if c.Retry.BaseDelay < 0 || c.Retry.MaxDelay < 0 {
+		return fmt.Errorf("core: negative retry delay: base %v, max %v", c.Retry.BaseDelay, c.Retry.MaxDelay)
+	}
 	return nil
+}
+
+// fingerprint hashes every configuration field that determines the
+// pipeline's output, so a checkpoint journal is only resumed under the
+// configuration that wrote it. Operational knobs that cannot change
+// the alignment set — Workers (anchor order is canonicalized), Retry,
+// FaultHook, the checkpoint settings themselves — are excluded, as is
+// the wall-clock Deadline (a deadline-truncated run is inherently
+// non-reproducible). Resource budgets are included: they shape the
+// result.
+func (c *Config) fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed=%q maxfreq=%d dsoft=%+v filter=%d ftile=%d fband=%d hf=%d xdrop=%d",
+		c.SeedPattern, c.SeedMaxFreq, c.DSoft, c.Filter, c.FilterTileSize, c.FilterBand,
+		c.FilterThreshold, c.UngappedXDrop)
+	fmt.Fprintf(h, " ext=%d/%d/%d he=%d absorb=%d strands=%t",
+		c.Extension.TileSize, c.Extension.Overlap, c.Extension.Y,
+		c.ExtensionThreshold, c.AbsorbBand, c.BothStrands)
+	fmt.Fprintf(h, " budget=%d/%d/%d", c.MaxCandidates, c.MaxFilterTiles, c.MaxExtensionCells)
+	sc := c.scoring()
+	fmt.Fprintf(h, " scoring=%v/%d/%d", sc.Sub, sc.GapOpen, sc.GapExtend)
+	return h.Sum64()
+}
+
+// hashBytes fingerprints an input sequence (FNV-1a 64).
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b) //nolint:errcheck // fnv never errors
+	return h.Sum64()
 }
 
 func (c *Config) workers() int {
@@ -235,4 +359,9 @@ type Result struct {
 	// Truncated is non-empty when the pipeline stopped early; the
 	// result is then a valid prefix of the full computation.
 	Truncated TruncationReason
+	// FailedShards lists the shards dropped after exhausting the Retry
+	// policy (capped at a small number), one *StageError per shard with
+	// its final cause. Non-empty only when Truncated is
+	// TruncatedShardFailures.
+	FailedShards []*StageError
 }

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Stage names used by StageError and the fault-injection hook
 // (Config.FaultHook). They correspond to the three pipeline stages of
@@ -49,4 +52,20 @@ const (
 	// TruncatedMaxExtensionCells: extension stopped at
 	// Config.MaxExtensionCells.
 	TruncatedMaxExtensionCells TruncationReason = "max-extension-cells"
+	// TruncatedShardFailures: one or more shards were dropped after
+	// exhausting the Config.Retry policy; the per-shard causes are in
+	// Result.FailedShards.
+	TruncatedShardFailures TruncationReason = "shard-failures"
 )
+
+// ErrCheckpointMismatch means a checkpoint journal was written by a run
+// with a different configuration, target, or query than the current
+// call — resuming it would splice incompatible work into the result,
+// so the call refuses. Point CheckpointDir at a fresh directory (or
+// remove the stale journal) to start over.
+var ErrCheckpointMismatch = errors.New("core: checkpoint journal does not match this run's config and inputs")
+
+// errReplayedShardFailure is the cause attached to a FailedShards entry
+// reconstructed from a checkpoint journal: the original error text was
+// not journaled, only the fact and location of the permanent failure.
+var errReplayedShardFailure = errors.New("shard failure replayed from checkpoint journal")

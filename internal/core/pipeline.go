@@ -67,7 +67,16 @@ func (a *Aligner) Align(query []byte) (*Result, error) {
 // MaxFilterTiles, MaxExtensionCells, or Deadline — is graceful
 // degradation, not an error: the call stops starting new work and
 // returns the partial Result with Result.Truncated set and a nil error.
-// A panic in any stage is contained and surfaces as a *StageError.
+// A panic in any stage is contained and surfaces as a *StageError
+// (under Config.Retry the failing shard is re-run first, and a shard
+// that exhausts its attempts degrades the Result instead of failing
+// the call).
+//
+// With Config.CheckpointDir set, progress is journaled durably as it
+// happens, and a later identical call resumes from the journal instead
+// of recomputing — see Config.CheckpointDir. Result.HSPs are in
+// canonical order (target start, query start, score), independent of
+// worker count, scheduling, and resume history.
 func (a *Aligner) AlignContext(ctx context.Context, query []byte) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -77,6 +86,14 @@ func (a *Aligner) AlignContext(ctx context.Context, query []byte) (*Result, erro
 	}
 	r := a.newRun(ctx)
 	defer r.stopTimer()
+	if a.cfg.CheckpointDir != "" {
+		ck, err := openCheckpoint(&a.cfg, a.target, query)
+		if err != nil {
+			return nil, err
+		}
+		defer ck.close()
+		r.ck = ck
+	}
 	res := &Result{}
 	if err := a.alignStrand(r, query, '+', res); err != nil {
 		return nil, err
@@ -93,11 +110,52 @@ func (a *Aligner) AlignContext(ctx context.Context, query []byte) (*Result, erro
 	if r.ctx.Err() != nil {
 		r.truncate(TruncatedCancelled)
 	}
+	sortHSPs(res.HSPs)
 	res.Truncated = r.truncation()
+	res.FailedShards = r.failedShards()
 	if res.Truncated == TruncatedCancelled {
 		return res, r.ctx.Err()
 	}
 	return res, nil
+}
+
+// sortHSPs puts final alignments into the canonical emission order —
+// (target start, query start, score, strand) — so an identical
+// alignment set always serializes identically: resumed and
+// uninterrupted runs produce byte-identical MAF regardless of worker
+// scheduling.
+func sortHSPs(hsps []HSP) {
+	sort.Slice(hsps, func(i, j int) bool {
+		a, b := &hsps[i], &hsps[j]
+		if a.TStart != b.TStart {
+			return a.TStart < b.TStart
+		}
+		if a.QStart != b.QStart {
+			return a.QStart < b.QStart
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Strand < b.Strand
+	})
+}
+
+// sortAnchors orders filter survivors into the canonical extension
+// order: best filter score first (strong alignments absorb their
+// shadows), ties broken by coordinates so the order — and therefore
+// absorption, and therefore the final alignment set — is independent
+// of worker count and goroutine scheduling.
+func sortAnchors(passed []passedAnchor) {
+	sort.Slice(passed, func(i, j int) bool {
+		a, b := passed[i], passed[j]
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		if a.tPos != b.tPos {
+			return a.tPos < b.tPos
+		}
+		return a.qPos < b.qPos
+	})
 }
 
 // passedAnchor is a filter-stage survivor: the Vmax position becomes the
@@ -132,7 +190,7 @@ func (a *Aligner) Anchors(query []byte) ([]ExtensionAnchor, error) {
 	if err := r.err(); err != nil {
 		return nil, err
 	}
-	sort.Slice(passed, func(i, j int) bool { return passed[i].score > passed[j].score })
+	sortAnchors(passed)
 	out := make([]ExtensionAnchor, len(passed))
 	for i, p := range passed {
 		out[i] = ExtensionAnchor{TPos: p.tPos, QPos: p.qPos, Score: p.score}
@@ -148,25 +206,59 @@ func (a *Aligner) alignStrand(r *run, query []byte, strand byte, res *Result) er
 		return nil
 	}
 
-	// Stage 1: D-SOFT seeding over query shards.
-	t0 := time.Now()
-	anchors, seedStats := a.runSeeding(r, query)
-	res.Workload.SeedHits += int64(seedStats.SeedHits)
-	res.Workload.Candidates += int64(seedStats.Candidates)
-	res.Timings.Seeding += time.Since(t0)
-	if err := r.err(); err != nil {
-		return err
-	}
+	var passed []passedAnchor
+	if s := r.ck.strand(strand); s != nil {
+		// Resume: this strand's seeding+filtering completed in a
+		// previous run; replay its anchors and workload instead of
+		// recomputing.
+		passed = s.anchors
+		addWorkload(&res.Workload, s.workload)
+		r.candidates.Add(s.workload.Candidates)
+		r.filterTiles.Add(s.workload.FilterTiles)
+		if s.truncated != "" {
+			r.truncate(s.truncated)
+		}
+	} else {
+		// Stage 1: D-SOFT seeding over query shards.
+		t0 := time.Now()
+		anchors, seedStats := a.runSeeding(r, query)
+		res.Timings.Seeding += time.Since(t0)
+		if err := r.err(); err != nil {
+			return err
+		}
 
-	// Stage 2: filtering (gapped BSW or ungapped X-drop).
-	t1 := time.Now()
-	passed, filterTiles, filterCells := a.runFilter(r, query, anchors)
-	res.Workload.FilterTiles += filterTiles
-	res.Workload.FilterCells += filterCells
-	res.Workload.PassedFilter += int64(len(passed))
-	res.Timings.Filtering += time.Since(t1)
-	if err := r.err(); err != nil {
-		return err
+		// Stage 2: filtering (gapped BSW or ungapped X-drop).
+		t1 := time.Now()
+		var filterTiles, filterCells int64
+		passed, filterTiles, filterCells = a.runFilter(r, query, anchors)
+		res.Timings.Filtering += time.Since(t1)
+		if err := r.err(); err != nil {
+			return err
+		}
+		sortAnchors(passed)
+
+		wl := Workload{
+			SeedHits:     int64(seedStats.SeedHits),
+			Candidates:   int64(seedStats.Candidates),
+			FilterTiles:  filterTiles,
+			FilterCells:  filterCells,
+			PassedFilter: int64(len(passed)),
+		}
+		addWorkload(&res.Workload, wl)
+		// Journal the strand's anchor set — unless the run is stopping,
+		// in which case the set is incomplete and must be recomputed on
+		// resume. Budget truncation is journaled with it: the truncated
+		// set is final, and a resumed run must reproduce it rather than
+		// widen it.
+		if r.ck != nil && !r.stopSlow() {
+			trunc := r.truncation()
+			if trunc != TruncatedMaxCandidates && trunc != TruncatedMaxFilterTiles && trunc != TruncatedShardFailures {
+				trunc = ""
+			}
+			if err := r.ck.recordStrand(strand, passed, wl, trunc); err != nil {
+				return err
+			}
+		}
 	}
 
 	// Stage 3: extension with anchor absorption, best filter score
@@ -177,13 +269,24 @@ func (a *Aligner) alignStrand(r *run, query []byte, strand byte, res *Result) er
 	return err
 }
 
-// runExtension extends the surviving anchors serially (best filter
-// score first). Cancellation and the cell budget are polled at GACT-X
-// tile granularity through the extender's Stop hook; a panic while
-// extending one anchor is contained as a *StageError for that anchor.
-func (a *Aligner) runExtension(r *run, query []byte, strand byte, passed []passedAnchor, res *Result) error {
-	sort.Slice(passed, func(i, j int) bool { return passed[i].score > passed[j].score })
+// addWorkload accumulates the seed/filter counters of one strand.
+func addWorkload(dst *Workload, d Workload) {
+	dst.SeedHits += d.SeedHits
+	dst.Candidates += d.Candidates
+	dst.FilterTiles += d.FilterTiles
+	dst.FilterCells += d.FilterCells
+	dst.PassedFilter += d.PassedFilter
+}
 
+// runExtension extends the surviving anchors serially, in the
+// canonical order passed arrives in (sortAnchors: best filter score
+// first). Cancellation and the cell budget are polled at GACT-X tile
+// granularity through the extender's Stop hook; a panic while
+// extending one anchor is contained as a *StageError for that anchor,
+// retried under Config.Retry, and journaled per anchor when
+// checkpointing is on. Anchors whose outcome the journal already holds
+// are replayed instead of recomputed.
+func (a *Aligner) runExtension(r *run, query []byte, strand byte, passed []passedAnchor, res *Result) error {
 	// cellsDone/inFlight let the Stop hook see the cumulative cell
 	// count mid-Extend; extension is single-goroutine so plain reads
 	// are safe.
@@ -202,54 +305,102 @@ func (a *Aligner) runExtension(r *run, query []byte, strand byte, passed []passe
 		return err
 	}
 	absorb := newAbsorber(a.cfg.AbsorbBand)
+	var replayed []ckptAnchorRec
+	if s := r.ck.strand(strand); s != nil {
+		replayed = s.outcomes
+	}
 	for i, p := range passed {
+		if i < len(replayed) {
+			replayAnchor(r, strand, &replayed[i], absorb, res, &cellsDone)
+			continue
+		}
 		if r.extensionStopped() {
 			break
 		}
 		if absorb.covered(p.tPos, p.qPos) {
 			res.Workload.Absorbed++
+			if err := r.ck.recordAnchor(ckptAnchorRec{Strand: string(strand), Index: i, Absorbed: true}); err != nil {
+				return err
+			}
 			continue
 		}
 		var st gact.Stats
-		inFlight = &st
-		aln, err := a.extendAnchor(r, ext, query, p, i, &st)
+		var aln align.Alignment
+		ok := r.runShard(StageExtension, i, func() {
+			st = gact.Stats{}
+			inFlight = &st
+			if r.hook != nil {
+				r.hook(StageExtension, i)
+			}
+			aln = ext.Extend(a.target, query, p.tPos, p.qPos, &st)
+		}, func() {
+			inFlight = nil
+		})
 		inFlight = nil
+		if !ok {
+			if err := r.err(); err != nil {
+				// No retry policy: the contained failure fails the call.
+				return err
+			}
+			// Retry exhausted: the anchor is dropped, the run degrades
+			// (recorded by runShard) and continues. Journal the drop so
+			// a resumed run reproduces the same partial result.
+			if err := r.ck.recordAnchor(ckptAnchorRec{Strand: string(strand), Index: i, Failed: true}); err != nil {
+				return err
+			}
+			continue
+		}
+		// A stop (cancellation, deadline, cell budget) that landed inside
+		// Extend cut the alignment short: it is fine as part of this
+		// call's partial Result but must not be journaled — a resumed run
+		// recomputes this anchor in full instead of replaying the stub.
+		stopped := r.extensionStopped()
 		cellsDone += int64(st.Cells)
 		res.Workload.ExtensionTiles += int64(st.Tiles)
 		res.Workload.ExtensionCells += int64(st.Cells)
-		if err != nil {
+		rec := ckptAnchorRec{Strand: string(strand), Index: i, Tiles: int64(st.Tiles), Cells: int64(st.Cells)}
+		if aln.Score >= a.cfg.ExtensionThreshold {
+			matches, _, _ := aln.Counts(a.target, query)
+			h := HSP{
+				Alignment:   aln,
+				Strand:      strand,
+				Matches:     matches,
+				FilterScore: p.score,
+			}
+			rec.HSP = hspToCkpt(&h)
+			res.HSPs = append(res.HSPs, h)
+			dMin, dMax := pathDiagRange(aln.TStart, aln.QStart, aln.Ops)
+			absorb.add(aln.TStart, aln.TEnd, dMin, dMax)
+		}
+		if stopped {
+			break
+		}
+		if err := r.ck.recordAnchor(rec); err != nil {
 			return err
 		}
-		if aln.Score < a.cfg.ExtensionThreshold {
-			continue
-		}
-		matches, _, _ := aln.Counts(a.target, query)
-		res.HSPs = append(res.HSPs, HSP{
-			Alignment:   aln,
-			Strand:      strand,
-			Matches:     matches,
-			FilterScore: p.score,
-		})
-		dMin, dMax := pathDiagRange(aln.TStart, aln.QStart, aln.Ops)
-		absorb.add(aln.TStart, aln.TEnd, dMin, dMax)
 	}
 	return nil
 }
 
-// extendAnchor extends one anchor with panic containment: a panic (from
-// the extender or the fault hook) becomes a *StageError whose shard is
-// the anchor index.
-func (a *Aligner) extendAnchor(r *run, ext *gact.Extender, query []byte, p passedAnchor, shard int, st *gact.Stats) (aln align.Alignment, err error) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			r.fail(StageExtension, shard, rec)
-			err = r.err()
-		}
-	}()
-	if r.hook != nil {
-		r.hook(StageExtension, shard)
+// replayAnchor folds one journaled anchor outcome into the result and
+// the absorber, reproducing exactly the state the original run had
+// after extending it — including the duplicate-absorption coverage
+// later anchors are checked against.
+func replayAnchor(r *run, strand byte, rec *ckptAnchorRec, absorb *absorber, res *Result, cellsDone *int64) {
+	res.Workload.ExtensionTiles += rec.Tiles
+	res.Workload.ExtensionCells += rec.Cells
+	*cellsDone += rec.Cells
+	switch {
+	case rec.Absorbed:
+		res.Workload.Absorbed++
+	case rec.Failed:
+		r.degrade(&StageError{Stage: StageExtension, Shard: rec.Index, Err: errReplayedShardFailure})
+	case rec.HSP != nil:
+		h := rec.HSP.toHSP(strand)
+		res.HSPs = append(res.HSPs, h)
+		dMin, dMax := pathDiagRange(h.TStart, h.QStart, h.Ops)
+		absorb.add(h.TStart, h.TEnd, dMin, dMax)
 	}
-	return ext.Extend(a.target, query, p.tPos, p.qPos, st), nil
 }
 
 // runSeeding shards the query across workers and concatenates their
@@ -284,23 +435,31 @@ func (a *Aligner) runSeeding(r *run, query []byte) ([]dsoft.Anchor, dsoft.Stats)
 		wg.Add(1)
 		go func(w, start, end int) {
 			defer wg.Done()
-			defer r.protect(StageSeeding, w)
-			if r.hook != nil {
-				r.hook(StageSeeding, w)
-			}
-			scratch := dsoft.NewScratch()
-			p := &parts[w]
-			for bs := start; bs < end; bs += block {
-				if r.seedingStopped() {
-					return
+			body := func() {
+				if r.hook != nil {
+					r.hook(StageSeeding, w)
 				}
-				be := min(bs+block, end)
-				before := p.stats.Candidates
-				p.anchors = seeder.Collect(query, bs, be, p.anchors, &p.stats, scratch)
-				if r.noteCandidates(p.stats.Candidates - before) {
-					return
+				scratch := dsoft.NewScratch()
+				p := &parts[w]
+				for bs := start; bs < end; bs += block {
+					if r.seedingStopped() {
+						return
+					}
+					be := min(bs+block, end)
+					before := p.stats.Candidates
+					p.anchors = seeder.Collect(query, bs, be, p.anchors, &p.stats, scratch)
+					if r.noteCandidates(p.stats.Candidates - before) {
+						return
+					}
 				}
 			}
+			// A failed attempt's partial candidates are discarded and
+			// refunded against the budget before the shard is re-run.
+			reset := func() {
+				r.candidates.Add(-int64(parts[w].stats.Candidates))
+				parts[w] = part{}
+			}
+			r.runShard(StageSeeding, w, body, reset)
 		}(w, start, end)
 	}
 	wg.Wait()
@@ -339,41 +498,49 @@ func (a *Aligner) runFilter(r *run, query []byte, anchors []dsoft.Anchor) (passe
 		wg.Add(1)
 		go func(w int, anchors []dsoft.Anchor) {
 			defer wg.Done()
-			defer r.protect(StageFilter, w)
-			if r.hook != nil {
-				r.hook(StageFilter, w)
-			}
-			p := &parts[w]
-			switch a.cfg.Filter {
-			case FilterGapped:
-				ba := align.NewBandedAligner(a.sc, a.cfg.FilterBand)
-				for _, an := range anchors {
-					if r.stop() || !r.takeFilterTile() {
-						return
+			body := func() {
+				if r.hook != nil {
+					r.hook(StageFilter, w)
+				}
+				p := &parts[w]
+				switch a.cfg.Filter {
+				case FilterGapped:
+					ba := align.NewBandedAligner(a.sc, a.cfg.FilterBand)
+					for _, an := range anchors {
+						if r.stop() || !r.takeFilterTile() {
+							return
+						}
+						res := ba.FilterTile(a.target, query, an.TPos, an.QPos, a.cfg.FilterTileSize)
+						p.tiles++
+						p.cells += int64(res.Cells)
+						if res.Score >= a.cfg.FilterThreshold {
+							p.passed = append(p.passed, passedAnchor{tPos: res.TPos, qPos: res.QPos, score: res.Score})
+						}
 					}
-					res := ba.FilterTile(a.target, query, an.TPos, an.QPos, a.cfg.FilterTileSize)
-					p.tiles++
-					p.cells += int64(res.Cells)
-					if res.Score >= a.cfg.FilterThreshold {
-						p.passed = append(p.passed, passedAnchor{tPos: res.TPos, qPos: res.QPos, score: res.Score})
+				case FilterUngapped:
+					ue := align.NewUngappedExtender(a.sc, a.cfg.UngappedXDrop)
+					for _, an := range anchors {
+						if r.stop() || !r.takeFilterTile() {
+							return
+						}
+						res := ue.Extend(a.target, query, an.TPos, an.QPos, a.shape.Span)
+						p.tiles++
+						p.cells += int64(res.Cells)
+						if res.Score >= a.cfg.FilterThreshold {
+							// Anchor extension starts at the segment's end
+							// (the equivalent of BSW's Vmax position).
+							p.passed = append(p.passed, passedAnchor{tPos: res.TEnd, qPos: res.QEnd, score: res.Score})
+						}
 					}
 				}
-			case FilterUngapped:
-				ue := align.NewUngappedExtender(a.sc, a.cfg.UngappedXDrop)
-				for _, an := range anchors {
-					if r.stop() || !r.takeFilterTile() {
-						return
-					}
-					res := ue.Extend(a.target, query, an.TPos, an.QPos, a.shape.Span)
-					p.tiles++
-					p.cells += int64(res.Cells)
-					if res.Score >= a.cfg.FilterThreshold {
-						// Anchor extension starts at the segment's end
-						// (the equivalent of BSW's Vmax position).
-						p.passed = append(p.passed, passedAnchor{tPos: res.TEnd, qPos: res.QEnd, score: res.Score})
-					}
-				}
 			}
+			// A failed attempt's survivors are discarded and its tile
+			// reservations refunded before the shard is re-run.
+			reset := func() {
+				r.filterTiles.Add(-parts[w].tiles)
+				parts[w] = part{}
+			}
+			r.runShard(StageFilter, w, body, reset)
 		}(w, anchors[start:end])
 	}
 	wg.Wait()

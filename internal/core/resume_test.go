@@ -1,0 +1,292 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"darwinwga/internal/faultinject"
+)
+
+// resumeConfig is the shared configuration of the resume tests: both
+// strands (so per-strand replay is exercised) and no per-append fsync
+// (durability is the journal package's concern; these tests assert
+// record semantics).
+func resumeConfig(dir string) Config {
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.CheckpointDir = dir
+	cfg.CheckpointNoSync = true
+	return cfg
+}
+
+// mustAlign runs a fresh Aligner over the pair and fails the test on
+// error.
+func mustAlign(t *testing.T, target, query []byte, cfg Config) *Result {
+	t.Helper()
+	a := newAligner(t, target, cfg)
+	res, err := a.AlignContext(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// wantSameOutcome asserts two results carry the same alignments and the
+// same workload accounting — the resume contract: a resumed run is
+// indistinguishable from an uninterrupted one.
+func wantSameOutcome(t *testing.T, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.HSPs, want.HSPs) {
+		t.Errorf("HSPs differ: got %d, want %d", len(got.HSPs), len(want.HSPs))
+	}
+	if got.Workload != want.Workload {
+		t.Errorf("workload differs:\n got %+v\nwant %+v", got.Workload, want.Workload)
+	}
+	if got.Truncated != want.Truncated {
+		t.Errorf("Truncated = %q, want %q", got.Truncated, want.Truncated)
+	}
+}
+
+// TestResumeMidExtension kills a run (via injected cancellation) partway
+// through the extension stage, resumes it from the journal, and checks
+// the combined outcome is identical to an uninterrupted run.
+func TestResumeMidExtension(t *testing.T) {
+	p := testPair(t, 15000, 0.08, 0.005)
+	dir := t.TempDir()
+
+	clean := mustAlign(t, p.TargetSeq(), p.QuerySeq(), resumeConfig(t.TempDir()))
+	if len(clean.HSPs) < 3 {
+		t.Fatalf("test pair too easy: only %d HSPs", len(clean.HSPs))
+	}
+
+	// Interrupted run: cancel lands exactly when the 3rd extension
+	// anchor starts.
+	cfg := resumeConfig(dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj := faultinject.New(faultinject.Rule{
+		Stage: StageExtension, Shard: -1, Hit: 3,
+		Action: faultinject.Cancel, Cancel: cancel,
+	})
+	cfg.FaultHook = inj.Hook()
+	a := newAligner(t, p.TargetSeq(), cfg)
+	res, err := a.AlignContext(ctx, p.QuerySeq())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Truncated != TruncatedCancelled {
+		t.Fatalf("interrupted run: res = %+v", res)
+	}
+	if inj.FiredCount() != 1 {
+		t.Fatalf("injector fired %d times, want 1", inj.FiredCount())
+	}
+
+	// Resumed run: same config, target, query, and journal directory.
+	resumed := mustAlign(t, p.TargetSeq(), p.QuerySeq(), resumeConfig(dir))
+	wantSameOutcome(t, resumed, clean)
+	checkWorkloadInvariants(t, resumed)
+}
+
+// TestResumeCompletedRun reruns over the journal of a finished run: the
+// whole outcome replays with zero recomputation (no stage hook fires).
+func TestResumeCompletedRun(t *testing.T) {
+	p := testPair(t, 15000, 0.08, 0.005)
+	dir := t.TempDir()
+	first := mustAlign(t, p.TargetSeq(), p.QuerySeq(), resumeConfig(dir))
+
+	cfg := resumeConfig(dir)
+	var visits atomic.Int64
+	cfg.FaultHook = func(string, int) { visits.Add(1) }
+	second := mustAlign(t, p.TargetSeq(), p.QuerySeq(), cfg)
+	wantSameOutcome(t, second, first)
+	if n := visits.Load(); n != 0 {
+		t.Errorf("replaying a completed journal ran %d stage visits, want 0", n)
+	}
+}
+
+// TestResumeMismatch: a journal from a different query or configuration
+// is refused, not silently spliced in.
+func TestResumeMismatch(t *testing.T) {
+	p := testPair(t, 15000, 0.08, 0.005)
+	dir := t.TempDir()
+	mustAlign(t, p.TargetSeq(), p.QuerySeq(), resumeConfig(dir))
+
+	// Different query (the target itself).
+	a := newAligner(t, p.TargetSeq(), resumeConfig(dir))
+	if _, err := a.AlignContext(context.Background(), p.TargetSeq()); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("different query: err = %v, want ErrCheckpointMismatch", err)
+	}
+
+	// Different pipeline parameter.
+	cfg := resumeConfig(dir)
+	cfg.FilterThreshold++
+	a = newAligner(t, p.TargetSeq(), cfg)
+	if _, err := a.AlignContext(context.Background(), p.QuerySeq()); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("different config: err = %v, want ErrCheckpointMismatch", err)
+	}
+
+	// Worker count is scheduling, not semantics: it must NOT mismatch.
+	cfg = resumeConfig(dir)
+	cfg.Workers = 7
+	a = newAligner(t, p.TargetSeq(), cfg)
+	if _, err := a.AlignContext(context.Background(), p.QuerySeq()); err != nil {
+		t.Errorf("different worker count must still resume: %v", err)
+	}
+}
+
+// TestRetryTransientFailure injects one panic into each stage in turn;
+// with a retry policy the shard re-runs and the call completes with the
+// full, untruncated result.
+func TestRetryTransientFailure(t *testing.T) {
+	p := testPair(t, 15000, 0.08, 0.005)
+	base := DefaultConfig()
+	base.Workers = 2
+	clean := mustAlign(t, p.TargetSeq(), p.QuerySeq(), base)
+
+	for _, stage := range []string{StageSeeding, StageFilter, StageExtension} {
+		t.Run(stage, func(t *testing.T) {
+			cfg := base
+			cfg.Retry = RetryPolicy{MaxAttempts: 3}
+			inj := faultinject.New(faultinject.Rule{
+				Stage: stage, Shard: -1, Hit: 1, Action: faultinject.Panic,
+			})
+			cfg.FaultHook = inj.Hook()
+			a := newAligner(t, p.TargetSeq(), cfg)
+			res, err := a.AlignContext(context.Background(), p.QuerySeq())
+			if err != nil {
+				t.Fatalf("transient failure was not retried: %v", err)
+			}
+			if res.Truncated != "" || len(res.FailedShards) != 0 {
+				t.Fatalf("degraded despite successful retry: truncated=%q failed=%d",
+					res.Truncated, len(res.FailedShards))
+			}
+			if inj.FiredCount() != 1 {
+				t.Fatalf("injector fired %d times, want 1", inj.FiredCount())
+			}
+			wantSameOutcome(t, res, clean)
+			checkWorkloadInvariants(t, res)
+		})
+	}
+}
+
+// TestRetryExhaustionDegrades: a shard that fails every attempt is
+// dropped; the call returns a partial result tagged
+// TruncatedShardFailures instead of an error.
+func TestRetryExhaustionDegrades(t *testing.T) {
+	p := testPair(t, 15000, 0.08, 0.005)
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.BothStrands = false // the every-attempt rule below would also hit '-' anchor 0
+	cfg.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond}
+	inj := faultinject.New(faultinject.Rule{
+		Stage: StageExtension, Shard: 0, Action: faultinject.Panic, // every attempt
+	})
+	cfg.FaultHook = inj.Hook()
+	a := newAligner(t, p.TargetSeq(), cfg)
+	res, err := a.AlignContext(context.Background(), p.QuerySeq())
+	if err != nil {
+		t.Fatalf("degraded run must not fail the call: %v", err)
+	}
+	if res.Truncated != TruncatedShardFailures {
+		t.Fatalf("Truncated = %q, want %q", res.Truncated, TruncatedShardFailures)
+	}
+	if len(res.FailedShards) != 1 {
+		t.Fatalf("FailedShards = %d, want 1", len(res.FailedShards))
+	}
+	se := res.FailedShards[0]
+	if se.Stage != StageExtension || se.Shard != 0 {
+		t.Errorf("failed shard = %s/%d, want %s/0", se.Stage, se.Shard, StageExtension)
+	}
+	if inj.FiredCount() != 2 {
+		t.Errorf("injector fired %d times, want 2 (both attempts)", inj.FiredCount())
+	}
+	if len(res.HSPs) == 0 {
+		t.Error("dropping one anchor must not empty the result")
+	}
+	checkWorkloadInvariants(t, res)
+}
+
+// TestFailureAggregation: without retry, every concurrently failing
+// shard is reported — the joined error carries all of them, and
+// errors.As still finds a *StageError.
+func TestFailureAggregation(t *testing.T) {
+	p := testPair(t, 15000, 0.08, 0.005)
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.BothStrands = false
+	inj := faultinject.New(faultinject.Rule{
+		Stage: StageFilter, Shard: -1, Action: faultinject.Panic, // every filter shard
+	})
+	cfg.FaultHook = inj.Hook()
+	a := newAligner(t, p.TargetSeq(), cfg)
+	res, err := a.AlignContext(context.Background(), p.QuerySeq())
+	if err == nil || res != nil {
+		t.Fatalf("fatal failures must fail the call: res=%v err=%v", res, err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != StageFilter {
+		t.Fatalf("errors.As(*StageError) failed on %v", err)
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("two failing shards produced a non-joined error: %v", err)
+	}
+	if n := len(joined.Unwrap()); n != 2 {
+		t.Fatalf("joined error carries %d failures, want 2", n)
+	}
+}
+
+// TestResumeReplaysDegradedShards: the permanent failure of a dropped
+// shard is itself journaled, so a resumed run reproduces the same
+// partial result without re-failing.
+func TestResumeReplaysDegradedShards(t *testing.T) {
+	p := testPair(t, 15000, 0.08, 0.005)
+	dir := t.TempDir()
+	cfg := resumeConfig(dir)
+	cfg.BothStrands = false // the every-attempt rule below would also hit '-' anchor 0
+	cfg.Retry = RetryPolicy{MaxAttempts: 2}
+	inj := faultinject.New(faultinject.Rule{
+		Stage: StageExtension, Shard: 0, Action: faultinject.Panic,
+	})
+	cfg.FaultHook = inj.Hook()
+	a := newAligner(t, p.TargetSeq(), cfg)
+	first, err := a.AlignContext(context.Background(), p.QuerySeq())
+	if err != nil || first.Truncated != TruncatedShardFailures {
+		t.Fatalf("setup run: res=%+v err=%v", first, err)
+	}
+
+	// Rerun over the same journal without any fault: the journaled drop
+	// replays (the original panic is gone, but the journal remembers the
+	// shard was dropped).
+	cfg2 := resumeConfig(dir)
+	cfg2.BothStrands = false
+	cfg2.Retry = RetryPolicy{MaxAttempts: 2}
+	resumed := mustAlign(t, p.TargetSeq(), p.QuerySeq(), cfg2)
+	wantSameOutcome(t, resumed, first)
+	if len(resumed.FailedShards) != 1 || !errors.Is(resumed.FailedShards[0].Err, errReplayedShardFailure) {
+		t.Errorf("FailedShards = %+v, want one replayed failure", resumed.FailedShards)
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts pins the invariant that resume
+// correctness rests on: the canonical anchor and HSP ordering makes the
+// output a pure function of (config semantics, target, query),
+// independent of worker count and scheduling.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	p := testPair(t, 15000, 0.08, 0.005)
+	var base *Result
+	for _, workers := range []int{1, 3} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		res := mustAlign(t, p.TargetSeq(), p.QuerySeq(), cfg)
+		if base == nil {
+			base = res
+			continue
+		}
+		wantSameOutcome(t, res, base)
+	}
+}

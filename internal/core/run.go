@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // run is the per-AlignContext call state: cancellation, the soft
@@ -24,6 +27,8 @@ type run struct {
 	soft      context.Context // ctx plus Config.Deadline; == ctx when no deadline
 	stopTimer context.CancelFunc
 	hook      func(stage string, shard int)
+	retry     RetryPolicy
+	ck        *ckptWriter // nil when checkpointing is off
 
 	maxCandidates  int64
 	maxFilterTiles int64
@@ -40,16 +45,23 @@ type run struct {
 	filterExhausted atomic.Bool
 	extExhausted    atomic.Bool
 
-	mu      sync.Mutex
-	reason  TruncationReason
-	failure *StageError
+	mu       sync.Mutex
+	reason   TruncationReason
+	failures []*StageError // fatal contained failures (capped)
+	degraded []*StageError // shards dropped after retry exhaustion (capped)
 }
+
+// maxRecordedFailures caps the per-run failure lists so a pathological
+// run (every shard panicking) cannot hoard stacks without bound; the
+// cap is far above what a debuggable report needs.
+const maxRecordedFailures = 16
 
 func (a *Aligner) newRun(ctx context.Context) *run {
 	r := &run{
 		ctx:            ctx,
 		soft:           ctx,
 		hook:           a.cfg.FaultHook,
+		retry:          a.cfg.Retry,
 		maxCandidates:  a.cfg.MaxCandidates,
 		maxFilterTiles: a.cfg.MaxFilterTiles,
 		maxExtCells:    a.cfg.MaxExtensionCells,
@@ -186,34 +198,133 @@ func (r *run) extCellsExceeded(cells int64) bool {
 	return true
 }
 
-// fail records the first contained failure and halts all work.
-func (r *run) fail(stage string, shard int, rec any) {
+// toStageError converts a recovered panic value into a *StageError.
+func toStageError(stage string, shard int, rec any) *StageError {
 	err, ok := rec.(error)
 	if !ok {
 		err = fmt.Errorf("panic: %v", rec)
 	}
+	return &StageError{Stage: stage, Shard: shard, Err: err, Stack: debug.Stack()}
+}
+
+// recordFailure appends a fatal failure (up to the cap — every failing
+// shard is kept, not just the first) and halts all work.
+func (r *run) recordFailure(se *StageError) {
 	r.mu.Lock()
-	if r.failure == nil {
-		r.failure = &StageError{Stage: stage, Shard: shard, Err: err, Stack: debug.Stack()}
+	if len(r.failures) < maxRecordedFailures {
+		r.failures = append(r.failures, se)
 	}
 	r.mu.Unlock()
 	r.halted.Store(true)
 }
 
-// protect is deferred by every worker goroutine (and around each
-// extension anchor) to convert a panic into a recorded StageError.
-func (r *run) protect(stage string, shard int) {
-	if rec := recover(); rec != nil {
-		r.fail(stage, shard, rec)
+// degrade records a shard dropped after retry exhaustion. Unlike a
+// fatal failure it does not halt the run: the remaining shards continue
+// and the call returns a partial Result tagged TruncatedShardFailures.
+func (r *run) degrade(se *StageError) {
+	r.truncate(TruncatedShardFailures)
+	r.mu.Lock()
+	if len(r.degraded) < maxRecordedFailures {
+		r.degraded = append(r.degraded, se)
 	}
+	r.mu.Unlock()
 }
 
-// err returns the first recorded StageError, or nil.
+// failedShards returns the dropped-shard reports for the Result.
+func (r *run) failedShards() []*StageError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.degraded) == 0 {
+		return nil
+	}
+	return append([]*StageError(nil), r.degraded...)
+}
+
+// err joins every recorded fatal StageError (first failure first), or
+// returns nil. errors.As still finds a *StageError in the joined error,
+// and every failing shard is reported rather than only the first.
 func (r *run) err() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.failure != nil {
-		return r.failure
+	switch len(r.failures) {
+	case 0:
+		return nil
+	case 1:
+		return r.failures[0]
+	default:
+		errs := make([]error, len(r.failures))
+		for i, se := range r.failures {
+			errs[i] = se
+		}
+		return errors.Join(errs...)
 	}
+}
+
+// runShard executes one unit of stage work — a seeding or filter worker
+// shard, or one extension anchor — with panic containment and the
+// run's retry policy. body is re-run verbatim on retry; reset (may be
+// nil) discards the failed attempt's partial state first. It reports
+// whether the shard ultimately succeeded; on false, the shard was
+// either recorded as fatal (no retry policy: the run is halted) or
+// degraded (retry exhausted: the run continues without it).
+func (r *run) runShard(stage string, shard int, body, reset func()) bool {
+	attempts := r.retry.attempts()
+	for attempt := 1; ; attempt++ {
+		se := runAttempt(stage, shard, body)
+		if se == nil {
+			return true
+		}
+		if reset != nil {
+			reset()
+		}
+		if attempt < attempts && r.backoff(stage, shard, attempt) {
+			continue
+		}
+		if attempts > 1 {
+			r.degrade(se)
+		} else {
+			r.recordFailure(se)
+		}
+		return false
+	}
+}
+
+// runAttempt runs body once, converting a panic into a *StageError.
+func runAttempt(stage string, shard int, body func()) (se *StageError) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			se = toStageError(stage, shard, rec)
+		}
+	}()
+	body()
 	return nil
+}
+
+// backoff sleeps the policy delay before the next attempt of a shard.
+// It returns false when the run stopped (cancellation, deadline, or a
+// fatal failure elsewhere) before or during the wait — retrying then
+// would only delay the return.
+func (r *run) backoff(stage string, shard, attempt int) bool {
+	d := r.retry.delay(attempt, backoffSeed(stage, shard, attempt))
+	if d <= 0 {
+		return !r.stopSlow()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.soft.Done():
+		r.observeStop()
+		return false
+	case <-t.C:
+		return !r.stop()
+	}
+}
+
+// backoffSeed derives the jitter seed for one (stage, shard, attempt):
+// stable across runs, distinct across shards so synchronized failures
+// do not retry in lockstep.
+func backoffSeed(stage string, shard, attempt int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d", stage, shard, attempt)
+	return h.Sum64()
 }

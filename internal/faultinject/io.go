@@ -1,0 +1,213 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// I/O operation names matched by IORule.Op. They name the failure
+// points of an append-only journal: the data write, the fsync that
+// makes it durable, and the rename that publishes a segment.
+const (
+	OpWrite  = "write"
+	OpSync   = "sync"
+	OpRename = "rename"
+)
+
+// ErrInjected is the cause of every fault injected by the I/O actions
+// (wrapped with the operation), so callers can classify a failure as
+// injected-and-transient with errors.Is.
+var ErrInjected = errors.New("faultinject: injected I/O fault")
+
+// IOAction is what an I/O rule does when it fires.
+type IOAction int
+
+const (
+	// IOErr fails the operation with a transient error (ErrInjected)
+	// without touching the underlying file — the model of EIO/ENOSPC
+	// that clears on retry.
+	IOErr IOAction = iota
+	// IOShortWrite writes only Rule.Short bytes of the payload and then
+	// fails — a torn write, the on-disk state a crash mid-write leaves
+	// behind.
+	IOShortWrite
+	// IOCrash writes Rule.Short bytes of the payload, syncs them if the
+	// writer supports it, and hard-kills the process (SIGKILL
+	// semantics via os.Process.Kill) — a power loss at an exact offset.
+	// Tests that must survive can override the kill with SetKill.
+	IOCrash
+)
+
+func (a IOAction) String() string {
+	switch a {
+	case IOErr:
+		return "error"
+	case IOShortWrite:
+		return "short-write"
+	case IOCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("IOAction(%d)", int(a))
+	}
+}
+
+// IORule selects the I/O operations a fault fires on, mirroring Rule's
+// visit semantics: zero-valued matchers are wildcards.
+type IORule struct {
+	// Op matches the operation (OpWrite, OpSync, OpRename); "" matches
+	// all.
+	Op string
+	// Hit fires on the Nth matching operation (1-based); 0 fires on
+	// every matching operation.
+	Hit int
+	// Action is what to do when the rule fires.
+	Action IOAction
+	// Err overrides the error returned by IOErr and IOShortWrite
+	// (default: ErrInjected wrapped with the operation).
+	Err error
+	// Short is the number of payload bytes actually written before an
+	// IOShortWrite or IOCrash fault lands.
+	Short int
+}
+
+// IOEvent records one fired I/O rule, for test assertions.
+type IOEvent struct {
+	Op     string
+	Action IOAction
+}
+
+// IOFaults matches IORules against the I/O operations a journal writer
+// reports and fires the chosen faults deterministically. The zero of a
+// *IOFaults (nil) is valid and injects nothing, so production code can
+// thread it unconditionally.
+type IOFaults struct {
+	mu    sync.Mutex
+	rules []IORule
+	seen  []int
+	fired []IOEvent
+	kill  func()
+}
+
+// NewIO builds an I/O fault set from rules. Rules are tried in order;
+// the first match fires at most one action per operation.
+func NewIO(rules ...IORule) *IOFaults {
+	return &IOFaults{rules: rules, seen: make([]int, len(rules))}
+}
+
+// SetKill overrides the process-kill performed by IOCrash. Tests use it
+// to observe the crash point without dying; the replacement must not
+// return normally if the caller is to model a real crash (panicking is
+// the usual choice).
+func (f *IOFaults) SetKill(kill func()) {
+	f.mu.Lock()
+	f.kill = kill
+	f.mu.Unlock()
+}
+
+// match finds the first rule firing for this visit of op, if any.
+func (f *IOFaults) match(op string) *IORule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		f.seen[i]++
+		if r.Hit == 0 || f.seen[i] == r.Hit {
+			f.fired = append(f.fired, IOEvent{Op: op, Action: r.Action})
+			return r
+		}
+	}
+	return nil
+}
+
+// Write performs one payload write through the fault set: it either
+// delegates to w untouched or fires the first matching write rule.
+// A nil receiver is a no-op pass-through.
+func (f *IOFaults) Write(w io.Writer, p []byte) (int, error) {
+	if f == nil {
+		return w.Write(p)
+	}
+	r := f.match(OpWrite)
+	if r == nil {
+		return w.Write(p)
+	}
+	switch r.Action {
+	case IOShortWrite:
+		n := min(r.Short, len(p))
+		wrote, werr := w.Write(p[:n])
+		if werr != nil {
+			return wrote, werr
+		}
+		return wrote, r.fault(OpWrite)
+	case IOCrash:
+		n := min(r.Short, len(p))
+		w.Write(p[:n]) //nolint:errcheck // crashing anyway
+		if s, ok := w.(interface{ Sync() error }); ok {
+			s.Sync() //nolint:errcheck // best-effort: the torn bytes should reach disk
+		}
+		f.doKill()
+		// Only reachable when SetKill installed a returning kill.
+		return n, fmt.Errorf("%s: crash action did not terminate: %w", OpWrite, ErrInjected)
+	default:
+		return 0, r.fault(OpWrite)
+	}
+}
+
+// Check applies the fault set to a payload-free operation (OpSync,
+// OpRename): it returns the injected error, kills the process for
+// IOCrash, or returns nil when no rule fires. A nil receiver is a
+// no-op.
+func (f *IOFaults) Check(op string) error {
+	if f == nil {
+		return nil
+	}
+	r := f.match(op)
+	if r == nil {
+		return nil
+	}
+	if r.Action == IOCrash {
+		f.doKill()
+		return fmt.Errorf("%s: crash action did not terminate: %w", op, ErrInjected)
+	}
+	return r.fault(op)
+}
+
+func (r *IORule) fault(op string) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return fmt.Errorf("%s: %w", op, ErrInjected)
+}
+
+func (f *IOFaults) doKill() {
+	f.mu.Lock()
+	kill := f.kill
+	f.mu.Unlock()
+	if kill == nil {
+		kill = func() {
+			// SIGKILL ourselves (portable spelling): no deferred
+			// functions, no flushes — the model of a power cut.
+			p, err := os.FindProcess(os.Getpid())
+			if err == nil {
+				p.Kill() //nolint:errcheck // nothing left to do
+			}
+			select {} // never proceed past a crash
+		}
+	}
+	kill()
+}
+
+// FiredIO returns a copy of the I/O events fired so far.
+func (f *IOFaults) FiredIO() []IOEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]IOEvent(nil), f.fired...)
+}

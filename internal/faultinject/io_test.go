@@ -1,0 +1,140 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// syncBuffer records whether Sync was called, modeling a file the crash
+// action flushes before dying.
+type syncBuffer struct {
+	bytes.Buffer
+	synced bool
+}
+
+func (b *syncBuffer) Sync() error { b.synced = true; return nil }
+
+func TestNilIOFaultsPassThrough(t *testing.T) {
+	var f *IOFaults
+	var buf bytes.Buffer
+	n, err := f.Write(&buf, []byte("hello"))
+	if n != 5 || err != nil {
+		t.Fatalf("nil Write = (%d, %v), want (5, nil)", n, err)
+	}
+	if err := f.Check(OpSync); err != nil {
+		t.Fatalf("nil Check: %v", err)
+	}
+	if got := f.FiredIO(); got != nil {
+		t.Fatalf("nil FiredIO = %v, want nil", got)
+	}
+}
+
+func TestIOErrHitCounting(t *testing.T) {
+	f := NewIO(IORule{Op: OpWrite, Hit: 3, Action: IOErr})
+	var buf bytes.Buffer
+	for i := 1; i <= 5; i++ {
+		n, err := f.Write(&buf, []byte("ab"))
+		if i == 3 {
+			if err == nil || !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: err = %v, want ErrInjected", i, err)
+			}
+			if n != 0 {
+				t.Fatalf("write %d: n = %d, want 0", i, n)
+			}
+		} else if err != nil || n != 2 {
+			t.Fatalf("write %d: (%d, %v), want (2, nil)", i, n, err)
+		}
+	}
+	if got := buf.String(); got != "abababab" {
+		t.Fatalf("buffer %q: the faulted write must not reach the file", got)
+	}
+	fired := f.FiredIO()
+	if len(fired) != 1 || fired[0] != (IOEvent{Op: OpWrite, Action: IOErr}) {
+		t.Fatalf("FiredIO = %v", fired)
+	}
+}
+
+func TestIOErrEveryHit(t *testing.T) {
+	f := NewIO(IORule{Op: OpSync, Action: IOErr}) // Hit 0: every sync
+	for i := 0; i < 3; i++ {
+		if err := f.Check(OpSync); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	if err := f.Check(OpRename); err != nil {
+		t.Fatalf("rename must not match an OpSync rule: %v", err)
+	}
+}
+
+func TestIOShortWrite(t *testing.T) {
+	f := NewIO(IORule{Op: OpWrite, Hit: 1, Action: IOShortWrite, Short: 3})
+	var buf bytes.Buffer
+	n, err := f.Write(&buf, []byte("abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 3 || buf.String() != "abc" {
+		t.Fatalf("wrote (%d, %q), want (3, %q)", n, buf.String(), "abc")
+	}
+	// Short longer than the payload writes it all, still fails.
+	f = NewIO(IORule{Op: OpWrite, Hit: 1, Action: IOShortWrite, Short: 99})
+	buf.Reset()
+	n, err = f.Write(&buf, []byte("xy"))
+	if !errors.Is(err, ErrInjected) || n != 2 || buf.String() != "xy" {
+		t.Fatalf("over-long short write: (%d, %q, %v)", n, buf.String(), err)
+	}
+}
+
+func TestIOErrCustomError(t *testing.T) {
+	custom := fmt.Errorf("disk on fire")
+	f := NewIO(IORule{Op: OpRename, Hit: 1, Action: IOErr, Err: custom})
+	if err := f.Check(OpRename); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want the custom error", err)
+	}
+}
+
+func TestIOCrashKillOverride(t *testing.T) {
+	f := NewIO(IORule{Op: OpWrite, Hit: 2, Action: IOCrash, Short: 4})
+	crashed := false
+	f.SetKill(func() { crashed = true; panic("crashed") })
+	buf := &syncBuffer{}
+	if _, err := f.Write(buf, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() { recover() }()
+		f.Write(buf, []byte("second"))
+		t.Error("crash write returned without panicking")
+	}()
+	if !crashed {
+		t.Fatal("kill override never ran")
+	}
+	if got := buf.String(); got != "firstseco" {
+		t.Fatalf("on-disk bytes %q, want %q (torn second write)", got, "firstseco")
+	}
+	if !buf.synced {
+		t.Fatal("crash action must sync the torn bytes so they model on-disk state")
+	}
+}
+
+func TestIOFirstMatchingRuleWins(t *testing.T) {
+	f := NewIO(
+		IORule{Op: OpWrite, Hit: 1, Action: IOErr},
+		IORule{Op: OpWrite, Hit: 1, Action: IOShortWrite, Short: 1},
+	)
+	var buf bytes.Buffer
+	if _, err := f.Write(&buf, []byte("zz")); !errors.Is(err, ErrInjected) {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("first rule (IOErr) must win; buffer has %q", buf.String())
+	}
+	// Matching stops at the firing rule, so rule two's visit count did
+	// not advance; its Hit:1 fires on the next write.
+	n, err := f.Write(&buf, []byte("zz"))
+	if !errors.Is(err, ErrInjected) || n != 1 || buf.String() != "z" {
+		t.Fatalf("second write: (%d, %q, %v), want rule two's short write", n, buf.String(), err)
+	}
+}

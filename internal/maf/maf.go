@@ -6,6 +6,7 @@ package maf
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -113,6 +114,26 @@ func (mw *Writer) Flush() error {
 	return mw.w.Flush()
 }
 
+// Trailer is the end-of-file marker Close appends. MAF comments start
+// with '#', so readers that do not know the trailer skip it; readers
+// that do (ReadVerified) use it to distinguish a complete file from
+// one cut short by a crash.
+const Trailer = "##eof maf"
+
+// Close finalizes the output: the ##maf header if nothing was written,
+// the Trailer line, and a flush. It does not close the underlying
+// io.Writer. Use Close instead of Flush when the output is a file whose
+// completeness a later reader must be able to verify.
+func (mw *Writer) Close() error {
+	if err := mw.writeHeader(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(mw.w, "%s\n", Trailer); err != nil {
+		return err
+	}
+	return mw.w.Flush()
+}
+
 // Read parses all pairwise blocks from r.
 func Read(r io.Reader) ([]*Block, error) {
 	sc := bufio.NewScanner(r)
@@ -177,6 +198,31 @@ func Read(r io.Reader) ([]*Block, error) {
 		}
 	}
 	return blocks, nil
+}
+
+// ReadVerified parses all pairwise blocks from r and additionally
+// reports whether the stream ends with the Trailer line — i.e. whether
+// it was finalized by (*Writer).Close rather than cut short. Parsing
+// stays tolerant: a trailer-less file still yields its blocks, with
+// complete=false.
+func ReadVerified(r io.Reader) (blocks []*Block, complete bool, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, false, err
+	}
+	blocks, err = Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, false, err
+	}
+	last := ""
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			last = line
+		}
+	}
+	return blocks, last == Trailer, nil
 }
 
 // RenderTexts builds the gapped text pair for an alignment transcript

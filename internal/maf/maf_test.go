@@ -113,3 +113,61 @@ func TestRenderTexts(t *testing.T) {
 		t.Errorf("insert render = %q / %q", ttext, qtext)
 	}
 }
+
+func TestCloseWritesTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleBlock()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(strings.TrimRight(out, "\n"), Trailer) {
+		t.Fatalf("output does not end with the trailer:\n%s", out)
+	}
+	// A closed zero-block file is still a valid, complete MAF.
+	buf.Reset()
+	if err := NewWriter(&buf).Close(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, complete, err := ReadVerified(&buf)
+	if err != nil || !complete || len(blocks) != 0 {
+		t.Fatalf("empty closed file: blocks=%d complete=%v err=%v", len(blocks), complete, err)
+	}
+}
+
+func TestReadVerified(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(sampleBlock()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+
+	blocks, complete, err := ReadVerified(strings.NewReader(full))
+	if err != nil || !complete || len(blocks) != 1 {
+		t.Fatalf("complete file: blocks=%d complete=%v err=%v", len(blocks), complete, err)
+	}
+
+	// Cut before the trailer: same blocks, complete=false — and the
+	// tolerant Read still accepts it.
+	cut := strings.TrimSuffix(full, Trailer+"\n")
+	blocks, complete, err = ReadVerified(strings.NewReader(cut))
+	if err != nil || complete || len(blocks) != 1 {
+		t.Fatalf("truncated file: blocks=%d complete=%v err=%v", len(blocks), complete, err)
+	}
+	if got, err := Read(strings.NewReader(cut)); err != nil || len(got) != 1 {
+		t.Fatalf("Read must stay trailer-tolerant: %d, %v", len(got), err)
+	}
+
+	// Trailer not at the end does not count.
+	swapped := cut + Trailer + "\na score=1\n"
+	if _, complete, _ = ReadVerified(strings.NewReader(swapped)); complete {
+		t.Error("mid-file trailer counted as completion")
+	}
+}

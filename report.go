@@ -28,9 +28,12 @@ type Report struct {
 	Workload Workload
 	Timings  core.Timings
 	// Truncated is non-empty when the underlying pipeline run stopped
-	// early (cancellation, deadline, or budget exhaustion); the HSPs
-	// and chains are then a valid partial result.
+	// early (cancellation, deadline, budget exhaustion, or dropped
+	// shards); the HSPs and chains are then a valid partial result.
 	Truncated TruncationReason
+	// FailedShards reports the shards dropped after exhausting
+	// Config.Retry when Truncated is TruncatedShardFailures.
+	FailedShards []*StageError
 
 	target       []byte
 	query        []byte
@@ -73,6 +76,7 @@ func AlignAssembliesContext(ctx context.Context, target, query *Assembly, cfg Co
 		Workload:     res.Workload,
 		Timings:      res.Timings,
 		Truncated:    res.Truncated,
+		FailedShards: res.FailedShards,
 		target:       tBases,
 		query:        qBases,
 		targetStarts: tStarts,
@@ -176,7 +180,9 @@ func (r *Report) WriteMAF(w io.Writer) error {
 			return fmt.Errorf("darwinwga: writing MAF block %d: %w", i, err)
 		}
 	}
-	return mw.Flush()
+	// Close (not Flush) appends the maf.Trailer marker so downstream
+	// consumers can tell a complete file from one cut short by a crash.
+	return mw.Close()
 }
 
 // locate maps a concatenated-space position to (sequence name, its
