@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-resume ci
+.PHONY: all build vet test test-race test-resume test-serve ci
 
 all: build
 
@@ -30,4 +30,15 @@ test-resume:
 	$(GO) test -timeout 15m ./internal/checkpoint/
 	$(GO) test -timeout 15m -run 'TestResume|TestRetry|TestFailureAggregation' ./internal/core/
 
-ci: build vet test test-race test-resume
+# Serving suite: the in-process HTTP job-server lifecycle tests under
+# the race detector (shared-aligner concurrency, admission control,
+# mid-run cancellation, drain), plus the subprocess `darwin-wga serve`
+# e2e — two registered targets, eight concurrent jobs with streamed
+# MAF byte-compared against one-shot CLI runs, queue saturation into
+# 429s, and a SIGTERM drain. Not -short: the e2e re-execs the test
+# binary as the server.
+test-serve:
+	$(GO) test -race -timeout 15m ./internal/server/
+	$(GO) test -timeout 15m -run TestServeE2E ./cmd/darwin-wga/
+
+ci: build vet test test-race test-resume test-serve

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCLIExitCodes pins the exit-code contract: 0 success, 1 runtime
+// error, 2 usage error (bad flag, bad value, unknown subcommand).
+func TestCLIExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"version subcommand", []string{"version"}, 0},
+		{"version flag", []string{"-version"}, 0},
+		{"unknown subcommand", []string{"frobnicate"}, 2},
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"malformed flag value", []string{"-scale", "pants"}, 2},
+		{"stray positional", []string{"-forward-only", "stray"}, 2},
+		{"missing inputs", nil, 1},
+		{"unknown pair", []string{"-pair", "nope-nope"}, 1},
+		{"negative scale", []string{"-pair", "ce11-cb4", "-scale", "-1"}, 1},
+		{"serve unknown flag", []string{"serve", "-bogus"}, 2},
+		{"serve malformed register", []string{"serve", "-register", "no-equals-sign"}, 2},
+		{"serve stray positional", []string{"serve", "stray"}, 2},
+		{"serve missing fasta", []string{"serve", "-register", "t=/does/not/exist.fa"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := cliMain(tc.args); got != tc.want {
+				t.Errorf("cliMain(%q) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPrintVersion(t *testing.T) {
+	var buf bytes.Buffer
+	printVersion(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "darwin-wga ") || !strings.Contains(out, "go1") {
+		t.Errorf("version line %q is missing the name or toolchain", out)
+	}
+}
+
+func TestRegisterListFlag(t *testing.T) {
+	var r registerList
+	if err := r.Set("dm6=/tmp/dm6.fa"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("ce11=/tmp/ce11.fa"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || r[0].name != "dm6" || r[1].path != "/tmp/ce11.fa" {
+		t.Errorf("registerList = %+v", r)
+	}
+	if got := r.String(); got != "dm6=/tmp/dm6.fa,ce11=/tmp/ce11.fa" {
+		t.Errorf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "noequals", "=path", "name="} {
+		if err := r.Set(bad); err == nil {
+			t.Errorf("Set(%q) succeeded, want error", bad)
+		}
+	}
+}

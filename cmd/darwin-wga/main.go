@@ -6,14 +6,20 @@
 //
 //	darwin-wga -target target.fa -query query.fa [-out out.maf] [flags]
 //	darwin-wga -pair ce11-cb4 -scale 0.004 [-out out.maf] [flags]
+//	darwin-wga serve -register dm6=dm6.fa [-addr host:port] [flags]
+//	darwin-wga version
 //
 // The second form synthesizes one of the paper's evaluation species
-// pairs instead of reading FASTA files.
+// pairs instead of reading FASTA files. The serve subcommand runs the
+// alignment job server (see internal/server): targets are indexed once
+// at startup, jobs are submitted over an HTTP JSON API, and each job's
+// MAF is chunk-streamed as it is computed. SIGINT/SIGTERM drain the
+// server gracefully.
 //
-// A run can be bounded with -timeout (soft wall-clock budget) or
-// interrupted with SIGINT/SIGTERM; in both cases the partial alignments
-// computed so far are still written, and the summary is tagged
-// (truncated).
+// A one-shot run can be bounded with -timeout (soft wall-clock budget)
+// or interrupted with SIGINT/SIGTERM; in both cases the partial
+// alignments computed so far are still written, and the summary is
+// tagged (truncated).
 //
 // With -checkpoint <dir> the pipeline journals its progress to a
 // crash-safe write-ahead log in <dir>; a killed run rerun with the same
@@ -22,15 +28,25 @@
 // pipeline shards before degrading to a partial result. The final MAF
 // is written atomically: to <out>.tmp first, fsynced, then renamed over
 // <out>, so an existing output file is never left half-overwritten.
+//
+// Exit status: 0 on success, 1 on a runtime error (including an
+// interrupted one-shot run), 2 on a usage error (bad flag or unknown
+// subcommand).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"syscall"
@@ -62,26 +78,77 @@ type options struct {
 }
 
 func main() {
+	os.Exit(cliMain(os.Args[1:]))
+}
+
+// cliMain dispatches subcommands and maps outcomes onto exit codes:
+// 0 success, 1 runtime error, 2 usage error. It is the testable
+// entry point — main only adds os.Exit.
+func cliMain(args []string) int {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "serve":
+			return serveMain(args[1:])
+		case "version":
+			printVersion(os.Stdout)
+			return 0
+		case "align":
+			// Explicit spelling of the default one-shot mode.
+			return alignMain(args[1:])
+		default:
+			fmt.Fprintf(os.Stderr, "darwin-wga: unknown command %q (want align, serve, or version)\n", args[0])
+			return 2
+		}
+	}
+	return alignMain(args)
+}
+
+// printVersion reports the module version (when built with module
+// metadata), the Go toolchain, and the platform.
+func printVersion(w io.Writer) {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	fmt.Fprintf(w, "darwin-wga %s %s %s/%s\n", version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// alignMain is the classic one-shot CLI: parse flags, align, write MAF.
+func alignMain(args []string) int {
+	fs := flag.NewFlagSet("darwin-wga", flag.ContinueOnError)
 	var (
-		opts options
-		hf   = flag.Int("hf", 0, "filter threshold Hf (0 = configuration default)")
-		he   = flag.Int("he", 0, "extension threshold He (0 = configuration default)")
+		opts        options
+		showVersion = fs.Bool("version", false, "print version and exit")
+		hf          = fs.Int("hf", 0, "filter threshold Hf (0 = configuration default)")
+		he          = fs.Int("he", 0, "extension threshold He (0 = configuration default)")
 	)
-	flag.StringVar(&opts.targetPath, "target", "", "target genome FASTA")
-	flag.StringVar(&opts.queryPath, "query", "", "query genome FASTA")
-	flag.StringVar(&opts.pairName, "pair", "", "synthesize a standard pair instead (ce11-cb4, dm6-dp4, dm6-droYak2, dm6-droSim1)")
-	flag.Float64Var(&opts.scale, "scale", 0.01, "genome scale for -pair (fraction of real assembly size)")
-	flag.StringVar(&opts.outPath, "out", "", "MAF output file (default stdout)")
-	flag.BoolVar(&opts.ungapped, "ungapped", false, "use LASTZ-style ungapped filtering (baseline mode)")
-	flag.IntVar(&opts.workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-	flag.BoolVar(&opts.oneStrand, "forward-only", false, "skip the reverse-complement strand")
-	flag.IntVar(&opts.topChains, "top", 10, "number of top chains to summarize")
-	flag.DurationVar(&opts.timeout, "timeout", 0, "soft wall-clock budget; on expiry the partial result is still written (0 = none)")
-	flag.StringVar(&opts.checkpointDir, "checkpoint", "", "journal progress to this directory; a killed run rerun with the same flags resumes from it")
-	flag.IntVar(&opts.retries, "retries", 0, "re-run a failed pipeline shard up to this many extra times before dropping it (0 = fail the call on first shard failure)")
-	flag.DurationVar(&opts.retryDelay, "retry-delay", 100*time.Millisecond, "base backoff before a shard retry (doubles per attempt, with jitter)")
-	flag.DurationVar(&opts.retryMaxDelay, "retry-max-delay", 5*time.Second, "cap on the per-retry backoff delay")
-	flag.Parse()
+	fs.StringVar(&opts.targetPath, "target", "", "target genome FASTA")
+	fs.StringVar(&opts.queryPath, "query", "", "query genome FASTA")
+	fs.StringVar(&opts.pairName, "pair", "", "synthesize a standard pair instead (ce11-cb4, dm6-dp4, dm6-droYak2, dm6-droSim1)")
+	fs.Float64Var(&opts.scale, "scale", 0.01, "genome scale for -pair (fraction of real assembly size)")
+	fs.StringVar(&opts.outPath, "out", "", "MAF output file (default stdout)")
+	fs.BoolVar(&opts.ungapped, "ungapped", false, "use LASTZ-style ungapped filtering (baseline mode)")
+	fs.IntVar(&opts.workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	fs.BoolVar(&opts.oneStrand, "forward-only", false, "skip the reverse-complement strand")
+	fs.IntVar(&opts.topChains, "top", 10, "number of top chains to summarize")
+	fs.DurationVar(&opts.timeout, "timeout", 0, "soft wall-clock budget; on expiry the partial result is still written (0 = none)")
+	fs.StringVar(&opts.checkpointDir, "checkpoint", "", "journal progress to this directory; a killed run rerun with the same flags resumes from it")
+	fs.IntVar(&opts.retries, "retries", 0, "re-run a failed pipeline shard up to this many extra times before dropping it (0 = fail the call on first shard failure)")
+	fs.DurationVar(&opts.retryDelay, "retry-delay", 100*time.Millisecond, "base backoff before a shard retry (doubles per attempt, with jitter)")
+	fs.DurationVar(&opts.retryMaxDelay, "retry-max-delay", 5*time.Second, "cap on the per-retry backoff delay")
+	if err := fs.Parse(args); err != nil {
+		// The flag package has already printed the error and usage.
+		return 2
+	}
+	if *showVersion {
+		printVersion(os.Stdout)
+		return 0
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "darwin-wga: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
 	opts.hf, opts.he = int32(*hf), int32(*he)
 
 	// SIGINT/SIGTERM cancel the pipeline; run still writes whatever was
@@ -91,8 +158,120 @@ func main() {
 
 	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "darwin-wga:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// registerList collects repeated -register name=path flags.
+type registerList []registerSpec
+
+type registerSpec struct{ name, path string }
+
+func (r *registerList) String() string {
+	parts := make([]string, len(*r))
+	for i, s := range *r {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *registerList) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*r = append(*r, registerSpec{name: name, path: path})
+	return nil
+}
+
+// serveMain runs the alignment job server until SIGINT/SIGTERM, then
+// drains it gracefully: running jobs finish (bounded by -drain-grace),
+// queued jobs are cancelled, and in-flight MAF streams complete.
+func serveMain(args []string) int {
+	fs := flag.NewFlagSet("darwin-wga serve", flag.ContinueOnError)
+	var (
+		registers   registerList
+		addr        = fs.String("addr", "127.0.0.1:8053", "listen address (host:port, port 0 picks a free port)")
+		jobWorkers  = fs.Int("job-workers", 2, "jobs aligned concurrently")
+		queueDepth  = fs.Int("queue", 16, "submission queue depth; a full queue answers 429")
+		maxInflight = fs.Int("max-inflight", 8, "per-client queued+running job cap (-1 = unlimited)")
+		maxQueryMB  = fs.Int("max-query-mb", 64, "largest accepted query in MiB of bases")
+		maxDeadline = fs.Duration("max-deadline", 0, "clamp (and default) for per-job soft deadlines (0 = none)")
+		retryAfter  = fs.Duration("retry-after", 2*time.Second, "Retry-After hint on 429 responses")
+		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long shutdown lets running jobs finish")
+		retain      = fs.Int("retain", 256, "finished jobs kept queryable")
+		ckptRoot    = fs.String("checkpoint-root", "", "per-job crash-safe journals under this directory (empty = off)")
+		workers     = fs.Int("workers", 0, "pipeline worker goroutines per job (0 = GOMAXPROCS)")
+	)
+	fs.Var(&registers, "register", "name=path of a target FASTA to index at startup (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "darwin-wga serve: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+
+	pipeline := darwinwga.DefaultConfig()
+	pipeline.Workers = *workers
+	srv := darwinwga.NewServer(darwinwga.ServerConfig{
+		Addr:                 *addr,
+		Pipeline:             pipeline,
+		JobWorkers:           *jobWorkers,
+		QueueDepth:           *queueDepth,
+		MaxInFlightPerClient: *maxInflight,
+		MaxQueryBases:        *maxQueryMB << 20,
+		MaxDeadline:          *maxDeadline,
+		RetryAfter:           *retryAfter,
+		DrainGrace:           *drainGrace,
+		RetainJobs:           *retain,
+		CheckpointRoot:       *ckptRoot,
+	})
+	for _, reg := range registers {
+		asm, err := darwinwga.ReadFASTA(reg.path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "darwin-wga serve: loading %s: %v\n", reg.path, err)
+			return 1
+		}
+		tgt, err := srv.RegisterTarget(reg.name, asm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "darwin-wga serve: registering %s: %v\n", reg.name, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "darwin-wga serve: registered target %q (%d seqs, %d bases)\n",
+			tgt.Name, tgt.NumSeqs, len(tgt.Bases))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
+		return 1
+	}
+	// The bound address line is load-bearing: with -addr :0 it is how
+	// callers (and the e2e test) discover the actual port.
+	fmt.Fprintf(os.Stderr, "darwin-wga serve: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "darwin-wga serve: signal received, draining")
+		drained <- srv.Shutdown(context.Background())
+	}()
+
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
+		return 1
+	}
+	if err := <-drained; err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve: drain:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "darwin-wga serve: drained, bye")
+	return 0
 }
 
 func run(ctx context.Context, opts options) error {

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"darwinwga"
+	"darwinwga/internal/evolve"
+)
+
+// TestServeE2E is the subprocess smoke test of `darwin-wga serve`: it
+// re-execs this test binary as the server (the resume e2e's TestMain
+// hook), registers two targets, pushes eight concurrent jobs through
+// the HTTP API, checks every streamed MAF against a one-shot CLI run
+// on the same FASTA files, saturates the queue into 429s, and finally
+// SIGTERMs the server and requires a graceful, exit-0 drain.
+func TestServeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess serve e2e is not -short")
+	}
+	dir := t.TempDir()
+
+	// Two species pairs on disk. File basenames matter: both the server
+	// and the one-shot CLI derive assembly names from them, and the
+	// names are embedded in the MAF, so sharing files is what makes
+	// byte-identity meaningful.
+	type fixture struct {
+		targetName string
+		targetPath string
+		queryPath  string
+		ref        []byte
+	}
+	var fixtures []fixture
+	for _, pc := range []struct {
+		pair  string
+		scale float64
+	}{
+		{"dm6-droSim1", 0.0004},
+		{"ce11-cb4", 0.0003},
+	} {
+		cfg, ok := evolve.StandardPair(pc.pair, pc.scale)
+		if !ok {
+			t.Fatalf("unknown pair %q", pc.pair)
+		}
+		pair, err := evolve.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tPath := filepath.Join(dir, pair.Target.Name+".fa")
+		qPath := filepath.Join(dir, pair.Query.Name+".fa")
+		if err := darwinwga.WriteFASTA(tPath, pair.Target); err != nil {
+			t.Fatal(err)
+		}
+		if err := darwinwga.WriteFASTA(qPath, pair.Query); err != nil {
+			t.Fatal(err)
+		}
+		// One-shot CLI reference over the very same files.
+		refPath := filepath.Join(dir, pair.Target.Name+"-ref.maf")
+		if err := run(context.Background(), options{
+			targetPath: tPath, queryPath: qPath, outPath: refPath,
+			scale: 0.01, topChains: 3,
+		}); err != nil {
+			t.Fatalf("one-shot reference for %s: %v", pc.pair, err)
+		}
+		ref, err := os.ReadFile(refPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtures = append(fixtures, fixture{
+			targetName: pair.Target.Name,
+			targetPath: tPath,
+			queryPath:  qPath,
+			ref:        ref,
+		})
+	}
+
+	// Spawn the server on an ephemeral port; small queue so the later
+	// burst saturates it deterministically.
+	cmd := exec.Command(os.Args[0],
+		"serve", "-addr", "127.0.0.1:0",
+		"-register", fixtures[0].targetName+"="+fixtures[0].targetPath,
+		"-register", fixtures[1].targetName+"="+fixtures[1].targetPath,
+		"-job-workers", "4", "-queue", "8", "-max-inflight", "-1",
+		"-drain-grace", "2m",
+	)
+	cmd.Env = append(os.Environ(), "DARWINWGA_E2E_CHILD=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // backstop for early test failures
+
+	// The bound-address line on stderr is the port-discovery contract.
+	addrCh := make(chan string, 1)
+	childLog := &bytes.Buffer{}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(childLog, line)
+			if _, a, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrCh <- a:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("server never reported its address; log:\n%s", childLog.String())
+	}
+
+	waitHTTP(t, base+"/readyz", http.StatusOK, 30*time.Second)
+
+	// Eight concurrent jobs across both targets.
+	type job struct {
+		id  string
+		ref []byte
+	}
+	var jobs []job
+	for i := 0; i < 8; i++ {
+		fx := fixtures[i%2]
+		code, body := postJSON(t, base+"/v1/jobs", map[string]any{
+			"target":     fx.targetName,
+			"query_path": fx.queryPath,
+			"client":     fmt.Sprintf("e2e-%d", i),
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d (%s)", i, code, body)
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{id: st.ID, ref: fx.ref})
+	}
+	for i, j := range jobs {
+		state := awaitTerminal(t, base, j.id, 3*time.Minute)
+		if state != "done" {
+			t.Fatalf("job %d: state %q, want done; log:\n%s", i, state, childLog.String())
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + j.id + "/maf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, j.ref) {
+			t.Errorf("job %d: streamed MAF (%d bytes) differs from one-shot CLI output (%d bytes)",
+				i, len(got), len(j.ref))
+		}
+	}
+
+	// Saturation burst: 24 submissions against a queue of 8 with 4
+	// workers must shed load with 429 + Retry-After.
+	accepted, shed := 0, 0
+	for i := 0; i < 24; i++ {
+		code, _, hdr := postJSONHdr(t, base+"/v1/jobs", map[string]any{
+			"target":     fixtures[0].targetName,
+			"query_path": fixtures[0].queryPath,
+			"client":     "burst",
+		})
+		switch code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			shed++
+			if hdr.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("burst submit %d: HTTP %d", i, code)
+		}
+	}
+	if accepted == 0 || shed == 0 {
+		t.Fatalf("burst: %d accepted, %d shed — expected both load acceptance and shedding", accepted, shed)
+	}
+	t.Logf("burst: %d accepted, %d shed with 429", accepted, shed)
+
+	// SIGTERM: the server must drain (finish running, cancel queued)
+	// and exit 0 without losing the completed jobs above.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("server exited non-zero after SIGTERM: %v; log:\n%s", err, childLog.String())
+		}
+	case <-time.After(3 * time.Minute):
+		cmd.Process.Kill() //nolint:errcheck
+		t.Fatalf("server did not drain after SIGTERM; log:\n%s", childLog.String())
+	}
+	if !strings.Contains(childLog.String(), "draining") {
+		t.Errorf("child log is missing the drain notice:\n%s", childLog.String())
+	}
+}
+
+// waitHTTP polls url until it answers with want.
+func waitHTTP(t *testing.T, url string, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never answered %d (last: %v)", url, want, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	code, data, _ := postJSONHdr(t, url, body)
+	return code, data
+}
+
+func postJSONHdr(t *testing.T, url string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+// awaitTerminal polls a job's status until it reaches a terminal state.
+func awaitTerminal(t *testing.T, base, id string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decoding status: %v (%s)", err, data)
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			if st.Error != "" {
+				t.Logf("job %s: %s (%s)", id, st.State, st.Error)
+			}
+			return st.State
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -51,6 +51,16 @@
 // that keeps failing after MaxAttempts is dropped and the call returns
 // a partial Result tagged TruncatedShardFailures, with the per-shard
 // causes in Result.FailedShards.
+//
+// # Serving
+//
+// NewServer wraps the pipeline in a long-lived alignment service: a
+// target registry that builds each assembly's seed index once, a
+// bounded job queue with admission control (429 + Retry-After under
+// load), and an HTTP JSON API that streams each job's MAF output block
+// by block as the pipeline emits it — byte-identical to a one-shot
+// AlignAssemblies run with the same parameters. The CLI front end is
+// `darwin-wga serve`.
 package darwinwga
 
 import (
@@ -59,6 +69,7 @@ import (
 	"darwinwga/internal/core"
 	"darwinwga/internal/evolve"
 	"darwinwga/internal/genome"
+	"darwinwga/internal/server"
 )
 
 // Core pipeline types, re-exported as the public API surface.
@@ -99,6 +110,17 @@ type (
 	Pair = evolve.Pair
 	// PairConfig parameterizes synthetic species-pair generation.
 	PairConfig = evolve.Config
+	// Server is the embedded alignment-as-a-service layer; see NewServer.
+	Server = server.Server
+	// ServerConfig parameterizes a Server; the zero value is usable.
+	ServerConfig = server.Config
+	// ServerTarget is one registered target assembly with its shared,
+	// prebuilt seed index.
+	ServerTarget = server.Target
+	// JobState is the lifecycle state of one server-side alignment job.
+	JobState = server.JobState
+	// JobParams are the per-job pipeline knobs a submission may set.
+	JobParams = server.JobParams
 )
 
 // Filter modes.
@@ -116,6 +138,15 @@ const (
 	TruncatedMaxFilterTiles    = core.TruncatedMaxFilterTiles
 	TruncatedMaxExtensionCells = core.TruncatedMaxExtensionCells
 	TruncatedShardFailures     = core.TruncatedShardFailures
+)
+
+// Job lifecycle states reported by the serving layer.
+const (
+	JobQueued    = server.JobQueued
+	JobRunning   = server.JobRunning
+	JobDone      = server.JobDone
+	JobFailed    = server.JobFailed
+	JobCancelled = server.JobCancelled
 )
 
 // ErrCheckpointMismatch is returned when Config.CheckpointDir points at
@@ -139,6 +170,13 @@ func DefaultScoring() *Scoring { return align.DefaultScoring() }
 func NewAligner(target []byte, cfg Config) (*Aligner, error) {
 	return core.NewAligner(target, cfg)
 }
+
+// NewServer builds an alignment job server over the pipeline and
+// starts its workers: register targets with Server.RegisterTarget, then
+// serve Server.Handler (or call Server.ListenAndServe) and drain with
+// Server.Shutdown. See the internal/server package documentation for
+// the HTTP API.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // ReadFASTA loads an assembly from a FASTA file.
 func ReadFASTA(path string) (*Assembly, error) { return genome.ReadFASTAFile(path) }

@@ -89,7 +89,7 @@ func (c *ckptHSP) toHSP(strand byte) HSP {
 	}
 	return HSP{
 		Alignment: align.Alignment{
-			Score: c.Score,
+			Score:  c.Score,
 			TStart: c.TStart, TEnd: c.TEnd,
 			QStart: c.QStart, QEnd: c.QEnd,
 			Ops: ops,

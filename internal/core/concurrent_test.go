@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAlignsOnSharedAligner is the concurrency-safety
+// contract the serving layer builds on: one Aligner (one prebuilt
+// index) driven by many goroutines at once must produce the same
+// Result as a serial call, with no data races (run under -race by
+// `make test-serve` and the CI race step).
+func TestConcurrentAlignsOnSharedAligner(t *testing.T) {
+	p := testPair(t, 18000, 0.10, 0.01)
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	a := newAligner(t, p.Target.Seqs[0].Bases, cfg)
+	query := p.Query.Seqs[0].Bases
+
+	want, err := a.Align(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.HSPs) == 0 {
+		t.Fatal("reference alignment found no HSPs; the fixture is too small")
+	}
+
+	const goroutines = 8
+	results := make([]*Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = a.AlignContext(context.Background(), query)
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(results[g].HSPs, want.HSPs) {
+			t.Errorf("goroutine %d: %d HSPs differing from the serial reference (%d)",
+				g, len(results[g].HSPs), len(want.HSPs))
+		}
+	}
+}
+
+// TestWithConfigSharesIndexSafely drives differently-configured
+// aligners derived from one shared index concurrently — the serving
+// pattern where every job rebinds its own budgets over the registry's
+// aligner — and checks the derived configurations really apply.
+func TestWithConfigSharesIndexSafely(t *testing.T) {
+	p := testPair(t, 18000, 0.10, 0.01)
+	base := newAligner(t, p.Target.Seqs[0].Bases, DefaultConfig())
+	query := p.Query.Seqs[0].Bases
+
+	want, err := base.Align(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := make([]*Aligner, 6)
+	for i := range variants {
+		cfg := DefaultConfig()
+		if i%2 == 1 {
+			cfg.BothStrands = false
+		}
+		cfg.Workers = 1 + i%3
+		v, err := base.WithConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		variants[i] = v
+	}
+
+	results := make([]*Result, len(variants))
+	errs := make([]error, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, v *Aligner) {
+			defer wg.Done()
+			results[i], errs[i] = v.AlignContext(context.Background(), query)
+		}(i, v)
+	}
+	wg.Wait()
+
+	for i := range variants {
+		if errs[i] != nil {
+			t.Fatalf("variant %d: %v", i, errs[i])
+		}
+		if i%2 == 0 {
+			// Same effective configuration as the base: identical HSPs.
+			if !reflect.DeepEqual(results[i].HSPs, want.HSPs) {
+				t.Errorf("variant %d: HSPs differ from the shared-index reference", i)
+			}
+		} else {
+			// Forward-only: no minus-strand alignments may appear.
+			for _, h := range results[i].HSPs {
+				if h.Strand != '+' {
+					t.Errorf("variant %d: minus-strand HSP under BothStrands=false", i)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestWithConfigRejectsIndexShapeChanges pins the guard: the derived
+// configuration may not alter the fields the shared index was built
+// under.
+func TestWithConfigRejectsIndexShapeChanges(t *testing.T) {
+	p := testPair(t, 20000, 0.10, 0.01)
+	base := newAligner(t, p.Target.Seqs[0].Bases, DefaultConfig())
+
+	cfg := DefaultConfig()
+	cfg.SeedMaxFreq = 99
+	if _, err := base.WithConfig(cfg); err == nil {
+		t.Error("WithConfig accepted a SeedMaxFreq change")
+	}
+	cfg = DefaultConfig()
+	cfg.SeedPattern = "1111111111"
+	if _, err := base.WithConfig(cfg); err == nil {
+		t.Error("WithConfig accepted a SeedPattern change")
+	}
+	bad := DefaultConfig()
+	bad.FilterTileSize = -1
+	if _, err := base.WithConfig(bad); err == nil {
+		t.Error("WithConfig accepted an invalid configuration")
+	}
+	// Valid rebind: per-call knobs may all change.
+	ok := DefaultConfig()
+	ok.Deadline = time.Minute
+	ok.MaxExtensionCells = 12345
+	ok.FilterThreshold = 5000
+	derived, err := base.WithConfig(ok)
+	if err != nil {
+		t.Fatalf("valid rebind rejected: %v", err)
+	}
+	if derived.Config().FilterThreshold != 5000 || derived.Config().MaxExtensionCells != 12345 {
+		t.Errorf("derived config not applied: %+v", derived.Config())
+	}
+	if derived.Target() == nil || &derived.Target()[0] != &base.Target()[0] {
+		t.Error("derived aligner does not share the base target slice")
+	}
+}
+
+// TestHSPHookObservesEmissionOrder verifies the streaming hook fires
+// once per final HSP, in emission order, and that emission order is a
+// permutation of the canonically sorted Result.HSPs.
+func TestHSPHookObservesEmissionOrder(t *testing.T) {
+	p := testPair(t, 18000, 0.10, 0.01)
+	cfg := DefaultConfig()
+	var streamed []HSP
+	cfg.HSPHook = func(h HSP) { streamed = append(streamed, h) }
+	a := newAligner(t, p.Target.Seqs[0].Bases, cfg)
+
+	res, err := a.Align(p.Query.Seqs[0].Bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.HSPs) {
+		t.Fatalf("hook saw %d HSPs, result has %d", len(streamed), len(res.HSPs))
+	}
+	// Same multiset: sorting the streamed copy must reproduce the
+	// canonical Result.HSPs order.
+	sorted := append([]HSP(nil), streamed...)
+	sortHSPs(sorted)
+	if !reflect.DeepEqual(sorted, res.HSPs) {
+		t.Error("streamed HSPs are not a permutation of Result.HSPs")
+	}
+	// Emission order is deterministic: a second identical run streams
+	// the same sequence.
+	var second []HSP
+	cfg2 := cfg
+	cfg2.HSPHook = func(h HSP) { second = append(second, h) }
+	a2, err := a.WithConfig(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.Align(p.Query.Seqs[0].Bases); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, second) {
+		t.Error("emission order is not deterministic across identical runs")
+	}
+}

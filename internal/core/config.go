@@ -111,6 +111,20 @@ type Config struct {
 	// transient (fire-once) versus persistent (fire-always) faults.
 	FaultHook func(stage string, shard int)
 
+	// HSPHook, when non-nil, is invoked from the extension stage's
+	// orchestration goroutine each time a final alignment is produced —
+	// including alignments replayed from a checkpoint journal — in the
+	// pipeline's deterministic emission order: '+'-strand anchors in
+	// canonical extension order (best filter score first), then the '-'
+	// strand. The HSP is delivered exactly as it will appear in
+	// Result.HSPs, so consumers can stream results (e.g. render MAF
+	// blocks over HTTP) without waiting for the call to return. The hook
+	// runs on the pipeline's critical path; keep it cheap or hand off to
+	// another goroutine. Like FaultHook it does not participate in the
+	// checkpoint fingerprint: it observes the result, it cannot change
+	// it.
+	HSPHook func(HSP)
+
 	// Retry is the per-shard retry policy. With MaxAttempts > 1, a
 	// shard that fails with a contained error (a worker panic, e.g. an
 	// injected fault) is re-run with exponential backoff instead of

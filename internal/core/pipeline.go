@@ -51,6 +51,30 @@ func (a *Aligner) Config() Config { return a.cfg }
 // Target returns the indexed target sequence.
 func (a *Aligner) Target() []byte { return a.target }
 
+// IndexMemoryBytes reports the approximate heap footprint of the
+// prebuilt seed index, for capacity accounting by long-lived callers
+// (e.g. the serving layer's target registry).
+func (a *Aligner) IndexMemoryBytes() int { return a.index.MemoryBytes() }
+
+// WithConfig returns an Aligner that shares the receiver's prebuilt
+// target index but runs under cfg: per-call knobs (budgets, deadline,
+// hooks, retry, checkpointing, thresholds, strands, workers) may all
+// differ. The index-shaping fields — SeedPattern and SeedMaxFreq —
+// must match the receiver's, since the shared index was built under
+// them. The receiver is not modified; both aligners stay safe for
+// concurrent use. This is the serving-layer primitive: one expensive
+// index, many differently-budgeted calls.
+func (a *Aligner) WithConfig(cfg Config) (*Aligner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SeedPattern != a.cfg.SeedPattern || cfg.SeedMaxFreq != a.cfg.SeedMaxFreq {
+		return nil, fmt.Errorf("core: WithConfig cannot change the index-shaping fields (seed %q maxfreq %d -> %q %d); build a new Aligner",
+			a.cfg.SeedPattern, a.cfg.SeedMaxFreq, cfg.SeedPattern, cfg.SeedMaxFreq)
+	}
+	return &Aligner{cfg: cfg, sc: cfg.scoring(), target: a.target, index: a.index, shape: a.shape}, nil
+}
+
 // Align runs the full pipeline for a query. When cfg.BothStrands is set
 // the reverse complement is aligned too, and minus-strand HSPs carry
 // coordinates in reverse-complement space (Strand == '-').
@@ -369,6 +393,7 @@ func (a *Aligner) runExtension(r *run, query []byte, strand byte, passed []passe
 			}
 			rec.HSP = hspToCkpt(&h)
 			res.HSPs = append(res.HSPs, h)
+			r.emit(h)
 			dMin, dMax := pathDiagRange(aln.TStart, aln.QStart, aln.Ops)
 			absorb.add(aln.TStart, aln.TEnd, dMin, dMax)
 		}
@@ -398,6 +423,7 @@ func replayAnchor(r *run, strand byte, rec *ckptAnchorRec, absorb *absorber, res
 	case rec.HSP != nil:
 		h := rec.HSP.toHSP(strand)
 		res.HSPs = append(res.HSPs, h)
+		r.emit(h)
 		dMin, dMax := pathDiagRange(h.TStart, h.QStart, h.Ops)
 		absorb.add(h.TStart, h.TEnd, dMin, dMax)
 	}

@@ -27,6 +27,7 @@ type run struct {
 	soft      context.Context // ctx plus Config.Deadline; == ctx when no deadline
 	stopTimer context.CancelFunc
 	hook      func(stage string, shard int)
+	hspHook   func(HSP)
 	retry     RetryPolicy
 	ck        *ckptWriter // nil when checkpointing is off
 
@@ -61,6 +62,7 @@ func (a *Aligner) newRun(ctx context.Context) *run {
 		ctx:            ctx,
 		soft:           ctx,
 		hook:           a.cfg.FaultHook,
+		hspHook:        a.cfg.HSPHook,
 		retry:          a.cfg.Retry,
 		maxCandidates:  a.cfg.MaxCandidates,
 		maxFilterTiles: a.cfg.MaxFilterTiles,
@@ -196,6 +198,15 @@ func (r *run) extCellsExceeded(cells int64) bool {
 	r.truncate(TruncatedMaxExtensionCells)
 	r.extExhausted.Store(true)
 	return true
+}
+
+// emit delivers one final HSP to the streaming hook. Extension (and
+// checkpoint replay) is single-goroutine, so emission order is the
+// deterministic order the HSPs were appended to the Result in.
+func (r *run) emit(h HSP) {
+	if r.hspHook != nil {
+		r.hspHook(h)
+	}
 }
 
 // toStageError converts a recovered panic value into a *StageError.

@@ -61,13 +61,30 @@ func countNonGap(s string) int {
 
 // Writer emits MAF blocks.
 type Writer struct {
-	w      *bufio.Writer
-	header bool
+	w         *bufio.Writer
+	header    bool
+	flushEach bool
 }
 
 // NewWriter wraps w.
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// NewStreamWriter wraps w for incremental delivery: the ##maf header
+// is written and flushed immediately, and every block is flushed as it
+// is written, so each block reaches the underlying writer the moment
+// it exists. This is the mode the serving layer chunk-streams jobs
+// with — a consumer polling the stream always sees a valid MAF prefix.
+// The byte sequence produced is identical to NewWriter's for the same
+// blocks, and Close still appends the Trailer, so ReadVerified treats
+// both modes the same.
+func NewStreamWriter(w io.Writer) (*Writer, error) {
+	mw := &Writer{w: bufio.NewWriterSize(w, 1<<16), flushEach: true}
+	if err := mw.writeHeader(); err != nil {
+		return nil, err
+	}
+	return mw, mw.w.Flush()
 }
 
 // writeHeader emits the ##maf header once.
@@ -100,6 +117,9 @@ func (mw *Writer) Write(b *Block) error {
 	if _, err := fmt.Fprintf(mw.w, "s %s %d %d %c %d %s\n\n",
 		b.QName, b.QStart, b.QSize, b.QStrand, b.QSrc, b.QText); err != nil {
 		return err
+	}
+	if mw.flushEach {
+		return mw.w.Flush()
 	}
 	return nil
 }

@@ -1,0 +1,424 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"darwinwga/internal/core"
+	"darwinwga/internal/genome"
+)
+
+// submitRequest is the POST /v1/jobs body. Exactly one of QueryFASTA
+// (inline FASTA text) and QueryPath (server-local file) must be set.
+type submitRequest struct {
+	Target     string `json:"target"`
+	QueryFASTA string `json:"query_fasta,omitempty"`
+	QueryPath  string `json:"query_path,omitempty"`
+	QueryName  string `json:"query_name,omitempty"`
+	Client     string `json:"client,omitempty"`
+
+	Ungapped          bool  `json:"ungapped,omitempty"`
+	ForwardOnly       bool  `json:"forward_only,omitempty"`
+	Hf                int32 `json:"hf,omitempty"`
+	He                int32 `json:"he,omitempty"`
+	MaxCandidates     int64 `json:"max_candidates,omitempty"`
+	MaxFilterTiles    int64 `json:"max_filter_tiles,omitempty"`
+	MaxExtensionCells int64 `json:"max_extension_cells,omitempty"`
+	DeadlineMS        int64 `json:"deadline_ms,omitempty"`
+}
+
+// jobStatus is the GET /v1/jobs/{id} response.
+type jobStatus struct {
+	ID        string         `json:"id"`
+	Target    string         `json:"target"`
+	QueryName string         `json:"query_name,omitempty"`
+	Client    string         `json:"client,omitempty"`
+	State     JobState       `json:"state"`
+	Created   time.Time      `json:"created"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	HSPs      int64          `json:"hsps"`
+	MAFBytes  int            `json:"maf_bytes"`
+	Truncated string         `json:"truncated,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Workload  *core.Workload `json:"workload,omitempty"`
+	StatusURL string         `json:"status_url"`
+	MAFURL    string         `json:"maf_url"`
+}
+
+// targetInfo is one entry of GET /v1/targets.
+type targetInfo struct {
+	Name         string    `json:"name"`
+	Seqs         int       `json:"seqs"`
+	Bases        int       `json:"bases"`
+	IndexBytes   int       `json:"index_bytes"`
+	RegisteredAt time.Time `json:"registered_at"`
+}
+
+// registerRequest is the POST /v1/targets body. Exactly one of FASTA
+// (inline) and Path (server-local file) must be set.
+type registerRequest struct {
+	Name  string `json:"name"`
+	FASTA string `json:"fasta,omitempty"`
+	Path  string `json:"path,omitempty"`
+}
+
+// handler builds the v1 route table.
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/maf", s.handleMAF)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/targets", s.handleTargets)
+	mux.HandleFunc("POST /v1/targets", s.handleRegister)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /varz", s.handleVarz)
+	return mux
+}
+
+// writeJSON writes v as a JSON response with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeBusy answers an admission rejection: 429 with Retry-After.
+func (s *Server) writeBusy(w http.ResponseWriter, why string) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":            why,
+		"retry_after_secs": secs,
+	})
+}
+
+// clientID identifies the submitter for per-client admission control:
+// the request's explicit client field, else the X-Client-ID header,
+// else the remote host.
+func clientID(r *http.Request, explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	if h := r.Header.Get("X-Client-ID"); h != "" {
+		return h
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// bodyLimit bounds a request body holding FASTA for at most maxBases
+// bases: headers, newlines, and slack are a small multiple on top.
+func (s *Server) bodyLimit() int64 {
+	return int64(s.cfg.MaxQueryBases) + int64(s.cfg.MaxQueryBases)/8 + 1<<20
+}
+
+// parseQuery loads the job's query assembly from an inline FASTA
+// payload or a server-local path.
+func parseQuery(req *submitRequest) (*genome.Assembly, error) {
+	switch {
+	case req.QueryFASTA != "" && req.QueryPath != "":
+		return nil, fmt.Errorf("set exactly one of query_fasta and query_path")
+	case req.QueryFASTA != "":
+		seqs, err := genome.ReadFASTA(strings.NewReader(req.QueryFASTA))
+		if err != nil {
+			return nil, err
+		}
+		name := req.QueryName
+		if name == "" {
+			name = "query"
+		}
+		return &genome.Assembly{Name: name, Seqs: seqs}, nil
+	case req.QueryPath != "":
+		asm, err := genome.ReadFASTAFile(req.QueryPath)
+		if err != nil {
+			return nil, err
+		}
+		if req.QueryName != "" {
+			asm.Name = req.QueryName
+		}
+		return asm, nil
+	default:
+		return nil, fmt.Errorf("set one of query_fasta and query_path")
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit())
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.jobs.RejectedOversize.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Target == "" {
+		writeError(w, http.StatusBadRequest, "missing target")
+		return
+	}
+	if req.DeadlineMS < 0 {
+		writeError(w, http.StatusBadRequest, "negative deadline_ms")
+		return
+	}
+	query, err := parseQuery(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	if n := query.TotalLen(); n > s.cfg.MaxQueryBases {
+		s.jobs.RejectedOversize.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"query is %d bases; this server accepts at most %d", n, s.cfg.MaxQueryBases)
+		return
+	}
+	params := JobParams{
+		Target:             req.Target,
+		Ungapped:           req.Ungapped,
+		ForwardOnly:        req.ForwardOnly,
+		FilterThreshold:    req.Hf,
+		ExtensionThreshold: req.He,
+		MaxCandidates:      req.MaxCandidates,
+		MaxFilterTiles:     req.MaxFilterTiles,
+		MaxExtensionCells:  req.MaxExtensionCells,
+		Deadline:           time.Duration(req.DeadlineMS) * time.Millisecond,
+	}
+	job, err := s.jobs.Submit(params, query, clientID(r, req.Client))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, s.statusOf(job))
+	case errors.Is(err, ErrUnknownTarget):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		s.writeBusy(w, "submission queue is full")
+	case errors.Is(err, ErrClientBusy):
+		s.writeBusy(w, "per-client in-flight limit reached")
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// statusOf snapshots one job for JSON.
+func (s *Server) statusOf(j *Job) jobStatus {
+	j.mu.Lock()
+	st := jobStatus{
+		ID:        j.ID,
+		Target:    j.Params.Target,
+		QueryName: j.QueryName,
+		Client:    j.Client,
+		State:     j.state,
+		Created:   j.created,
+		Truncated: string(j.truncated),
+		Error:     j.errMsg,
+		StatusURL: "/v1/jobs/" + j.ID,
+		MAFURL:    "/v1/jobs/" + j.ID + "/maf",
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.state.terminal() {
+		wl := j.workload
+		st.Workload = &wl
+	}
+	j.mu.Unlock()
+	st.HSPs = j.hsps.Load()
+	st.MAFBytes = j.spool.size()
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusOf(j))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	state, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"state": state})
+}
+
+// handleMAF chunk-streams a job's MAF: bytes are flushed to the client
+// as the pipeline emits alignment blocks, and the response ends when
+// the job reaches a terminal state. A completed job replays its full
+// stream; the bytes are identical to a one-shot CLI run with the same
+// parameters.
+func (s *Server) handleMAF(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Job-ID", j.ID)
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	off := 0
+	for {
+		chunk, done, wait := j.spool.view(off)
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			rc.Flush() //nolint:errcheck // best-effort chunk delivery
+			off += len(chunk)
+			continue
+		}
+		if done {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	list := s.reg.List()
+	out := make([]targetInfo, len(list))
+	for i, t := range list {
+		out[i] = targetInfo{
+			Name: t.Name, Seqs: t.NumSeqs, Bases: len(t.Bases),
+			IndexBytes: t.IndexBytes, RegisteredAt: t.RegisteredAt,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"targets": out})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit())
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "missing name")
+		return
+	}
+	var asm *genome.Assembly
+	switch {
+	case req.FASTA != "" && req.Path != "":
+		writeError(w, http.StatusBadRequest, "set exactly one of fasta and path")
+		return
+	case req.FASTA != "":
+		seqs, err := genome.ReadFASTA(strings.NewReader(req.FASTA))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "fasta: %v", err)
+			return
+		}
+		asm = &genome.Assembly{Name: req.Name, Seqs: seqs}
+	case req.Path != "":
+		var err error
+		if asm, err = genome.ReadFASTAFile(req.Path); err != nil {
+			writeError(w, http.StatusBadRequest, "path: %v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "set one of fasta and path")
+		return
+	}
+	t, err := s.reg.Register(req.Name, asm, s.cfg.Pipeline)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already registered") {
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, targetInfo{
+		Name: t.Name, Seqs: t.NumSeqs, Bases: len(t.Bases),
+		IndexBytes: t.IndexBytes, RegisteredAt: t.RegisteredAt,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.jobs.Draining():
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	case s.reg.Len() == 0:
+		writeError(w, http.StatusServiceUnavailable, "no targets registered")
+	default:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	states := map[JobState]int{}
+	s.jobs.mu.Lock()
+	for _, j := range s.jobs.jobs {
+		states[j.State()]++
+	}
+	s.jobs.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_ms":   time.Since(s.started).Milliseconds(),
+		"draining":    s.jobs.Draining(),
+		"queue_depth": s.jobs.QueueDepth(),
+		"queue_cap":   cap(s.jobs.queue),
+		"running":     s.jobs.Running.Load(),
+		"jobs":        states,
+		"targets":     s.reg.Len(),
+		"counters": map[string]int64{
+			"accepted":              s.jobs.Accepted.Load(),
+			"rejected_queue_full":   s.jobs.RejectedQueueFull.Load(),
+			"rejected_client_limit": s.jobs.RejectedClientLimit.Load(),
+			"rejected_oversize":     s.jobs.RejectedOversize.Load(),
+			"rejected_draining":     s.jobs.RejectedDraining.Load(),
+			"completed":             s.jobs.Completed.Load(),
+			"failed":                s.jobs.Failed.Load(),
+			"cancelled":             s.jobs.Cancelled.Load(),
+			"hsps_streamed":         s.jobs.HSPsStreamed.Load(),
+		},
+	})
+}

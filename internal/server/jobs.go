@@ -1,0 +1,528 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darwinwga/internal/core"
+	"darwinwga/internal/genome"
+	"darwinwga/internal/maf"
+)
+
+// JobState is the lifecycle state of one alignment job.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Admission errors. The API layer maps these onto HTTP statuses
+// (429 with Retry-After for the load-shedding pair, 503 for draining).
+var (
+	ErrQueueFull     = errors.New("server: submission queue is full")
+	ErrClientBusy    = errors.New("server: per-client in-flight limit reached")
+	ErrDraining      = errors.New("server: draining, not accepting jobs")
+	ErrUnknownTarget = errors.New("server: unknown target")
+)
+
+// JobParams are the per-job pipeline knobs a request may set; zero
+// values inherit the server's base configuration. They map onto the
+// same core.Config fields the CLI flags do, so a job and a one-shot
+// CLI run with matching parameters produce byte-identical MAF.
+type JobParams struct {
+	// Target names a registered target assembly.
+	Target string `json:"target"`
+	// Ungapped switches to the LASTZ-baseline ungapped filter (and its
+	// lower default thresholds), like the CLI's -ungapped.
+	Ungapped bool `json:"ungapped,omitempty"`
+	// ForwardOnly skips the reverse-complement strand.
+	ForwardOnly bool `json:"forward_only,omitempty"`
+	// FilterThreshold / ExtensionThreshold override Hf / He (0 = keep).
+	FilterThreshold    int32 `json:"hf,omitempty"`
+	ExtensionThreshold int32 `json:"he,omitempty"`
+	// Per-job resource budgets (0 = server default); exhaustion yields
+	// a partial result tagged with its truncation reason, not an error.
+	MaxCandidates     int64 `json:"max_candidates,omitempty"`
+	MaxFilterTiles    int64 `json:"max_filter_tiles,omitempty"`
+	MaxExtensionCells int64 `json:"max_extension_cells,omitempty"`
+	// Deadline is the job's soft wall-clock budget; it is clamped to
+	// the server's MaxDeadline, and defaults to it when zero.
+	Deadline time.Duration `json:"-"`
+}
+
+// Job is one alignment request moving through the manager. The spool
+// accumulates its streamed MAF; mu guards the mutable lifecycle state.
+type Job struct {
+	ID     string
+	Client string
+	Params JobParams
+	// QueryName labels the query assembly in MAF output and status.
+	QueryName string
+
+	spool  *spool
+	ctx    context.Context
+	cancel context.CancelFunc
+	hsps   atomic.Int64
+
+	mu        sync.Mutex
+	state     JobState
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	truncated core.TruncationReason
+	workload  core.Workload
+	errMsg    string
+	query     *genome.Assembly // released once the job reaches a terminal state
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// markRunning moves queued → running; false means the job was cancelled
+// while waiting and must be skipped.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	return true
+}
+
+// tryCancelQueued cancels a job that has not started; false if it
+// already left the queue.
+func (j *Job) tryCancelQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobCancelled
+	j.finished = time.Now()
+	j.query = nil
+	j.cancel()
+	j.spool.close()
+	return true
+}
+
+// finish records the terminal state of a job that ran.
+func (j *Job) finish(state JobState, res *core.Result, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.finished = time.Now()
+	j.errMsg = errMsg
+	if res != nil {
+		j.truncated = res.Truncated
+		j.workload = res.Workload
+	}
+	j.query = nil
+}
+
+// takeQuery detaches the queued query assembly for the run.
+func (j *Job) takeQuery() *genome.Assembly {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	q := j.query
+	j.query = nil
+	return q
+}
+
+// counters are the /varz load-shedding and throughput counters.
+type counters struct {
+	Accepted            atomic.Int64
+	RejectedQueueFull   atomic.Int64
+	RejectedClientLimit atomic.Int64
+	RejectedOversize    atomic.Int64
+	RejectedDraining    atomic.Int64
+	Completed           atomic.Int64
+	Failed              atomic.Int64
+	Cancelled           atomic.Int64
+	Running             atomic.Int64
+	HSPsStreamed        atomic.Int64
+}
+
+// Manager owns the job table, the bounded submission queue, and the
+// worker pool that drains it. Admission control happens in Submit;
+// execution in runJob; drain in Drain.
+type Manager struct {
+	reg            *Registry
+	base           core.Config
+	maxPerClient   int
+	maxDeadline    time.Duration
+	retain         int
+	checkpointRoot string
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string // insertion order, for bounded retention
+	perClient map[string]int
+	draining  bool
+
+	counters
+}
+
+// newManager wires a manager over reg; start launches the workers.
+func newManager(reg *Registry, base core.Config, queueDepth, maxPerClient int, maxDeadline time.Duration, retain int, checkpointRoot string) *Manager {
+	return &Manager{
+		reg:            reg,
+		base:           base,
+		maxPerClient:   maxPerClient,
+		maxDeadline:    maxDeadline,
+		retain:         retain,
+		checkpointRoot: checkpointRoot,
+		queue:          make(chan *Job, queueDepth),
+		jobs:           make(map[string]*Job),
+		perClient:      make(map[string]int),
+	}
+}
+
+// start launches n worker goroutines.
+func (m *Manager) start(n int) {
+	for i := 0; i < n; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.runJob(j)
+			}
+		}()
+	}
+}
+
+// newJobID returns a random RFC-4122-shaped v4 UUID.
+func newJobID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: crypto/rand failed: %v", err)) // no sane fallback
+	}
+	b[6] = (b[6] & 0x0f) | 0x40
+	b[8] = (b[8] & 0x3f) | 0x80
+	return fmt.Sprintf("%x-%x-%x-%x-%x", b[0:4], b[4:6], b[6:8], b[8:10], b[10:16])
+}
+
+// Submit admits one job or rejects it with a typed admission error.
+// query is the parsed query assembly (the manager owns it from here).
+func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string) (*Job, error) {
+	if _, ok := m.reg.Get(params.Target); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTarget, params.Target)
+	}
+	j := &Job{
+		ID:        newJobID(),
+		Client:    client,
+		Params:    params,
+		QueryName: query.Name,
+		spool:     newSpool(),
+		state:     JobQueued,
+		created:   time.Now(),
+		query:     query,
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.RejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	if m.maxPerClient > 0 && m.perClient[client] >= m.maxPerClient {
+		m.RejectedClientLimit.Add(1)
+		return nil, ErrClientBusy
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.RejectedQueueFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.perClient[client]++
+	m.Accepted.Add(1)
+	m.evictLocked()
+	return j, nil
+}
+
+// Get looks a job up by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation: a queued job is cancelled immediately,
+// a running job's context is cancelled (the pipeline stops at tile
+// granularity and the partial stream is finalized by the worker). The
+// returned state is the job's state after the request.
+func (m *Manager) Cancel(id string) (JobState, bool) {
+	j, ok := m.Get(id)
+	if !ok {
+		return "", false
+	}
+	if j.tryCancelQueued() {
+		m.Cancelled.Add(1)
+		m.settle(j)
+		return JobCancelled, true
+	}
+	j.cancel()
+	return j.State(), true
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// jobConfig maps one job's parameters onto the server's base pipeline
+// configuration — the same mapping the CLI applies to its flags, which
+// is what keeps a job's streamed MAF byte-identical to a CLI run.
+func (m *Manager) jobConfig(p JobParams) core.Config {
+	cfg := m.base
+	if p.Ungapped {
+		cfg.Filter = core.FilterUngapped
+		cfg.FilterThreshold = 3000
+		cfg.ExtensionThreshold = 3000
+	}
+	if p.FilterThreshold != 0 {
+		cfg.FilterThreshold = p.FilterThreshold
+	}
+	if p.ExtensionThreshold != 0 {
+		cfg.ExtensionThreshold = p.ExtensionThreshold
+	}
+	cfg.BothStrands = !p.ForwardOnly
+	if p.MaxCandidates != 0 {
+		cfg.MaxCandidates = p.MaxCandidates
+	}
+	if p.MaxFilterTiles != 0 {
+		cfg.MaxFilterTiles = p.MaxFilterTiles
+	}
+	if p.MaxExtensionCells != 0 {
+		cfg.MaxExtensionCells = p.MaxExtensionCells
+	}
+	cfg.Deadline = p.Deadline
+	if m.maxDeadline > 0 && (cfg.Deadline <= 0 || cfg.Deadline > m.maxDeadline) {
+		cfg.Deadline = m.maxDeadline
+	}
+	return cfg
+}
+
+// runJob executes one job end to end on a worker goroutine: derive the
+// per-job configuration, stream each emitted HSP as a MAF block into
+// the job's spool, and record the terminal state.
+func (m *Manager) runJob(j *Job) {
+	if !j.markRunning() {
+		return // cancelled while queued
+	}
+	m.Running.Add(1)
+	defer m.Running.Add(-1)
+
+	tgt, ok := m.reg.Get(j.Params.Target)
+	if !ok {
+		// Registration is validated at submit and targets are never
+		// removed; defensive only.
+		m.fail(j, nil, fmt.Sprintf("target %q vanished", j.Params.Target))
+		return
+	}
+	query := j.takeQuery()
+	if query == nil {
+		m.fail(j, nil, "job lost its query")
+		return
+	}
+	qBases, qStarts := genome.Concat(query.Seqs)
+	names := make([]string, len(query.Seqs))
+	for i, s := range query.Seqs {
+		names[i] = s.Name
+	}
+	qMap, err := maf.NewSeqMap(query.Name, names, qStarts)
+	if err != nil {
+		m.fail(j, nil, err.Error())
+		return
+	}
+	sw, err := maf.NewStreamWriter(j.spool)
+	if err != nil {
+		m.fail(j, nil, err.Error())
+		return
+	}
+
+	cfg := m.jobConfig(j.Params)
+	if m.checkpointRoot != "" {
+		cfg.CheckpointDir = filepath.Join(m.checkpointRoot, j.ID)
+	}
+	br := &maf.BlockRenderer{TMap: tgt.Map, QMap: qMap, Target: tgt.Bases, Query: qBases}
+	var streamErr error
+	cfg.HSPHook = func(h core.HSP) {
+		if streamErr != nil {
+			return
+		}
+		ops := make([]byte, len(h.Ops))
+		for k, op := range h.Ops {
+			ops[k] = byte(op)
+		}
+		block, err := br.Render(int64(h.Score), h.Strand, h.TStart, h.QStart, ops)
+		if err == nil {
+			err = sw.Write(block)
+		}
+		if err != nil {
+			streamErr = err
+			return
+		}
+		j.hsps.Add(1)
+		m.HSPsStreamed.Add(1)
+	}
+	aligner, err := tgt.Aligner.WithConfig(cfg)
+	if err != nil {
+		m.fail(j, nil, err.Error())
+		return
+	}
+
+	res, alignErr := aligner.AlignContext(j.ctx, qBases)
+	switch {
+	case res == nil:
+		m.fail(j, nil, alignErr.Error())
+	case streamErr != nil:
+		// The spool holds a valid MAF prefix but the stream is
+		// incomplete; no trailer, so ReadVerified reports it as such.
+		m.fail(j, res, fmt.Sprintf("streaming MAF: %v", streamErr))
+	default:
+		// Partial results (cancellation, deadline, budgets) still get
+		// the trailer — exactly like the CLI's atomic partial output.
+		if err := sw.Close(); err != nil {
+			m.fail(j, res, fmt.Sprintf("finalizing MAF: %v", err))
+			return
+		}
+		if alignErr != nil {
+			j.finish(JobCancelled, res, alignErr.Error())
+			m.Cancelled.Add(1)
+			m.settle(j)
+		} else {
+			j.finish(JobDone, res, "")
+			m.Completed.Add(1)
+			m.settle(j)
+		}
+	}
+}
+
+// fail marks a job failed and settles its accounting.
+func (m *Manager) fail(j *Job, res *core.Result, msg string) {
+	j.finish(JobFailed, res, msg)
+	m.Failed.Add(1)
+	m.settle(j)
+}
+
+// settle closes the job's spool, releases its per-client slot, and
+// evicts old terminal jobs beyond the retention cap.
+func (m *Manager) settle(j *Job) {
+	j.spool.close()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n := m.perClient[j.Client]; n <= 1 {
+		delete(m.perClient, j.Client)
+	} else {
+		m.perClient[j.Client] = n - 1
+	}
+	m.evictLocked()
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap,
+// so a long-lived server's job table (and the spooled MAF held by each
+// entry) stays bounded. Requires m.mu.
+func (m *Manager) evictLocked() {
+	if m.retain <= 0 {
+		return
+	}
+	terminal := 0
+	for _, id := range m.order {
+		if m.jobs[id].State().terminal() {
+			terminal++
+		}
+	}
+	if terminal <= m.retain {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		if terminal > m.retain && m.jobs[id].State().terminal() {
+			delete(m.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Drain shuts the manager down gracefully: new submissions are
+// rejected, queued jobs are cancelled, and running jobs are given
+// until ctx expires to finish (their checkpoint journals, if enabled,
+// are already durably flushed record by record). After ctx expires the
+// running jobs' contexts are cancelled and Drain waits for them to
+// stop at tile granularity, finalizing their partial streams.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	var queued []*Job
+	if !already {
+		for _, id := range m.order {
+			queued = append(queued, m.jobs[id])
+		}
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	if already {
+		return nil
+	}
+	for _, j := range queued {
+		if j.tryCancelQueued() {
+			m.Cancelled.Add(1)
+			m.settle(j)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, id := range m.order {
+			m.jobs[id].cancel()
+		}
+		m.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the manager has begun shutting down.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}

@@ -1,0 +1,129 @@
+// Package server is the alignment-as-a-service layer: a long-lived
+// net/http job server over the Darwin-WGA pipeline. It owns three
+// pieces the one-shot CLI cannot provide:
+//
+//   - a target registry that loads each assembly and builds its D-SOFT
+//     seed index exactly once, sharing the immutable core.Aligner
+//     across every request against that target;
+//   - a job manager — bounded submission queue, per-job IDs and states,
+//     worker-pool execution through AlignContext with per-job budgets
+//     and deadlines — with admission control (queue-full and per-client
+//     in-flight limits answer 429 with Retry-After) and graceful drain;
+//   - chunked MAF streaming: each job's alignments are rendered to MAF
+//     blocks as the pipeline emits them (core.Config.HSPHook) and
+//     byte-identical to a one-shot CLI run on the same inputs.
+//
+// The package is stdlib-only and embeddable: construct a Server, mount
+// Server.Handler on any mux or serve it directly, and Shutdown drains.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"darwinwga/internal/core"
+	"darwinwga/internal/genome"
+	"darwinwga/internal/maf"
+)
+
+// Target is one registered assembly: the concatenated bases, the
+// prebuilt aligner (whose seed index is the expensive part), and the
+// coordinate map MAF rendering needs. Immutable after registration and
+// shared by every job against it.
+type Target struct {
+	Name string
+	// Aligner owns the prebuilt index; jobs derive per-call
+	// configurations from it with WithConfig.
+	Aligner *core.Aligner
+	// Bases is the concatenated target sequence.
+	Bases []byte
+	// Map renders concatenated-space coordinates back to sequences.
+	Map *maf.SeqMap
+
+	NumSeqs      int
+	IndexBytes   int
+	RegisteredAt time.Time
+}
+
+// Registry holds the targets a server aligns against. Registration is
+// rare and expensive (index construction); lookup is on every request.
+type Registry struct {
+	mu      sync.RWMutex
+	targets map[string]*Target
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{targets: make(map[string]*Target)}
+}
+
+// Register loads an assembly under name, building its seed index once.
+// cfg supplies the index-shaping parameters (SeedPattern, SeedMaxFreq);
+// per-job knobs are rebound later with WithConfig. Registering a name
+// twice is an error — targets are immutable once published.
+func (r *Registry) Register(name string, asm *genome.Assembly, cfg core.Config) (*Target, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: empty target name")
+	}
+	if asm == nil || len(asm.Seqs) == 0 {
+		return nil, fmt.Errorf("server: target %q has no sequences", name)
+	}
+	bases, starts := genome.Concat(asm.Seqs)
+	names := make([]string, len(asm.Seqs))
+	for i, s := range asm.Seqs {
+		names[i] = s.Name
+	}
+	m, err := maf.NewSeqMap(name, names, starts)
+	if err != nil {
+		return nil, err
+	}
+	aligner, err := core.NewAligner(bases, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: indexing target %q: %w", name, err)
+	}
+	t := &Target{
+		Name:         name,
+		Aligner:      aligner,
+		Bases:        bases,
+		Map:          m,
+		NumSeqs:      len(asm.Seqs),
+		IndexBytes:   aligner.IndexMemoryBytes(),
+		RegisteredAt: time.Now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.targets[name]; dup {
+		return nil, fmt.Errorf("server: target %q already registered", name)
+	}
+	r.targets[name] = t
+	return t, nil
+}
+
+// Get returns the target registered under name.
+func (r *Registry) Get(name string) (*Target, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.targets[name]
+	return t, ok
+}
+
+// List returns all targets sorted by name.
+func (r *Registry) List() []*Target {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Target, 0, len(r.targets))
+	for _, t := range r.targets {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered targets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.targets)
+}

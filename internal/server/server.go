@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"darwinwga/internal/core"
+	"darwinwga/internal/genome"
+)
+
+// Config parameterizes a Server. The zero value is usable: defaults
+// are applied by New.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default
+	// "127.0.0.1:8053"). Embedders that mount Handler themselves can
+	// ignore it.
+	Addr string
+	// Pipeline is the base alignment configuration jobs inherit;
+	// per-job parameters override the per-call knobs. The zero value
+	// means core.DefaultConfig(). Its SeedPattern/SeedMaxFreq shape
+	// every target index built by this server.
+	Pipeline core.Config
+	// JobWorkers is the number of jobs aligned concurrently
+	// (default 2). Each job additionally parallelizes internally per
+	// Pipeline.Workers.
+	JobWorkers int
+	// QueueDepth bounds the submission queue (default 16); a full
+	// queue answers 429 with Retry-After.
+	QueueDepth int
+	// MaxInFlightPerClient caps one client's queued+running jobs
+	// (default 8; negative = unlimited). Exceeding it answers 429.
+	MaxInFlightPerClient int
+	// MaxQueryBases rejects oversized queries up front with 413
+	// (default 64 MiB of bases).
+	MaxQueryBases int
+	// MaxDeadline clamps (and, when a job asks for none, imposes) the
+	// per-job soft deadline. 0 = no cap.
+	MaxDeadline time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 2s).
+	RetryAfter time.Duration
+	// DrainGrace bounds how long Shutdown lets running jobs finish
+	// before cancelling them (default 30s).
+	DrainGrace time.Duration
+	// RetainJobs bounds how many finished jobs (and their spooled MAF)
+	// stay queryable (default 256).
+	RetainJobs int
+	// CheckpointRoot, when set, gives each job a crash-safe journal in
+	// CheckpointRoot/<job-id> (see core.Config.CheckpointDir).
+	CheckpointRoot string
+	// Log receives operational messages (default: discard).
+	Log *log.Logger
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8053"
+	}
+	if c.Pipeline.SeedPattern == "" {
+		c.Pipeline = core.DefaultConfig()
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxInFlightPerClient == 0 {
+		c.MaxInFlightPerClient = 8
+	}
+	if c.MaxInFlightPerClient < 0 {
+		c.MaxInFlightPerClient = 0 // unlimited
+	}
+	if c.MaxQueryBases <= 0 {
+		c.MaxQueryBases = 64 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 30 * time.Second
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 256
+	}
+	if c.Log == nil {
+		c.Log = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Server is the embedded alignment service: registry + job manager +
+// HTTP API. Construct with New, register targets, then either serve
+// the Handler yourself or call ListenAndServe; Shutdown drains.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	jobs    *Manager
+	handler http.Handler
+	started time.Time
+	log     *log.Logger
+
+	mu       sync.Mutex
+	httpSrv  *http.Server
+	listener net.Listener
+}
+
+// New builds a server and starts its job workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := NewRegistry()
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		jobs:    newManager(reg, cfg.Pipeline, cfg.QueueDepth, cfg.MaxInFlightPerClient, cfg.MaxDeadline, cfg.RetainJobs, cfg.CheckpointRoot),
+		started: time.Now(),
+		log:     cfg.Log,
+	}
+	s.handler = s.buildHandler()
+	s.jobs.start(cfg.JobWorkers)
+	return s
+}
+
+// Registry exposes the target registry (e.g. for startup registration).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Jobs exposes the job manager (e.g. for tests and embedders).
+func (s *Server) Jobs() *Manager { return s.jobs }
+
+// RegisterTarget loads one target assembly under the server's pipeline
+// configuration, building its seed index once.
+func (s *Server) RegisterTarget(name string, asm *genome.Assembly) (*Target, error) {
+	t, err := s.reg.Register(name, asm, s.cfg.Pipeline)
+	if err == nil {
+		s.log.Printf("registered target %q: %d seqs, %d bases, index %d bytes",
+			t.Name, t.NumSeqs, len(t.Bases), t.IndexBytes)
+	}
+	return t, err
+}
+
+// Handler returns the HTTP API, for embedding under another mux or an
+// httptest server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Addr returns the bound listen address once ListenAndServe has
+// started ("" before).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// ListenAndServe binds cfg.Addr and serves until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves the API on ln until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.handler}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.listener = ln
+	s.mu.Unlock()
+	s.log.Printf("serving on %s", ln.Addr())
+	return srv.Serve(ln)
+}
+
+// Shutdown drains the server: submissions are rejected immediately,
+// queued jobs are cancelled, running jobs get cfg.DrainGrace (bounded
+// additionally by ctx) to finish — their per-record-fsynced checkpoint
+// journals, when enabled, are already durable — and then the HTTP
+// listener closes once in-flight responses (including MAF streams of
+// the drained jobs) complete.
+func (s *Server) Shutdown(ctx context.Context) error {
+	grace, cancel := context.WithTimeout(ctx, s.cfg.DrainGrace)
+	defer cancel()
+	drainErr := s.jobs.Drain(grace)
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
+	return drainErr
+}

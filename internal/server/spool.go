@@ -1,0 +1,80 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// errSpoolClosed is returned by Write after close — the job has reached
+// a terminal state and its output is sealed.
+var errSpoolClosed = errors.New("server: write to closed result spool")
+
+// spool is the append-only byte buffer one job streams its MAF into.
+// One writer (the job's worker goroutine) appends; any number of HTTP
+// readers concurrently consume from their own offsets, waiting for more
+// bytes when they catch up. The waiters are woken by closing the
+// current wait channel and installing a fresh one — a broadcast that,
+// unlike sync.Cond, readers can select against a request context.
+//
+// The spool retains the whole output for the life of the job record, so
+// a reader arriving after completion replays the full stream; memory is
+// reclaimed when the job manager evicts the job.
+type spool struct {
+	mu   sync.Mutex
+	buf  []byte
+	done bool
+	wait chan struct{}
+}
+
+func newSpool() *spool {
+	return &spool{wait: make(chan struct{})}
+}
+
+// Write appends p and wakes all waiting readers. It implements
+// io.Writer so a maf.Writer can emit straight into the spool.
+func (s *spool) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return 0, errSpoolClosed
+	}
+	s.buf = append(s.buf, p...)
+	close(s.wait)
+	s.wait = make(chan struct{})
+	return len(p), nil
+}
+
+// close seals the spool: no further writes, and readers that drain the
+// buffer see end-of-stream. Idempotent.
+func (s *spool) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return
+	}
+	s.done = true
+	close(s.wait)
+}
+
+// view returns the bytes available past off, whether the spool is
+// sealed, and a channel that is closed on the next append or on close.
+// The returned slice is immutable: the buffer is append-only and the
+// region [off, len) is never rewritten.
+func (s *spool) view(off int) (chunk []byte, done bool, wait <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < len(s.buf) {
+		chunk = s.buf[off:len(s.buf):len(s.buf)]
+	}
+	return chunk, s.done, s.wait
+}
+
+// size returns the number of bytes spooled so far.
+func (s *spool) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSpoolStreamsAllBytes: concurrent readers starting at arbitrary
+// times all observe the full byte stream in order.
+func TestSpoolStreamsAllBytes(t *testing.T) {
+	s := newSpool()
+	var want bytes.Buffer
+	const writes = 200
+
+	var wg sync.WaitGroup
+	results := make([][]byte, 8)
+	for r := range results {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var got []byte
+			off := 0
+			for {
+				chunk, done, wait := s.view(off)
+				if len(chunk) > 0 {
+					got = append(got, chunk...)
+					off += len(chunk)
+					continue
+				}
+				if done {
+					break
+				}
+				<-wait
+			}
+			results[r] = got
+		}(r)
+	}
+
+	for i := 0; i < writes; i++ {
+		p := []byte(fmt.Sprintf("block %d\n", i))
+		want.Write(p)
+		if _, err := s.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.close()
+	wg.Wait()
+
+	for r, got := range results {
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("reader %d: got %d bytes, want %d", r, len(got), want.Len())
+		}
+	}
+	if s.size() != want.Len() {
+		t.Errorf("size() = %d, want %d", s.size(), want.Len())
+	}
+	if _, err := s.Write([]byte("late")); err == nil {
+		t.Error("write after close succeeded")
+	}
+}
+
+func TestNewJobIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := newJobID()
+		if len(id) != 36 || id[8] != '-' || id[13] != '-' || id[18] != '-' || id[23] != '-' {
+			t.Fatalf("malformed job id %q", id)
+		}
+		if id[14] != '4' {
+			t.Fatalf("job id %q is not version 4", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate job id %q", id)
+		}
+		seen[id] = true
+	}
+}

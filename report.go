@@ -18,7 +18,8 @@ import (
 type Report struct {
 	// TargetName and QueryName label the two assemblies.
 	TargetName, QueryName string
-	// HSPs are all alignments; target coordinates address the
+	// HSPs are all alignments in canonical coordinate order (target
+	// start, query start, score); target coordinates address the
 	// concatenated target, query coordinates the (strand-oriented)
 	// concatenated query.
 	HSPs []HSP
@@ -35,12 +36,16 @@ type Report struct {
 	// Config.Retry when Truncated is TruncatedShardFailures.
 	FailedShards []*StageError
 
-	target       []byte
-	query        []byte
-	targetStarts []int
-	queryStarts  []int
-	targetNames  []string
-	queryNames   []string
+	// emitted holds the HSPs in the pipeline's deterministic emission
+	// order — the order WriteMAF serializes blocks in, and the order the
+	// serving layer streams them in, so the two outputs are
+	// byte-identical.
+	emitted []HSP
+
+	target []byte
+	query  []byte
+	tMap   *maf.SeqMap
+	qMap   *maf.SeqMap
 }
 
 // AlignAssemblies aligns a query assembly against a target assembly:
@@ -58,9 +63,34 @@ func AlignAssemblies(target, query *Assembly, cfg Config) (*Report, error) {
 // callers can persist what was computed. Budget exhaustion
 // (Config.MaxCandidates, MaxFilterTiles, MaxExtensionCells, Deadline)
 // returns a truncated report with a nil error.
+//
+// A caller-provided cfg.HSPHook still fires (after the report's own
+// bookkeeping) for each alignment as it is produced.
 func AlignAssembliesContext(ctx context.Context, target, query *Assembly, cfg Config) (*Report, error) {
 	tBases, tStarts := genome.Concat(target.Seqs)
 	qBases, qStarts := genome.Concat(query.Seqs)
+	rep := &Report{
+		TargetName: target.Name,
+		QueryName:  query.Name,
+		target:     tBases,
+		query:      qBases,
+	}
+	var err error
+	if rep.tMap, err = maf.NewSeqMap(target.Name, seqNames(target), tStarts); err != nil {
+		return nil, err
+	}
+	if rep.qMap, err = maf.NewSeqMap(query.Name, seqNames(query), qStarts); err != nil {
+		return nil, err
+	}
+	// Capture the deterministic emission order for WriteMAF, forwarding
+	// to any hook the caller installed.
+	userHook := cfg.HSPHook
+	cfg.HSPHook = func(h HSP) {
+		rep.emitted = append(rep.emitted, h)
+		if userHook != nil {
+			userHook(h)
+		}
+	}
 	aligner, err := core.NewAligner(tBases, cfg)
 	if err != nil {
 		return nil, err
@@ -69,27 +99,22 @@ func AlignAssembliesContext(ctx context.Context, target, query *Assembly, cfg Co
 	if res == nil {
 		return nil, alignErr
 	}
-	rep := &Report{
-		TargetName:   target.Name,
-		QueryName:    query.Name,
-		HSPs:         res.HSPs,
-		Workload:     res.Workload,
-		Timings:      res.Timings,
-		Truncated:    res.Truncated,
-		FailedShards: res.FailedShards,
-		target:       tBases,
-		query:        qBases,
-		targetStarts: tStarts,
-		queryStarts:  qStarts,
-	}
-	for _, s := range target.Seqs {
-		rep.targetNames = append(rep.targetNames, s.Name)
-	}
-	for _, s := range query.Seqs {
-		rep.queryNames = append(rep.queryNames, s.Name)
-	}
+	rep.HSPs = res.HSPs
+	rep.Workload = res.Workload
+	rep.Timings = res.Timings
+	rep.Truncated = res.Truncated
+	rep.FailedShards = res.FailedShards
 	rep.Chains = BuildChains(res.HSPs, rep.target, rep.query, chain.DefaultOptions())
 	return rep, alignErr
+}
+
+// seqNames lists an assembly's sequence names in concatenation order.
+func seqNames(a *Assembly) []string {
+	names := make([]string, len(a.Seqs))
+	for i, s := range a.Seqs {
+		names[i] = s.Name
+	}
+	return names
 }
 
 // BuildChains chains HSPs per query strand and returns all chains
@@ -137,44 +162,35 @@ func (r *Report) TopChainScores(k int) []int64 { return chain.TopScores(r.Chains
 // the top 10).
 func (r *Report) SumTopChainScores(k int) int64 { return chain.SumTopScores(r.Chains, k) }
 
+// Renderer returns the MAF block renderer over this report's
+// concatenated coordinate space — the same renderer the serving layer
+// uses to stream blocks.
+func (r *Report) renderer() *maf.BlockRenderer {
+	return &maf.BlockRenderer{TMap: r.tMap, QMap: r.qMap, Target: r.target, Query: r.query}
+}
+
+// mafOrder returns the HSPs in the order WriteMAF serializes them: the
+// pipeline's deterministic emission order (best-filter-score-first per
+// strand, '+' before '-') — identical to the order the serving layer
+// streams blocks in, and stable across worker counts and
+// checkpoint-resume histories.
+func (r *Report) mafOrder() []HSP {
+	if len(r.emitted) > 0 {
+		return r.emitted
+	}
+	return r.HSPs
+}
+
 // WriteMAF writes every HSP as a pairwise MAF block with per-sequence
-// names and strand-correct query coordinates.
+// names and strand-correct query coordinates, in the pipeline's
+// deterministic emission order.
 func (r *Report) WriteMAF(w io.Writer) error {
 	mw := maf.NewWriter(w)
-	rc := []byte(nil)
-	for i := range r.HSPs {
-		h := &r.HSPs[i]
-		q := r.query
-		if h.Strand == '-' {
-			if rc == nil {
-				rc = genome.ReverseComplement(r.query)
-			}
-			q = rc
-		}
-		tName, tOff := locate(r.targetNames, r.targetStarts, h.TStart)
-		var qName string
-		var qOff int
-		if h.Strand == '-' {
-			// Reverse-complement space: sequence k's block occupies
-			// [L-end_k, L-start_k), with sequences in reverse order.
-			qName, qOff = locateRC(r.queryNames, r.queryStarts, len(r.query), h.QStart)
-		} else {
-			qName, qOff = locate(r.queryNames, r.queryStarts, h.QStart)
-		}
-		ops := make([]byte, len(h.Ops))
-		for k, op := range h.Ops {
-			ops[k] = byte(op)
-		}
-		ttext, qtext := maf.RenderTexts(r.target, q, h.TStart, h.QStart, ops)
-		block := &maf.Block{
-			Score:  int64(h.Score),
-			TName:  r.TargetName + "." + tName,
-			TStart: h.TStart - tOff, TSize: h.TSpan(), TSrc: sizeOf(r.targetStarts, r.targetNames, tName),
-			TText:  ttext,
-			QName:  r.QueryName + "." + qName,
-			QStart: h.QStart - qOff, QSize: h.QSpan(), QSrc: sizeOf(r.queryStarts, r.queryNames, qName),
-			QStrand: h.Strand,
-			QText:   qtext,
+	br := r.renderer()
+	for i, h := range r.mafOrder() {
+		block, err := renderHSP(br, &h)
+		if err != nil {
+			return fmt.Errorf("darwinwga: rendering MAF block %d: %w", i, err)
 		}
 		if err := mw.Write(block); err != nil {
 			return fmt.Errorf("darwinwga: writing MAF block %d: %w", i, err)
@@ -185,38 +201,11 @@ func (r *Report) WriteMAF(w io.Writer) error {
 	return mw.Close()
 }
 
-// locate maps a concatenated-space position to (sequence name, its
-// start offset).
-func locate(names []string, starts []int, pos int) (string, int) {
-	i := sort.SearchInts(starts, pos+1) - 1
-	if i < 0 {
-		i = 0
+// renderHSP converts one pipeline HSP into a MAF block.
+func renderHSP(br *maf.BlockRenderer, h *HSP) (*maf.Block, error) {
+	ops := make([]byte, len(h.Ops))
+	for k, op := range h.Ops {
+		ops[k] = byte(op)
 	}
-	if i >= len(names) {
-		i = len(names) - 1
-	}
-	return names[i], starts[i]
-}
-
-// locateRC maps a reverse-complement-space position to (sequence name,
-// the sequence's start offset in RC space).
-func locateRC(names []string, starts []int, totalLen, pos int) (string, int) {
-	fwd := totalLen - 1 - pos
-	i := sort.SearchInts(starts, fwd+1) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(names) {
-		i = len(names) - 1
-	}
-	return names[i], totalLen - starts[i+1]
-}
-
-func sizeOf(starts []int, names []string, name string) int {
-	for i, n := range names {
-		if n == name {
-			return starts[i+1] - starts[i]
-		}
-	}
-	return 0
+	return br.Render(int64(h.Score), h.Strand, h.TStart, h.QStart, ops)
 }
