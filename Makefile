@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-resume test-serve ci
+.PHONY: all build vet test test-race test-resume test-serve test-obs ci
 
 all: build
 
@@ -41,4 +41,17 @@ test-serve:
 	$(GO) test -race -timeout 15m ./internal/server/
 	$(GO) test -timeout 15m -run TestServeE2E ./cmd/darwin-wga/
 
-ci: build vet test test-race test-resume test-serve
+# Observability suite: the metrics registry / tracer unit tests under
+# the race detector, the trace-vs-Workload exactness and zero-alloc
+# recorder guards, the /metrics + /varz + pprof HTTP tests, and the
+# subprocess `serve -pprof -log-format json` e2e that scrapes /metrics
+# and /debug/pprof/heap. Not -short: the e2e re-execs the test binary
+# as the server.
+test-obs:
+	$(GO) test -race -timeout 10m ./internal/obs/
+	$(GO) test -timeout 15m -run 'TestTraceCoversWorkload|TestPipelineMetricsMatchWorkload|TestRecorderAllocOverheadConstant' ./internal/core/
+	$(GO) test -timeout 10m -run 'TestTileHook' ./internal/gact/
+	$(GO) test -timeout 15m -run 'TestMetricsEndpoint|TestJobStatsBlock|TestVarzCompatibility|TestPprofGating' ./internal/server/
+	$(GO) test -timeout 15m -run 'TestTraceAndProfileFlagsE2E|TestServeObservabilityE2E' ./cmd/darwin-wga/
+
+ci: build vet test test-race test-resume test-serve test-obs

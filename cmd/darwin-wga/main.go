@@ -29,6 +29,13 @@
 // is written atomically: to <out>.tmp first, fsynced, then renamed over
 // <out>, so an existing output file is never left half-overwritten.
 //
+// Telemetry: -trace out.json records the run's span tree (strands,
+// stages, per-tile work) as Chrome trace_event JSON for Perfetto;
+// -cpuprofile/-memprofile write pprof profiles. The serve subcommand
+// exposes a Prometheus registry at /metrics, takes -log-format
+// text|json for structured slog output, and mounts net/http/pprof
+// under /debug/pprof/ with -pprof.
+//
 // Exit status: 0 on success, 1 on a runtime error (including an
 // interrupted one-shot run), 2 on a usage error (bad flag or unknown
 // subcommand).
@@ -40,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +55,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -75,6 +84,9 @@ type options struct {
 	retries               int
 	retryDelay            time.Duration
 	retryMaxDelay         time.Duration
+	tracePath             string
+	cpuProfile            string
+	memProfile            string
 }
 
 func main() {
@@ -136,6 +148,9 @@ func alignMain(args []string) int {
 	fs.IntVar(&opts.retries, "retries", 0, "re-run a failed pipeline shard up to this many extra times before dropping it (0 = fail the call on first shard failure)")
 	fs.DurationVar(&opts.retryDelay, "retry-delay", 100*time.Millisecond, "base backoff before a shard retry (doubles per attempt, with jitter)")
 	fs.DurationVar(&opts.retryMaxDelay, "retry-max-delay", 5*time.Second, "cap on the per-retry backoff delay")
+	fs.StringVar(&opts.tracePath, "trace", "", "write a Chrome trace_event JSON span tree of the run here (open in Perfetto or about://tracing)")
+	fs.StringVar(&opts.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run here")
+	fs.StringVar(&opts.memProfile, "memprofile", "", "write a pprof heap profile (taken after the run) here")
 	if err := fs.Parse(args); err != nil {
 		// The flag package has already printed the error and usage.
 		return 2
@@ -203,6 +218,8 @@ func serveMain(args []string) int {
 		retain      = fs.Int("retain", 256, "finished jobs kept queryable")
 		ckptRoot    = fs.String("checkpoint-root", "", "per-job crash-safe journals under this directory (empty = off)")
 		workers     = fs.Int("workers", 0, "pipeline worker goroutines per job (0 = GOMAXPROCS)")
+		enablePprof = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the API handler")
+		logFormat   = fs.String("log-format", "text", "operational log format: text or json")
 	)
 	fs.Var(&registers, "register", "name=path of a target FASTA to index at startup (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -211,6 +228,16 @@ func serveMain(args []string) int {
 	if fs.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "darwin-wga serve: unexpected argument %q\n", fs.Arg(0))
 		fs.Usage()
+		return 2
+	}
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "darwin-wga serve: -log-format must be text or json, got %q\n", *logFormat)
 		return 2
 	}
 
@@ -228,6 +255,8 @@ func serveMain(args []string) int {
 		DrainGrace:           *drainGrace,
 		RetainJobs:           *retain,
 		CheckpointRoot:       *ckptRoot,
+		Log:                  logger,
+		EnablePprof:          *enablePprof,
 	})
 	for _, reg := range registers {
 		asm, err := darwinwga.ReadFASTA(reg.path)
@@ -235,13 +264,10 @@ func serveMain(args []string) int {
 			fmt.Fprintf(os.Stderr, "darwin-wga serve: loading %s: %v\n", reg.path, err)
 			return 1
 		}
-		tgt, err := srv.RegisterTarget(reg.name, asm)
-		if err != nil {
+		if _, err := srv.RegisterTarget(reg.name, asm); err != nil {
 			fmt.Fprintf(os.Stderr, "darwin-wga serve: registering %s: %v\n", reg.name, err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "darwin-wga serve: registered target %q (%d seqs, %d bases)\n",
-			tgt.Name, tgt.NumSeqs, len(tgt.Bases))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -258,7 +284,7 @@ func serveMain(args []string) int {
 	drained := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "darwin-wga serve: signal received, draining")
+		logger.Info("signal received, draining")
 		drained <- srv.Shutdown(context.Background())
 	}()
 
@@ -270,7 +296,7 @@ func serveMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "darwin-wga serve: drain:", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "darwin-wga serve: drained, bye")
+	logger.Info("drained, exiting")
 	return 0
 }
 
@@ -288,6 +314,30 @@ func run(ctx context.Context, opts options) error {
 		return fmt.Errorf("-retry-delay must be non-negative, got %v", opts.retryDelay)
 	case opts.retryMaxDelay < 0:
 		return fmt.Errorf("-retry-max-delay must be non-negative, got %v", opts.retryMaxDelay)
+	}
+
+	if opts.cpuProfile != "" {
+		f, err := os.Create(opts.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: closing CPU profile: %v\n", err)
+			}
+		}()
+	}
+	if opts.memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(opts.memProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: writing heap profile: %v\n", err)
+			}
+		}()
 	}
 
 	var target, query *darwinwga.Assembly
@@ -338,7 +388,22 @@ func run(ctx context.Context, opts options) error {
 	}
 	cfg.CheckpointFaults = crashFaultsFromEnv()
 
+	var tracer *darwinwga.Tracer
+	if opts.tracePath != "" {
+		tracer = darwinwga.NewTracer()
+		cfg.Recorder = tracer
+	}
+
 	rep, alignErr := darwinwga.AlignAssembliesContext(ctx, target, query, cfg)
+	// The trace is written even for partial or failed runs — a run worth
+	// tracing is often exactly one that misbehaves.
+	if tracer != nil {
+		if err := writeTrace(tracer, opts.tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: writing trace: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", opts.tracePath)
+		}
+	}
 	if rep == nil {
 		return alignErr
 	}
@@ -379,6 +444,34 @@ func run(ctx context.Context, opts options) error {
 		fmt.Fprintf(os.Stderr, "chain %2d: score %s\n", i+1, stats.Comma(s))
 	}
 	return alignErr
+}
+
+// writeTrace stores the collected span tree as Chrome trace_event JSON.
+func writeTrace(t *darwinwga.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = t.Write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeHeapProfile snapshots the heap after a GC, so the profile shows
+// live retention rather than garbage awaiting collection.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeMAFAtomic writes the report's MAF to path via a temp file in the

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"darwinwga"
+	"darwinwga/internal/evolve"
+)
+
+// obsFixture writes one small species pair to dir as FASTA files.
+func obsFixture(t *testing.T, dir string) (targetName, targetPath, queryPath string) {
+	t.Helper()
+	cfg, ok := evolve.StandardPair("dm6-droSim1", 0.0004)
+	if !ok {
+		t.Fatal("unknown standard pair")
+	}
+	pair, err := evolve.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetPath = filepath.Join(dir, pair.Target.Name+".fa")
+	queryPath = filepath.Join(dir, pair.Query.Name+".fa")
+	if err := darwinwga.WriteFASTA(targetPath, pair.Target); err != nil {
+		t.Fatal(err)
+	}
+	if err := darwinwga.WriteFASTA(queryPath, pair.Query); err != nil {
+		t.Fatal(err)
+	}
+	return pair.Target.Name, targetPath, queryPath
+}
+
+// TestTraceAndProfileFlagsE2E runs the one-shot CLI path with -trace,
+// -cpuprofile, and -memprofile outputs and validates each artifact: the
+// trace must be loadable trace_event JSON whose span tree covers the
+// pipeline stages, and the profiles must be non-empty pprof files.
+func TestTraceAndProfileFlagsE2E(t *testing.T) {
+	dir := t.TempDir()
+	_, targetPath, queryPath := obsFixture(t, dir)
+
+	tracePath := filepath.Join(dir, "out.trace.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	err := run(context.Background(), options{
+		targetPath: targetPath, queryPath: queryPath,
+		outPath: filepath.Join(dir, "out.maf"),
+		scale:   0.01, topChains: 3,
+		tracePath:  tracePath,
+		cpuProfile: cpuPath,
+		memProfile: memPath,
+	})
+	if err != nil {
+		t.Fatalf("one-shot run: %v", err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	names := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name]++
+	}
+	for _, want := range []string{"align", "seeding", "filter", "extension", "seed-shard", "filter-tile", "gact-tile"} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q events (got %v)", want, names)
+		}
+	}
+
+	for _, p := range []string{cpuPath, memPath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s: %v", p, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestServeObservabilityE2E starts `darwin-wga serve -pprof -log-format
+// json` as a subprocess, runs one job, and exercises the operational
+// surface: /metrics must scrape as Prometheus text reflecting the job,
+// /debug/pprof/heap must serve a profile, and the child's stderr must
+// be structured JSON logs carrying the job lifecycle.
+func TestServeObservabilityE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess serve e2e is not -short")
+	}
+	dir := t.TempDir()
+	targetName, targetPath, queryPath := obsFixture(t, dir)
+
+	cmd := exec.Command(os.Args[0],
+		"serve", "-addr", "127.0.0.1:0",
+		"-register", targetName+"="+targetPath,
+		"-pprof", "-log-format", "json",
+		"-drain-grace", "2m",
+	)
+	cmd.Env = append(os.Environ(), "DARWINWGA_E2E_CHILD=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // backstop for early test failures
+
+	// The plain-text bound-address line is the port-discovery contract
+	// and stays outside the structured log stream.
+	addrCh := make(chan string, 1)
+	childLog := &bytes.Buffer{}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(childLog, line)
+			if _, a, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrCh <- a:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("server never reported its address; log:\n%s", childLog.String())
+	}
+	waitHTTP(t, base+"/readyz", http.StatusOK, 30*time.Second)
+
+	code, body := postJSON(t, base+"/v1/jobs", map[string]any{
+		"target":     targetName,
+		"query_path": queryPath,
+		"client":     "obs-e2e",
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d (%s)", code, body)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if state := awaitTerminal(t, base, st.ID, 3*time.Minute); state != "done" {
+		t.Fatalf("job state %q, want done; log:\n%s", state, childLog.String())
+	}
+
+	// Prometheus scrape.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"darwinwga_jobs_accepted_total 1",
+		`darwinwga_jobs_finished_total{state="done"} 1`,
+		"darwinwga_core_aligns_total 1",
+		"# TYPE darwinwga_jobs_run_seconds histogram",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+
+	// Heap profile behind -pprof.
+	resp, err = http.Get(base + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(heap) == 0 {
+		t.Errorf("/debug/pprof/heap: HTTP %d, %d bytes", resp.StatusCode, len(heap))
+	}
+
+	// Graceful shutdown, then check the structured log stream.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("server exited non-zero after SIGTERM: %v; log:\n%s", err, childLog.String())
+		}
+	case <-time.After(3 * time.Minute):
+		cmd.Process.Kill() //nolint:errcheck
+		t.Fatalf("server did not drain after SIGTERM; log:\n%s", childLog.String())
+	}
+
+	var sawQueued, sawRunning, sawDone bool
+	for _, line := range strings.Split(childLog.String(), "\n") {
+		if strings.TrimSpace(line) == "" || strings.Contains(line, "listening on ") {
+			continue
+		}
+		var rec struct {
+			Msg   string `json:"msg"`
+			JobID string `json:"job_id"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("non-JSON log line under -log-format json: %q", line)
+			continue
+		}
+		if rec.JobID == st.ID {
+			switch {
+			case strings.Contains(rec.Msg, "queued"):
+				sawQueued = true
+			case strings.Contains(rec.Msg, "running"):
+				sawRunning = true
+			case strings.Contains(rec.Msg, "done") || strings.Contains(rec.Msg, "finished"):
+				sawDone = true
+			}
+		}
+	}
+	if !sawQueued || !sawRunning || !sawDone {
+		t.Errorf("job lifecycle missing from structured logs (queued=%v running=%v done=%v):\n%s",
+			sawQueued, sawRunning, sawDone, childLog.String())
+	}
+}

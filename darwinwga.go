@@ -52,6 +52,17 @@
 // a partial Result tagged TruncatedShardFailures, with the per-shard
 // causes in Result.FailedShards.
 //
+// # Observability
+//
+// Setting Config.Recorder streams pipeline telemetry — stage spans,
+// per-shard seeding, per-tile filter and extension work — to any
+// Recorder implementation; the nil default is free (a benchmark-pinned
+// zero-allocation contract). NewTracer collects a Chrome trace_event
+// span tree (the CLI's -trace flag), NewPipelineMetrics folds events
+// into a MetricsRegistry served as Prometheus text and expvar JSON
+// (the server's /metrics endpoint), and MultiRecorder fans out to
+// several at once.
+//
 // # Serving
 //
 // NewServer wraps the pipeline in a long-lived alignment service: a
@@ -69,6 +80,7 @@ import (
 	"darwinwga/internal/core"
 	"darwinwga/internal/evolve"
 	"darwinwga/internal/genome"
+	"darwinwga/internal/obs"
 	"darwinwga/internal/server"
 )
 
@@ -121,6 +133,21 @@ type (
 	JobState = server.JobState
 	// JobParams are the per-job pipeline knobs a submission may set.
 	JobParams = server.JobParams
+	// Recorder receives pipeline telemetry (Config.Recorder); nil — the
+	// default — disables instrumentation at zero cost.
+	Recorder = obs.Recorder
+	// Tracer is a Recorder collecting a Chrome trace_event span tree
+	// (the CLI's -trace flag); load its output in Perfetto.
+	Tracer = obs.Tracer
+	// MetricsRegistry holds named counters, gauges, and histograms and
+	// renders Prometheus text or expvar-style JSON.
+	MetricsRegistry = obs.Registry
+	// PipelineMetrics is a Recorder folding pipeline events into a
+	// MetricsRegistry under the darwinwga_* metric names.
+	PipelineMetrics = obs.PipelineMetrics
+	// WorkloadAggregate is a Recorder accumulating one call's per-stage
+	// workload for cheap point-in-time snapshots.
+	WorkloadAggregate = obs.Aggregate
 )
 
 // Filter modes.
@@ -170,6 +197,21 @@ func DefaultScoring() *Scoring { return align.DefaultScoring() }
 func NewAligner(target []byte, cfg Config) (*Aligner, error) {
 	return core.NewAligner(target, cfg)
 }
+
+// NewTracer returns an empty trace collector; set it as Config.Recorder
+// and write the collected trace with Tracer.Write after the call.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewPipelineMetrics registers the standard pipeline metric set on reg
+// and returns the Recorder that feeds it.
+func NewPipelineMetrics(reg *MetricsRegistry) *PipelineMetrics { return obs.NewPipelineMetrics(reg) }
+
+// MultiRecorder fans pipeline telemetry out to several recorders; nil
+// entries are dropped, and a nil result means "no telemetry".
+func MultiRecorder(recs ...Recorder) Recorder { return obs.Multi(recs...) }
 
 // NewServer builds an alignment job server over the pipeline and
 // starts its workers: register targets with Server.RegisterTarget, then

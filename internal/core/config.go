@@ -16,6 +16,7 @@ import (
 	"darwinwga/internal/dsoft"
 	"darwinwga/internal/faultinject"
 	"darwinwga/internal/gact"
+	"darwinwga/internal/obs"
 	"darwinwga/internal/seed"
 )
 
@@ -110,6 +111,18 @@ type Config struct {
 	// again on every retry attempt, which is how injectors model
 	// transient (fire-once) versus persistent (fire-always) faults.
 	FaultHook func(stage string, shard int)
+
+	// Recorder, when non-nil, receives pipeline telemetry: strand and
+	// stage spans, per-seeding-shard seed-hit counts, per-filter-tile
+	// verdicts and cells, and per-GACT-X-tile cells and latencies — the
+	// span tree documented on obs.Recorder. Implementations must be
+	// safe for concurrent use (events arrive from every worker
+	// goroutine). Nil — the default — is free: the instrumentation
+	// sites are branch-guarded, take no timestamps, and add zero
+	// allocations (pinned by BenchmarkRecorderOverhead). Like FaultHook
+	// and HSPHook it observes the run and cannot change it, so it is
+	// excluded from the checkpoint fingerprint.
+	Recorder obs.Recorder
 
 	// HSPHook, when non-nil, is invoked from the extension stage's
 	// orchestration goroutine each time a final alignment is produced —
@@ -279,7 +292,8 @@ func (c *Config) Validate() error {
 // pipeline's output, so a checkpoint journal is only resumed under the
 // configuration that wrote it. Operational knobs that cannot change
 // the alignment set — Workers (anchor order is canonicalized), Retry,
-// FaultHook, the checkpoint settings themselves — are excluded, as is
+// FaultHook, Recorder, the checkpoint settings themselves — are
+// excluded, as is
 // the wall-clock Deadline (a deadline-truncated run is inherently
 // non-reproducible). Resource budgets are included: they shape the
 // result.

@@ -11,6 +11,7 @@ import (
 	"darwinwga/internal/dsoft"
 	"darwinwga/internal/gact"
 	"darwinwga/internal/genome"
+	"darwinwga/internal/obs"
 	"darwinwga/internal/seed"
 )
 
@@ -110,6 +111,12 @@ func (a *Aligner) AlignContext(ctx context.Context, query []byte) (*Result, erro
 	}
 	r := a.newRun(ctx)
 	defer r.stopTimer()
+	res := &Result{}
+	if r.rec != nil {
+		t0 := time.Now()
+		r.rec.AlignBegin(len(query))
+		defer func() { r.rec.AlignEnd(len(res.HSPs), time.Since(t0)) }()
+	}
 	if a.cfg.CheckpointDir != "" {
 		ck, err := openCheckpoint(&a.cfg, a.target, query)
 		if err != nil {
@@ -118,7 +125,6 @@ func (a *Aligner) AlignContext(ctx context.Context, query []byte) (*Result, erro
 		defer ck.close()
 		r.ck = ck
 	}
-	res := &Result{}
 	if err := a.alignStrand(r, query, '+', res); err != nil {
 		return nil, err
 	}
@@ -206,11 +212,11 @@ func (a *Aligner) Anchors(query []byte) ([]ExtensionAnchor, error) {
 	}
 	r := a.newRun(context.Background())
 	defer r.stopTimer()
-	anchors, _ := a.runSeeding(r, query)
+	anchors, _ := a.runSeeding(r, query, '+')
 	if err := r.err(); err != nil {
 		return nil, err
 	}
-	passed, _, _ := a.runFilter(r, query, anchors)
+	passed, _, _ := a.runFilter(r, query, anchors, '+')
 	if err := r.err(); err != nil {
 		return nil, err
 	}
@@ -229,6 +235,10 @@ func (a *Aligner) alignStrand(r *run, query []byte, strand byte, res *Result) er
 	if r.stopSlow() {
 		return nil
 	}
+	if r.rec != nil {
+		r.rec.StrandBegin(strand)
+		defer r.rec.StrandEnd(strand)
+	}
 
 	var passed []passedAnchor
 	if s := r.ck.strand(strand); s != nil {
@@ -244,18 +254,30 @@ func (a *Aligner) alignStrand(r *run, query []byte, strand byte, res *Result) er
 		}
 	} else {
 		// Stage 1: D-SOFT seeding over query shards.
+		if r.rec != nil {
+			r.rec.StageBegin(strand, obs.StageSeeding)
+		}
 		t0 := time.Now()
-		anchors, seedStats := a.runSeeding(r, query)
+		anchors, seedStats := a.runSeeding(r, query, strand)
 		res.Timings.Seeding += time.Since(t0)
+		if r.rec != nil {
+			r.rec.StageEnd(strand, obs.StageSeeding)
+		}
 		if err := r.err(); err != nil {
 			return err
 		}
 
 		// Stage 2: filtering (gapped BSW or ungapped X-drop).
+		if r.rec != nil {
+			r.rec.StageBegin(strand, obs.StageFilter)
+		}
 		t1 := time.Now()
 		var filterTiles, filterCells int64
-		passed, filterTiles, filterCells = a.runFilter(r, query, anchors)
+		passed, filterTiles, filterCells = a.runFilter(r, query, anchors, strand)
 		res.Timings.Filtering += time.Since(t1)
+		if r.rec != nil {
+			r.rec.StageEnd(strand, obs.StageFilter)
+		}
 		if err := r.err(); err != nil {
 			return err
 		}
@@ -287,6 +309,10 @@ func (a *Aligner) alignStrand(r *run, query []byte, strand byte, res *Result) er
 
 	// Stage 3: extension with anchor absorption, best filter score
 	// first so strong alignments absorb their shadows.
+	if r.rec != nil {
+		r.rec.StageBegin(strand, obs.StageExtension)
+		defer r.rec.StageEnd(strand, obs.StageExtension)
+	}
 	t2 := time.Now()
 	err := a.runExtension(r, query, strand, passed, res)
 	res.Timings.Extension += time.Since(t2)
@@ -324,6 +350,17 @@ func (a *Aligner) runExtension(r *run, query []byte, strand byte, passed []passe
 		}
 		return r.stopSlow() || r.extCellsExceeded(cells)
 	}
+	// With a Recorder set, every GACT-X tile DP reports one
+	// ExtensionTile event; curAnchor tracks which anchor the extender is
+	// working on (extension is single-goroutine, so a plain variable
+	// suffices). nil Recorder leaves TileHook nil: the extender's hot
+	// loop takes no timestamps.
+	curAnchor := -1
+	if r.rec != nil {
+		ecfg.TileHook = func(cells int, start time.Time, dur time.Duration) {
+			r.rec.ExtensionTile(strand, curAnchor, int64(cells), start, dur)
+		}
+	}
 	ext, err := gact.NewExtender(a.sc, ecfg)
 	if err != nil {
 		return err
@@ -343,10 +380,17 @@ func (a *Aligner) runExtension(r *run, query []byte, strand byte, passed []passe
 		}
 		if absorb.covered(p.tPos, p.qPos) {
 			res.Workload.Absorbed++
+			if r.rec != nil {
+				r.rec.AnchorSkipped(strand, i)
+			}
 			if err := r.ck.recordAnchor(ckptAnchorRec{Strand: string(strand), Index: i, Absorbed: true}); err != nil {
 				return err
 			}
 			continue
+		}
+		if r.rec != nil {
+			r.rec.AnchorBegin(strand, i)
+			curAnchor = i
 		}
 		var st gact.Stats
 		var aln align.Alignment
@@ -362,6 +406,9 @@ func (a *Aligner) runExtension(r *run, query []byte, strand byte, passed []passe
 		})
 		inFlight = nil
 		if !ok {
+			if r.rec != nil {
+				r.rec.AnchorEnd(strand, i, 0, 0, false)
+			}
 			if err := r.err(); err != nil {
 				// No retry policy: the contained failure fails the call.
 				return err
@@ -396,6 +443,9 @@ func (a *Aligner) runExtension(r *run, query []byte, strand byte, passed []passe
 			r.emit(h)
 			dMin, dMax := pathDiagRange(aln.TStart, aln.QStart, aln.Ops)
 			absorb.add(aln.TStart, aln.TEnd, dMin, dMax)
+		}
+		if r.rec != nil {
+			r.rec.AnchorEnd(strand, i, int64(st.Tiles), int64(st.Cells), aln.Score >= a.cfg.ExtensionThreshold)
 		}
 		if stopped {
 			break
@@ -433,7 +483,7 @@ func replayAnchor(r *run, strand byte, rec *ckptAnchorRec, absorb *absorber, res
 // D-SOFT candidates. Workers poll cancellation and the candidate budget
 // every seedBlockChunks chunks; a worker panic is contained and
 // recorded on the run.
-func (a *Aligner) runSeeding(r *run, query []byte) ([]dsoft.Anchor, dsoft.Stats) {
+func (a *Aligner) runSeeding(r *run, query []byte, strand byte) ([]dsoft.Anchor, dsoft.Stats) {
 	seeder, err := dsoft.NewSeeder(a.index, a.cfg.DSoft)
 	if err != nil {
 		// Params were validated in NewAligner; unreachable.
@@ -485,7 +535,15 @@ func (a *Aligner) runSeeding(r *run, query []byte) ([]dsoft.Anchor, dsoft.Stats)
 				r.candidates.Add(-int64(parts[w].stats.Candidates))
 				parts[w] = part{}
 			}
-			r.runShard(StageSeeding, w, body, reset)
+			var t0 time.Time
+			if r.rec != nil {
+				t0 = time.Now()
+			}
+			ok := r.runShard(StageSeeding, w, body, reset)
+			if ok && r.rec != nil {
+				st := &parts[w].stats
+				r.rec.SeedShard(strand, w, int64(st.SeedHits), int64(st.Candidates), t0, time.Since(t0))
+			}
 		}(w, start, end)
 	}
 	wg.Wait()
@@ -504,8 +562,10 @@ func (a *Aligner) runSeeding(r *run, query []byte) ([]dsoft.Anchor, dsoft.Stats)
 // runFilter scores every anchor with the configured filter across
 // workers and returns the survivors. Cancellation and the tile budget
 // are polled per tile; a worker panic is contained and recorded on the
-// run.
-func (a *Aligner) runFilter(r *run, query []byte, anchors []dsoft.Anchor) (passed []passedAnchor, tiles, cells int64) {
+// run. With a Recorder set, every filter invocation reports one
+// FilterTile event (verdict, cells, latency); with a nil Recorder the
+// loop takes no timestamps.
+func (a *Aligner) runFilter(r *run, query []byte, anchors []dsoft.Anchor, strand byte) (passed []passedAnchor, tiles, cells int64) {
 	workers := a.cfg.workers()
 	type part struct {
 		passed []passedAnchor
@@ -528,6 +588,8 @@ func (a *Aligner) runFilter(r *run, query []byte, anchors []dsoft.Anchor) (passe
 				if r.hook != nil {
 					r.hook(StageFilter, w)
 				}
+				rec := r.rec
+				var t0 time.Time
 				p := &parts[w]
 				switch a.cfg.Filter {
 				case FilterGapped:
@@ -536,10 +598,17 @@ func (a *Aligner) runFilter(r *run, query []byte, anchors []dsoft.Anchor) (passe
 						if r.stop() || !r.takeFilterTile() {
 							return
 						}
+						if rec != nil {
+							t0 = time.Now()
+						}
 						res := ba.FilterTile(a.target, query, an.TPos, an.QPos, a.cfg.FilterTileSize)
 						p.tiles++
 						p.cells += int64(res.Cells)
-						if res.Score >= a.cfg.FilterThreshold {
+						pass := res.Score >= a.cfg.FilterThreshold
+						if rec != nil {
+							rec.FilterTile(strand, w, pass, int64(res.Cells), t0, time.Since(t0))
+						}
+						if pass {
 							p.passed = append(p.passed, passedAnchor{tPos: res.TPos, qPos: res.QPos, score: res.Score})
 						}
 					}
@@ -549,10 +618,17 @@ func (a *Aligner) runFilter(r *run, query []byte, anchors []dsoft.Anchor) (passe
 						if r.stop() || !r.takeFilterTile() {
 							return
 						}
+						if rec != nil {
+							t0 = time.Now()
+						}
 						res := ue.Extend(a.target, query, an.TPos, an.QPos, a.shape.Span)
 						p.tiles++
 						p.cells += int64(res.Cells)
-						if res.Score >= a.cfg.FilterThreshold {
+						pass := res.Score >= a.cfg.FilterThreshold
+						if rec != nil {
+							rec.FilterTile(strand, w, pass, int64(res.Cells), t0, time.Since(t0))
+						}
+						if pass {
 							// Anchor extension starts at the segment's end
 							// (the equivalent of BSW's Vmax position).
 							p.passed = append(p.passed, passedAnchor{tPos: res.TEnd, qPos: res.QEnd, score: res.Score})

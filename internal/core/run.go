@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"darwinwga/internal/obs"
 )
 
 // run is the per-AlignContext call state: cancellation, the soft
@@ -28,6 +30,7 @@ type run struct {
 	stopTimer context.CancelFunc
 	hook      func(stage string, shard int)
 	hspHook   func(HSP)
+	rec       obs.Recorder // nil = telemetry off (the zero-cost path)
 	retry     RetryPolicy
 	ck        *ckptWriter // nil when checkpointing is off
 
@@ -63,6 +66,7 @@ func (a *Aligner) newRun(ctx context.Context) *run {
 		soft:           ctx,
 		hook:           a.cfg.FaultHook,
 		hspHook:        a.cfg.HSPHook,
+		rec:            a.cfg.Recorder,
 		retry:          a.cfg.Retry,
 		maxCandidates:  a.cfg.MaxCandidates,
 		maxFilterTiles: a.cfg.MaxFilterTiles,

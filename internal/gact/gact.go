@@ -10,6 +10,7 @@ package gact
 
 import (
 	"fmt"
+	"time"
 
 	"darwinwga/internal/align"
 )
@@ -30,6 +31,12 @@ type Config struct {
 	// the transcript committed so far. Callers use it for cancellation
 	// and cell budgets; nil means run to completion.
 	Stop func() bool
+	// TileHook, when non-nil, is invoked after every tile DP with the
+	// tile's cell count and its wall-clock interval. It exists for
+	// telemetry (internal/obs records per-tile spans and latency
+	// histograms through it); nil — the default — costs nothing: the
+	// hot loop takes no timestamps.
+	TileHook func(cells int, start time.Time, dur time.Duration)
 }
 
 // DefaultConfig returns the paper's GACT-X defaults.
@@ -145,7 +152,14 @@ func (e *Extender) extendDir(target, query []byte, stats *Stats) (ops []align.Ed
 		if tileT == 0 && tileQ == 0 {
 			break
 		}
+		var t0 time.Time
+		if e.cfg.TileHook != nil {
+			t0 = time.Now()
+		}
 		res := e.xa.Align(target[ti:ti+tileT], query[qi:qi+tileQ])
+		if e.cfg.TileHook != nil {
+			e.cfg.TileHook(res.Cells, t0, time.Since(t0))
+		}
 		stats.Tiles++
 		stats.Cells += res.Cells
 		if res.Cells > stats.MaxTileCells {

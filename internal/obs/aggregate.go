@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Aggregate is a Recorder that accumulates one call's per-stage
+// workload and wall-clock into atomics — the serving layer attaches
+// one per job and derives the /v1/jobs/{id} "stats" block from it.
+// Snapshot is safe to call at any time, including while the call is
+// still running (a live job reports its progress so far).
+type Aggregate struct {
+	seedHits   atomic.Int64
+	candidates atomic.Int64
+
+	filterPass  atomic.Int64
+	filterFail  atomic.Int64
+	filterCells atomic.Int64
+
+	anchors  atomic.Int64
+	extTiles atomic.Int64
+	extCells atomic.Int64
+	hsps     atomic.Int64
+
+	// stageStart[stage] holds the active stage's begin time as
+	// UnixNano; stageNS[stage] the accumulated wall-clock. Stages of
+	// the two strands never overlap, so one slot per stage suffices.
+	stageStart [3]atomic.Int64
+	stageNS    [3]atomic.Int64
+}
+
+// StageSnapshot is one stage's accumulated work in an AggregateSnapshot.
+type StageSnapshot struct {
+	WallMS int64 `json:"wall_ms"`
+
+	SeedHits   int64 `json:"seed_hits,omitempty"`
+	Candidates int64 `json:"candidates,omitempty"`
+
+	TilesPassed int64 `json:"tiles_passed,omitempty"`
+	TilesFailed int64 `json:"tiles_failed,omitempty"`
+	Cells       int64 `json:"cells,omitempty"`
+
+	Anchors int64 `json:"anchors,omitempty"`
+	Tiles   int64 `json:"tiles,omitempty"`
+	HSPs    int64 `json:"hsps,omitempty"`
+}
+
+// AggregateSnapshot is a point-in-time view of an Aggregate, shaped
+// for JSON embedding in a job status response.
+type AggregateSnapshot struct {
+	Seeding   StageSnapshot `json:"seeding"`
+	Filter    StageSnapshot `json:"filter"`
+	Extension StageSnapshot `json:"extension"`
+}
+
+// Snapshot returns the current totals (both strands summed).
+func (a *Aggregate) Snapshot() AggregateSnapshot {
+	return AggregateSnapshot{
+		Seeding: StageSnapshot{
+			WallMS:     a.stageNS[StageSeeding].Load() / int64(time.Millisecond),
+			SeedHits:   a.seedHits.Load(),
+			Candidates: a.candidates.Load(),
+		},
+		Filter: StageSnapshot{
+			WallMS:      a.stageNS[StageFilter].Load() / int64(time.Millisecond),
+			TilesPassed: a.filterPass.Load(),
+			TilesFailed: a.filterFail.Load(),
+			Cells:       a.filterCells.Load(),
+		},
+		Extension: StageSnapshot{
+			WallMS:  a.stageNS[StageExtension].Load() / int64(time.Millisecond),
+			Anchors: a.anchors.Load(),
+			Tiles:   a.extTiles.Load(),
+			Cells:   a.extCells.Load(),
+			HSPs:    a.hsps.Load(),
+		},
+	}
+}
+
+// AlignBegin implements Recorder.
+func (a *Aggregate) AlignBegin(qLen int) {}
+
+// AlignEnd implements Recorder.
+func (a *Aggregate) AlignEnd(hsps int, dur time.Duration) { a.hsps.Store(int64(hsps)) }
+
+// StrandBegin implements Recorder.
+func (a *Aggregate) StrandBegin(strand byte) {}
+
+// StrandEnd implements Recorder.
+func (a *Aggregate) StrandEnd(strand byte) {}
+
+// StageBegin implements Recorder.
+func (a *Aggregate) StageBegin(strand byte, stage Stage) {
+	if int(stage) < len(a.stageStart) {
+		a.stageStart[stage].Store(time.Now().UnixNano())
+	}
+}
+
+// StageEnd implements Recorder.
+func (a *Aggregate) StageEnd(strand byte, stage Stage) {
+	if int(stage) < len(a.stageStart) {
+		if t0 := a.stageStart[stage].Load(); t0 != 0 {
+			a.stageNS[stage].Add(time.Now().UnixNano() - t0)
+		}
+	}
+}
+
+// SeedShard implements Recorder.
+func (a *Aggregate) SeedShard(strand byte, shard int, seedHits, candidates int64, start time.Time, dur time.Duration) {
+	a.seedHits.Add(seedHits)
+	a.candidates.Add(candidates)
+}
+
+// FilterTile implements Recorder.
+func (a *Aggregate) FilterTile(strand byte, shard int, pass bool, cells int64, start time.Time, dur time.Duration) {
+	if pass {
+		a.filterPass.Add(1)
+	} else {
+		a.filterFail.Add(1)
+	}
+	a.filterCells.Add(cells)
+}
+
+// AnchorBegin implements Recorder.
+func (a *Aggregate) AnchorBegin(strand byte, anchor int) {}
+
+// AnchorSkipped implements Recorder.
+func (a *Aggregate) AnchorSkipped(strand byte, anchor int) {}
+
+// AnchorEnd implements Recorder.
+func (a *Aggregate) AnchorEnd(strand byte, anchor int, tiles, cells int64, hsp bool) {
+	a.anchors.Add(1)
+}
+
+// ExtensionTile implements Recorder.
+func (a *Aggregate) ExtensionTile(strand byte, anchor int, cells int64, start time.Time, dur time.Duration) {
+	a.extTiles.Add(1)
+	a.extCells.Add(cells)
+}
+
+var _ Recorder = (*Aggregate)(nil)

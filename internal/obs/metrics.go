@@ -1,0 +1,112 @@
+package obs
+
+import "time"
+
+// PipelineMetrics is a Recorder that folds pipeline events into a
+// Registry under the standard darwinwga_* metric names. One instance
+// is shared by every concurrent Align call reporting into the same
+// registry (the serving layer's arrangement); all updates are atomic.
+type PipelineMetrics struct {
+	aligns       *Counter
+	alignSeconds *Histogram
+
+	seedHits   *Counter
+	candidates *Counter
+
+	filterTilesPass *Counter
+	filterTilesFail *Counter
+	filterCells     *Counter
+	filterTileSecs  *Histogram
+
+	anchorsExtended *Counter
+	extTiles        *Counter
+	extCells        *Counter
+	extTileSecs     *Histogram
+	cellsPerAnchor  *Histogram
+	hsps            *Counter
+}
+
+// NewPipelineMetrics registers the pipeline metric set on reg.
+func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
+	latency := ExpBuckets(10e-6, 4, 10) // 10µs .. ~2.6s
+	cells := ExpBuckets(1024, 4, 12)    // 1Ki .. ~4Mi cells and beyond
+	seconds := ExpBuckets(0.001, 4, 12) // 1ms .. ~70min
+	return &PipelineMetrics{
+		aligns:       reg.Counter("darwinwga_core_aligns_total", "Align calls started"),
+		alignSeconds: reg.Histogram("darwinwga_core_align_seconds", "end-to-end Align latency", seconds),
+
+		seedHits:   reg.Counter("darwinwga_dsoft_seed_hits_total", "raw (target,query) seed hits"),
+		candidates: reg.Counter("darwinwga_dsoft_candidates_total", "D-SOFT candidate anchors emitted"),
+
+		filterTilesPass: reg.Counter(`darwinwga_filter_tiles_total{verdict="pass"}`, "filter invocations by verdict against Hf"),
+		filterTilesFail: reg.Counter(`darwinwga_filter_tiles_total{verdict="fail"}`, "filter invocations by verdict against Hf"),
+		filterCells:     reg.Counter("darwinwga_filter_cells_total", "DP cells computed by the filter stage"),
+		filterTileSecs:  reg.Histogram("darwinwga_filter_tile_seconds", "per-tile filter latency", latency),
+
+		anchorsExtended: reg.Counter("darwinwga_gact_anchors_total", "anchors extended by GACT-X"),
+		extTiles:        reg.Counter("darwinwga_gact_tiles_total", "GACT-X tile DPs executed"),
+		extCells:        reg.Counter("darwinwga_gact_cells_total", "DP cells computed by GACT-X extension"),
+		extTileSecs:     reg.Histogram("darwinwga_gact_tile_seconds", "per-tile GACT-X latency", latency),
+		cellsPerAnchor:  reg.Histogram("darwinwga_gact_cells_per_anchor", "extension DP cells spent per anchor", cells),
+		hsps:            reg.Counter("darwinwga_core_hsps_total", "final alignments produced"),
+	}
+}
+
+// AlignBegin implements Recorder.
+func (p *PipelineMetrics) AlignBegin(qLen int) { p.aligns.Inc() }
+
+// AlignEnd implements Recorder.
+func (p *PipelineMetrics) AlignEnd(hsps int, dur time.Duration) {
+	p.hsps.Add(int64(hsps))
+	p.alignSeconds.Observe(dur.Seconds())
+}
+
+// StrandBegin implements Recorder.
+func (p *PipelineMetrics) StrandBegin(strand byte) {}
+
+// StrandEnd implements Recorder.
+func (p *PipelineMetrics) StrandEnd(strand byte) {}
+
+// StageBegin implements Recorder.
+func (p *PipelineMetrics) StageBegin(strand byte, stage Stage) {}
+
+// StageEnd implements Recorder.
+func (p *PipelineMetrics) StageEnd(strand byte, stage Stage) {}
+
+// SeedShard implements Recorder.
+func (p *PipelineMetrics) SeedShard(strand byte, shard int, seedHits, candidates int64, start time.Time, dur time.Duration) {
+	p.seedHits.Add(seedHits)
+	p.candidates.Add(candidates)
+}
+
+// FilterTile implements Recorder.
+func (p *PipelineMetrics) FilterTile(strand byte, shard int, pass bool, cells int64, start time.Time, dur time.Duration) {
+	if pass {
+		p.filterTilesPass.Inc()
+	} else {
+		p.filterTilesFail.Inc()
+	}
+	p.filterCells.Add(cells)
+	p.filterTileSecs.Observe(dur.Seconds())
+}
+
+// AnchorBegin implements Recorder.
+func (p *PipelineMetrics) AnchorBegin(strand byte, anchor int) {}
+
+// AnchorSkipped implements Recorder.
+func (p *PipelineMetrics) AnchorSkipped(strand byte, anchor int) {}
+
+// AnchorEnd implements Recorder.
+func (p *PipelineMetrics) AnchorEnd(strand byte, anchor int, tiles, cells int64, hsp bool) {
+	p.anchorsExtended.Inc()
+	p.cellsPerAnchor.Observe(float64(cells))
+}
+
+// ExtensionTile implements Recorder.
+func (p *PipelineMetrics) ExtensionTile(strand byte, anchor int, cells int64, start time.Time, dur time.Duration) {
+	p.extTiles.Inc()
+	p.extCells.Add(cells)
+	p.extTileSecs.Observe(dur.Seconds())
+}
+
+var _ Recorder = (*PipelineMetrics)(nil)

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// driveRecorder replays a small two-strand pipeline run into rec: two
+// seed shards, three filter tiles (one failing), one absorbed anchor
+// and one extended anchor with two GACT-X tiles per strand.
+func driveRecorder(rec Recorder) {
+	now := time.Now()
+	rec.AlignBegin(1000)
+	for _, strand := range []byte{'+', '-'} {
+		rec.StrandBegin(strand)
+		rec.StageBegin(strand, StageSeeding)
+		rec.SeedShard(strand, 0, 10, 4, now, time.Millisecond)
+		rec.SeedShard(strand, 1, 6, 2, now, time.Millisecond)
+		rec.StageEnd(strand, StageSeeding)
+		rec.StageBegin(strand, StageFilter)
+		rec.FilterTile(strand, 0, true, 100, now, time.Microsecond)
+		rec.FilterTile(strand, 0, false, 100, now, time.Microsecond)
+		rec.FilterTile(strand, 1, true, 100, now, time.Microsecond)
+		rec.StageEnd(strand, StageFilter)
+		rec.StageBegin(strand, StageExtension)
+		rec.AnchorBegin(strand, 0)
+		rec.ExtensionTile(strand, 0, 500, now, time.Microsecond)
+		rec.ExtensionTile(strand, 0, 300, now, time.Microsecond)
+		rec.AnchorEnd(strand, 0, 2, 800, true)
+		rec.AnchorSkipped(strand, 1)
+		rec.StageEnd(strand, StageExtension)
+		rec.StrandEnd(strand)
+	}
+	rec.AlignEnd(2, 10*time.Millisecond)
+}
+
+// TestTracerEventSchema validates the trace_event stream: known phase
+// codes, non-negative timestamps, durations only on X events, and
+// balanced B/E pairs per track with proper nesting.
+func TestTracerEventSchema(t *testing.T) {
+	tr := NewTracer()
+	driveRecorder(tr)
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	type open struct{ name string }
+	stacks := map[int][]open{} // per-tid B/E stack
+	for i, e := range events {
+		switch e.Ph {
+		case "B":
+			stacks[e.Tid] = append(stacks[e.Tid], open{e.Name})
+		case "E":
+			st := stacks[e.Tid]
+			if len(st) == 0 {
+				t.Fatalf("event %d: E %q on tid %d with no open span", i, e.Name, e.Tid)
+			}
+			if top := st[len(st)-1]; top.name != e.Name {
+				t.Fatalf("event %d: E %q closes %q (unbalanced nesting)", i, e.Name, top.name)
+			}
+			stacks[e.Tid] = st[:len(st)-1]
+		case "X":
+			if e.Dur < 0 {
+				t.Errorf("event %d: X %q with negative dur %g", i, e.Name, e.Dur)
+			}
+		case "i":
+			// instant events carry no duration
+			if e.Dur != 0 {
+				t.Errorf("event %d: instant %q with dur %g", i, e.Name, e.Dur)
+			}
+		default:
+			t.Errorf("event %d: unknown phase %q", i, e.Ph)
+		}
+		if e.Ts < 0 {
+			t.Errorf("event %d: negative ts %g", i, e.Ts)
+		}
+		if e.Name == "" {
+			t.Errorf("event %d: empty name", i)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Errorf("tid %d: %d unclosed spans: %v", tid, len(st), st)
+		}
+	}
+}
+
+// TestTracerWrite checks the on-disk JSON form loads as a trace_event
+// object with every event well-formed.
+func TestTracerWrite(t *testing.T) {
+	tr := NewTracer()
+	driveRecorder(tr)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(tr.Events()) {
+		t.Fatalf("wrote %d events, recorder holds %d", len(doc.TraceEvents), len(tr.Events()))
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Ph == "" || e.Name == "" {
+			t.Errorf("event %d missing ph/name: %+v", i, e)
+		}
+	}
+}
+
+// TestPipelineMetricsAggregation drives the same synthetic run into
+// PipelineMetrics and checks the registry totals.
+func TestPipelineMetricsAggregation(t *testing.T) {
+	reg := NewRegistry()
+	pm := NewPipelineMetrics(reg)
+	driveRecorder(pm)
+	check := func(name string, want int64) {
+		t.Helper()
+		if got := reg.Counter(name, "").Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	check("darwinwga_dsoft_seed_hits_total", 32)
+	check("darwinwga_dsoft_candidates_total", 12)
+	check(`darwinwga_filter_tiles_total{verdict="pass"}`, 4)
+	check(`darwinwga_filter_tiles_total{verdict="fail"}`, 2)
+	check("darwinwga_filter_cells_total", 600)
+	check("darwinwga_gact_anchors_total", 2)
+	check("darwinwga_gact_tiles_total", 4)
+	check("darwinwga_gact_cells_total", 1600)
+	check("darwinwga_core_hsps_total", 2)
+	check("darwinwga_core_aligns_total", 1)
+	if got := reg.Histogram("darwinwga_filter_tile_seconds", "", []float64{1}).Count(); got != 6 {
+		t.Errorf("filter tile latency observations = %d, want 6", got)
+	}
+}
+
+// TestAggregateSnapshot drives the synthetic run into an Aggregate and
+// checks the per-stage snapshot totals.
+func TestAggregateSnapshot(t *testing.T) {
+	var agg Aggregate
+	driveRecorder(&agg)
+	snap := agg.Snapshot()
+	if snap.Seeding.SeedHits != 32 || snap.Seeding.Candidates != 12 {
+		t.Errorf("seeding snapshot = %+v", snap.Seeding)
+	}
+	if snap.Filter.TilesPassed != 4 || snap.Filter.TilesFailed != 2 || snap.Filter.Cells != 600 {
+		t.Errorf("filter snapshot = %+v", snap.Filter)
+	}
+	if snap.Extension.Anchors != 2 || snap.Extension.Tiles != 4 || snap.Extension.Cells != 1600 {
+		t.Errorf("extension snapshot = %+v", snap.Extension)
+	}
+	if snap.Extension.HSPs != 2 {
+		t.Errorf("hsps = %d, want 2", snap.Extension.HSPs)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("empty Multi should be nil")
+	}
+	var a Aggregate
+	if Multi(nil, &a) != Recorder(&a) {
+		t.Error("single-recorder Multi should unwrap")
+	}
+	var b Aggregate
+	m := Multi(&a, &b)
+	driveRecorder(m)
+	if a.Snapshot() != b.Snapshot() {
+		t.Error("fanout recorders diverged")
+	}
+	if a.Snapshot().Filter.TilesPassed != 4 {
+		t.Error("fanout lost events")
+	}
+}

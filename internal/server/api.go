@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"darwinwga/internal/core"
 	"darwinwga/internal/genome"
+	"darwinwga/internal/obs"
 )
 
 // submitRequest is the POST /v1/jobs body. Exactly one of QueryFASTA
@@ -48,8 +50,18 @@ type jobStatus struct {
 	Truncated string         `json:"truncated,omitempty"`
 	Error     string         `json:"error,omitempty"`
 	Workload  *core.Workload `json:"workload,omitempty"`
+	Stats     *jobStats      `json:"stats,omitempty"`
 	StatusURL string         `json:"status_url"`
 	MAFURL    string         `json:"maf_url"`
+}
+
+// jobStats is the per-job telemetry block: queue/run wall-clock and the
+// per-stage workload snapshot accumulated by the job's obs.Aggregate.
+// For a running job it reflects progress so far.
+type jobStats struct {
+	QueueWaitMS int64                 `json:"queue_wait_ms"`
+	RunMS       int64                 `json:"run_ms"`
+	Stages      obs.AggregateSnapshot `json:"stages"`
 }
 
 // targetInfo is one entry of GET /v1/targets.
@@ -80,7 +92,15 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("POST /v1/targets", s.handleRegister)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /varz", s.handleVarz)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -170,7 +190,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.jobs.RejectedOversize.Add(1)
+			s.jobs.RejectedOversize.Inc()
+			s.log.Warn("job rejected", "reason", "oversize_body", "limit_bytes", tooBig.Limit)
 			writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
 			return
 		}
@@ -191,7 +212,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if n := query.TotalLen(); n > s.cfg.MaxQueryBases {
-		s.jobs.RejectedOversize.Add(1)
+		s.jobs.RejectedOversize.Inc()
+		s.log.Warn("job rejected", "reason", "oversize_query", "query_bases", n)
 		writeError(w, http.StatusRequestEntityTooLarge,
 			"query is %d bases; this server accepts at most %d", n, s.cfg.MaxQueryBases)
 		return
@@ -250,6 +272,19 @@ func (s *Server) statusOf(j *Job) jobStatus {
 	if j.state.terminal() {
 		wl := j.workload
 		st.Workload = &wl
+	}
+	if !j.started.IsZero() {
+		stats := &jobStats{
+			QueueWaitMS: j.started.Sub(j.created).Milliseconds(),
+			Stages:      j.agg.Snapshot(),
+		}
+		// A still-running job reports its run time so far.
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		stats.RunMS = end.Sub(j.started).Milliseconds()
+		st.Stats = stats
 	}
 	j.mu.Unlock()
 	st.HSPs = j.hsps.Load()
@@ -394,6 +429,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleMetrics serves the server's registry in the Prometheus text
+// exposition format. Every counter /varz reports — plus the per-stage
+// pipeline histograms — comes from the same registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w) //nolint:errcheck // response already committed
+}
+
+// handleVarz is the deprecated predecessor of GET /metrics, kept so
+// existing probes don't break. The legacy keys are served unchanged —
+// read from the same registry-backed counters /metrics exposes — and
+// the full expvar-style JSON view of the registry rides along under
+// "metrics".
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	states := map[JobState]int{}
 	s.jobs.mu.Lock()
@@ -402,23 +450,25 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
+		"deprecated":  "use /metrics",
 		"uptime_ms":   time.Since(s.started).Milliseconds(),
 		"draining":    s.jobs.Draining(),
 		"queue_depth": s.jobs.QueueDepth(),
 		"queue_cap":   cap(s.jobs.queue),
-		"running":     s.jobs.Running.Load(),
+		"running":     int64(s.jobs.Running.Value()),
 		"jobs":        states,
 		"targets":     s.reg.Len(),
 		"counters": map[string]int64{
-			"accepted":              s.jobs.Accepted.Load(),
-			"rejected_queue_full":   s.jobs.RejectedQueueFull.Load(),
-			"rejected_client_limit": s.jobs.RejectedClientLimit.Load(),
-			"rejected_oversize":     s.jobs.RejectedOversize.Load(),
-			"rejected_draining":     s.jobs.RejectedDraining.Load(),
-			"completed":             s.jobs.Completed.Load(),
-			"failed":                s.jobs.Failed.Load(),
-			"cancelled":             s.jobs.Cancelled.Load(),
-			"hsps_streamed":         s.jobs.HSPsStreamed.Load(),
+			"accepted":              s.jobs.Accepted.Value(),
+			"rejected_queue_full":   s.jobs.RejectedQueueFull.Value(),
+			"rejected_client_limit": s.jobs.RejectedClientLimit.Value(),
+			"rejected_oversize":     s.jobs.RejectedOversize.Value(),
+			"rejected_draining":     s.jobs.RejectedDraining.Value(),
+			"completed":             s.jobs.Completed.Value(),
+			"failed":                s.jobs.Failed.Value(),
+			"cancelled":             s.jobs.Cancelled.Value(),
+			"hsps_streamed":         s.jobs.HSPsStreamed.Value(),
 		},
+		"metrics": json.RawMessage(s.metrics.String()),
 	})
 }

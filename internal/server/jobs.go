@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"darwinwga/internal/core"
 	"darwinwga/internal/genome"
 	"darwinwga/internal/maf"
+	"darwinwga/internal/obs"
 )
 
 // JobState is the lifecycle state of one alignment job.
@@ -78,6 +80,10 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	hsps   atomic.Int64
+	// agg accumulates the job's per-stage workload (an obs.Recorder
+	// attached to the pipeline call); the status endpoint's "stats"
+	// block snapshots it, including mid-run.
+	agg *obs.Aggregate
 
 	mu        sync.Mutex
 	state     JobState
@@ -149,18 +155,36 @@ func (j *Job) takeQuery() *genome.Assembly {
 	return q
 }
 
-// counters are the /varz load-shedding and throughput counters.
+// counters are the manager's load-shedding and throughput counters.
+// They live in the server's metrics registry (darwinwga_jobs_*), so
+// one set of values backs /metrics, /varz, and the admission logic.
 type counters struct {
-	Accepted            atomic.Int64
-	RejectedQueueFull   atomic.Int64
-	RejectedClientLimit atomic.Int64
-	RejectedOversize    atomic.Int64
-	RejectedDraining    atomic.Int64
-	Completed           atomic.Int64
-	Failed              atomic.Int64
-	Cancelled           atomic.Int64
-	Running             atomic.Int64
-	HSPsStreamed        atomic.Int64
+	Accepted            *obs.Counter
+	RejectedQueueFull   *obs.Counter
+	RejectedClientLimit *obs.Counter
+	RejectedOversize    *obs.Counter
+	RejectedDraining    *obs.Counter
+	Completed           *obs.Counter
+	Failed              *obs.Counter
+	Cancelled           *obs.Counter
+	Running             *obs.Gauge
+	HSPsStreamed        *obs.Counter
+}
+
+// newCounters registers the manager's counter set on reg.
+func newCounters(reg *obs.Registry) counters {
+	return counters{
+		Accepted:            reg.Counter("darwinwga_jobs_accepted_total", "jobs admitted into the queue"),
+		RejectedQueueFull:   reg.Counter(`darwinwga_jobs_rejected_total{reason="queue_full"}`, "submissions rejected by admission control"),
+		RejectedClientLimit: reg.Counter(`darwinwga_jobs_rejected_total{reason="client_limit"}`, "submissions rejected by admission control"),
+		RejectedOversize:    reg.Counter(`darwinwga_jobs_rejected_total{reason="oversize"}`, "submissions rejected by admission control"),
+		RejectedDraining:    reg.Counter(`darwinwga_jobs_rejected_total{reason="draining"}`, "submissions rejected by admission control"),
+		Completed:           reg.Counter(`darwinwga_jobs_finished_total{state="done"}`, "jobs reaching a terminal state"),
+		Failed:              reg.Counter(`darwinwga_jobs_finished_total{state="failed"}`, "jobs reaching a terminal state"),
+		Cancelled:           reg.Counter(`darwinwga_jobs_finished_total{state="cancelled"}`, "jobs reaching a terminal state"),
+		Running:             reg.Gauge("darwinwga_jobs_running", "jobs currently executing on a worker"),
+		HSPsStreamed:        reg.Counter("darwinwga_jobs_hsps_streamed_total", "alignment blocks streamed into job spools"),
+	}
 }
 
 // Manager owns the job table, the bounded submission queue, and the
@@ -173,6 +197,14 @@ type Manager struct {
 	maxDeadline    time.Duration
 	retain         int
 	checkpointRoot string
+	log            *slog.Logger
+
+	// pipe reports every job's pipeline events into the server metrics
+	// registry; queueWait/runSeconds are the job-lifecycle latency
+	// histograms.
+	pipe       *obs.PipelineMetrics
+	queueWait  *obs.Histogram
+	runSeconds *obs.Histogram
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -187,7 +219,9 @@ type Manager struct {
 }
 
 // newManager wires a manager over reg; start launches the workers.
-func newManager(reg *Registry, base core.Config, queueDepth, maxPerClient int, maxDeadline time.Duration, retain int, checkpointRoot string) *Manager {
+// Counters, pipeline metrics, and lifecycle histograms all register on
+// metrics.
+func newManager(reg *Registry, metrics *obs.Registry, logger *slog.Logger, base core.Config, queueDepth, maxPerClient int, maxDeadline time.Duration, retain int, checkpointRoot string) *Manager {
 	return &Manager{
 		reg:            reg,
 		base:           base,
@@ -195,9 +229,14 @@ func newManager(reg *Registry, base core.Config, queueDepth, maxPerClient int, m
 		maxDeadline:    maxDeadline,
 		retain:         retain,
 		checkpointRoot: checkpointRoot,
+		log:            logger,
+		pipe:           obs.NewPipelineMetrics(metrics),
+		queueWait:      metrics.Histogram("darwinwga_jobs_queue_wait_seconds", "time jobs spend queued before a worker picks them up", obs.ExpBuckets(0.001, 4, 12)),
+		runSeconds:     metrics.Histogram("darwinwga_jobs_run_seconds", "wall-clock of job execution on a worker", obs.ExpBuckets(0.001, 4, 12)),
 		queue:          make(chan *Job, queueDepth),
 		jobs:           make(map[string]*Job),
 		perClient:      make(map[string]int),
+		counters:       newCounters(metrics),
 	}
 }
 
@@ -237,6 +276,7 @@ func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string
 		Params:    params,
 		QueryName: query.Name,
 		spool:     newSpool(),
+		agg:       &obs.Aggregate{},
 		state:     JobQueued,
 		created:   time.Now(),
 		query:     query,
@@ -246,23 +286,28 @@ func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
-		m.RejectedDraining.Add(1)
+		m.RejectedDraining.Inc()
+		m.log.Warn("job rejected", "reason", "draining", "client", client)
 		return nil, ErrDraining
 	}
 	if m.maxPerClient > 0 && m.perClient[client] >= m.maxPerClient {
-		m.RejectedClientLimit.Add(1)
+		m.RejectedClientLimit.Inc()
+		m.log.Warn("job rejected", "reason", "client_limit", "client", client)
 		return nil, ErrClientBusy
 	}
 	select {
 	case m.queue <- j:
 	default:
-		m.RejectedQueueFull.Add(1)
+		m.RejectedQueueFull.Inc()
+		m.log.Warn("job rejected", "reason", "queue_full", "client", client)
 		return nil, ErrQueueFull
 	}
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.perClient[client]++
-	m.Accepted.Add(1)
+	m.Accepted.Inc()
+	m.log.Info("job queued", "job_id", j.ID, "client", client,
+		"target", params.Target, "query", j.QueryName, "query_bases", query.TotalLen())
 	m.evictLocked()
 	return j, nil
 }
@@ -285,7 +330,8 @@ func (m *Manager) Cancel(id string) (JobState, bool) {
 		return "", false
 	}
 	if j.tryCancelQueued() {
-		m.Cancelled.Add(1)
+		m.Cancelled.Inc()
+		m.log.Info("job cancelled while queued", "job_id", j.ID, "client", j.Client)
 		m.settle(j)
 		return JobCancelled, true
 	}
@@ -295,6 +341,20 @@ func (m *Manager) Cancel(id string) (JobState, bool) {
 
 // QueueDepth returns the number of jobs waiting for a worker.
 func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// countState returns the number of retained jobs currently in state st
+// (computed at scrape time for the per-state gauges and /varz).
+func (m *Manager) countState(st JobState) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		if j.State() == st {
+			n++
+		}
+	}
+	return n
+}
 
 // jobConfig maps one job's parameters onto the server's base pipeline
 // configuration — the same mapping the CLI applies to its flags, which
@@ -336,8 +396,14 @@ func (m *Manager) runJob(j *Job) {
 	if !j.markRunning() {
 		return // cancelled while queued
 	}
+	m.queueWait.Observe(time.Since(j.created).Seconds())
+	m.log.Info("job running", "job_id", j.ID, "client", j.Client, "target", j.Params.Target)
+	started := time.Now()
 	m.Running.Add(1)
-	defer m.Running.Add(-1)
+	defer func() {
+		m.Running.Add(-1)
+		m.runSeconds.Observe(time.Since(started).Seconds())
+	}()
 
 	tgt, ok := m.reg.Get(j.Params.Target)
 	if !ok {
@@ -371,6 +437,9 @@ func (m *Manager) runJob(j *Job) {
 	if m.checkpointRoot != "" {
 		cfg.CheckpointDir = filepath.Join(m.checkpointRoot, j.ID)
 	}
+	// Fan pipeline telemetry out to the server-wide registry and the
+	// job's own aggregate (the status endpoint's "stats" block).
+	cfg.Recorder = obs.Multi(m.pipe, j.agg)
 	br := &maf.BlockRenderer{TMap: tgt.Map, QMap: qMap, Target: tgt.Bases, Query: qBases}
 	var streamErr error
 	cfg.HSPHook = func(h core.HSP) {
@@ -415,11 +484,14 @@ func (m *Manager) runJob(j *Job) {
 		}
 		if alignErr != nil {
 			j.finish(JobCancelled, res, alignErr.Error())
-			m.Cancelled.Add(1)
+			m.Cancelled.Inc()
+			m.log.Info("job cancelled", "job_id", j.ID, "client", j.Client, "error", alignErr.Error())
 			m.settle(j)
 		} else {
 			j.finish(JobDone, res, "")
-			m.Completed.Add(1)
+			m.Completed.Inc()
+			m.log.Info("job done", "job_id", j.ID, "client", j.Client,
+				"hsps", j.hsps.Load(), "truncated", string(res.Truncated))
 			m.settle(j)
 		}
 	}
@@ -428,7 +500,8 @@ func (m *Manager) runJob(j *Job) {
 // fail marks a job failed and settles its accounting.
 func (m *Manager) fail(j *Job, res *core.Result, msg string) {
 	j.finish(JobFailed, res, msg)
-	m.Failed.Add(1)
+	m.Failed.Inc()
+	m.log.Warn("job failed", "job_id", j.ID, "client", j.Client, "error", msg)
 	m.settle(j)
 }
 
@@ -497,7 +570,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 	for _, j := range queued {
 		if j.tryCancelQueued() {
-			m.Cancelled.Add(1)
+			m.Cancelled.Inc()
 			m.settle(j)
 		}
 	}

@@ -3,7 +3,7 @@ package server
 import (
 	"context"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -11,6 +11,7 @@ import (
 
 	"darwinwga/internal/core"
 	"darwinwga/internal/genome"
+	"darwinwga/internal/obs"
 )
 
 // Config parameterizes a Server. The zero value is usable: defaults
@@ -52,8 +53,14 @@ type Config struct {
 	// CheckpointRoot, when set, gives each job a crash-safe journal in
 	// CheckpointRoot/<job-id> (see core.Config.CheckpointDir).
 	CheckpointRoot string
-	// Log receives operational messages (default: discard).
-	Log *log.Logger
+	// Log receives structured operational messages: job lifecycle
+	// transitions at Info, admission rejections at Warn, each carrying
+	// job_id/client attributes (default: discard).
+	Log *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's handler. Off by default: the profiling endpoints expose
+	// internals and cost CPU while profiling, so they are opt-in.
+	EnablePprof bool
 }
 
 // withDefaults fills unset fields.
@@ -89,7 +96,7 @@ func (c Config) withDefaults() Config {
 		c.RetainJobs = 256
 	}
 	if c.Log == nil {
-		c.Log = log.New(io.Discard, "", 0)
+		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -101,9 +108,10 @@ type Server struct {
 	cfg     Config
 	reg     *Registry
 	jobs    *Manager
+	metrics *obs.Registry
 	handler http.Handler
 	started time.Time
-	log     *log.Logger
+	log     *slog.Logger
 
 	mu       sync.Mutex
 	httpSrv  *http.Server
@@ -114,16 +122,44 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := NewRegistry()
+	metrics := obs.NewRegistry()
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
-		jobs:    newManager(reg, cfg.Pipeline, cfg.QueueDepth, cfg.MaxInFlightPerClient, cfg.MaxDeadline, cfg.RetainJobs, cfg.CheckpointRoot),
+		jobs:    newManager(reg, metrics, cfg.Log, cfg.Pipeline, cfg.QueueDepth, cfg.MaxInFlightPerClient, cfg.MaxDeadline, cfg.RetainJobs, cfg.CheckpointRoot),
+		metrics: metrics,
 		started: time.Now(),
 		log:     cfg.Log,
 	}
+	s.registerGauges()
 	s.handler = s.buildHandler()
 	s.jobs.start(cfg.JobWorkers)
 	return s
+}
+
+// registerGauges adds the scrape-time gauges: queue occupancy, per-state
+// job counts, target registry size, uptime.
+func (s *Server) registerGauges() {
+	s.metrics.GaugeFunc("darwinwga_server_queue_depth", "jobs waiting for a worker",
+		func() float64 { return float64(s.jobs.QueueDepth()) })
+	s.metrics.GaugeFunc("darwinwga_server_queue_capacity", "submission queue capacity",
+		func() float64 { return float64(cap(s.jobs.queue)) })
+	s.metrics.GaugeFunc("darwinwga_server_targets", "registered target assemblies",
+		func() float64 { return float64(s.reg.Len()) })
+	s.metrics.GaugeFunc("darwinwga_server_uptime_seconds", "seconds since the server started",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.metrics.GaugeFunc("darwinwga_server_draining", "1 while the server is shutting down",
+		func() float64 {
+			if s.jobs.Draining() {
+				return 1
+			}
+			return 0
+		})
+	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled} {
+		st := st
+		s.metrics.GaugeFunc(`darwinwga_jobs_state{state="`+string(st)+`"}`, "retained jobs by lifecycle state",
+			func() float64 { return float64(s.jobs.countState(st)) })
+	}
 }
 
 // Registry exposes the target registry (e.g. for startup registration).
@@ -132,13 +168,17 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Jobs exposes the job manager (e.g. for tests and embedders).
 func (s *Server) Jobs() *Manager { return s.jobs }
 
+// Metrics exposes the server's metrics registry, so embedders can add
+// their own series or publish it via expvar.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
 // RegisterTarget loads one target assembly under the server's pipeline
 // configuration, building its seed index once.
 func (s *Server) RegisterTarget(name string, asm *genome.Assembly) (*Target, error) {
 	t, err := s.reg.Register(name, asm, s.cfg.Pipeline)
 	if err == nil {
-		s.log.Printf("registered target %q: %d seqs, %d bases, index %d bytes",
-			t.Name, t.NumSeqs, len(t.Bases), t.IndexBytes)
+		s.log.Info("registered target", "target", t.Name,
+			"seqs", t.NumSeqs, "bases", len(t.Bases), "index_bytes", t.IndexBytes)
 	}
 	return t, err
 }
@@ -175,7 +215,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.httpSrv = srv
 	s.listener = ln
 	s.mu.Unlock()
-	s.log.Printf("serving on %s", ln.Addr())
+	s.log.Info("serving", "addr", ln.Addr().String())
 	return srv.Serve(ln)
 }
 
