@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-resume test-serve test-obs ci
+.PHONY: all build vet test test-race test-resume test-serve test-obs test-chaos test-fuzz ci
 
 all: build
 
@@ -54,4 +54,27 @@ test-obs:
 	$(GO) test -timeout 15m -run 'TestMetricsEndpoint|TestJobStatsBlock|TestVarzCompatibility|TestPprofGating' ./internal/server/
 	$(GO) test -timeout 15m -run 'TestTraceAndProfileFlagsE2E|TestServeObservabilityE2E' ./cmd/darwin-wga/
 
-ci: build vet test test-race test-resume test-serve test-obs
+# Chaos suite: crash-only serving under the race detector — the
+# durable job store (journal round-trip, torn tails, restart recovery
+# with byte-identical MAF), the stuck-job watchdog on a manual clock
+# (stall → cancel → retry, exhausted retries tripping the breaker),
+# the circuit-breaker state machine, and overload hardening (memory
+# watermarks, slowloris header timeout, body caps). Then the
+# subprocess crash–restart e2e: SIGKILL `serve` mid-job, restart on
+# the same journal/checkpoint dirs, and require the recovered job's
+# MAF byte-identical to an uninterrupted run.
+test-chaos:
+	$(GO) test -race -timeout 20m -run 'TestJobStore|TestRestart|TestWatchdog|TestBreaker|TestMemoryAdmission|TestSlowloris|TestBodyCap' ./internal/server/
+	$(GO) test -timeout 15m -run 'TestServeCrashRestartRecoversJob' ./cmd/darwin-wga/
+
+# Fuzz smoke: ten seconds per parser on the three crash-recovery
+# attack surfaces — FASTA queries (the spill the job store replays),
+# MAF streams (the recovered artifacts), and WAL segments (arbitrary
+# torn tails must recover and stay appendable). Corpus misses fail the
+# build; longer runs are `go test -fuzz=<name> -fuzztime=10m`.
+test-fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadFASTA -fuzztime 10s ./internal/genome/
+	$(GO) test -run '^$$' -fuzz FuzzReadMAF -fuzztime 10s ./internal/maf/
+	$(GO) test -run '^$$' -fuzz FuzzWALRecover -fuzztime 10s ./internal/checkpoint/
+
+ci: build vet test test-race test-resume test-serve test-obs test-chaos test-fuzz

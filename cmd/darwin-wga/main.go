@@ -217,6 +217,13 @@ func serveMain(args []string) int {
 		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long shutdown lets running jobs finish")
 		retain      = fs.Int("retain", 256, "finished jobs kept queryable")
 		ckptRoot    = fs.String("checkpoint-root", "", "per-job crash-safe journals under this directory (empty = off)")
+		journalDir  = fs.String("journal-dir", "", "durable job store: lifecycle WAL + query/MAF artifacts; replayed on startup (empty = off)")
+		stallWindow = fs.Duration("stall-window", 2*time.Minute, "cancel+retry a job with no pipeline progress for this long (0 = watchdog off)")
+		stallRetry  = fs.Int("stall-retries", 1, "re-runs allowed per stalled job before it fails (0 = none)")
+		stallDelay  = fs.Duration("stall-retry-delay", time.Second, "pause before re-running a stalled job")
+		brkThresh   = fs.Int("breaker-threshold", 5, "consecutive job failures tripping a target's circuit breaker (0 = breaker off)")
+		brkCooldown = fs.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker rejects before probing")
+		memHighMB   = fs.Int64("mem-highwater-mb", 0, "reject submissions that would push the heap past this many MiB (0 = off)")
 		workers     = fs.Int("workers", 0, "pipeline worker goroutines per job (0 = GOMAXPROCS)")
 		enablePprof = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the API handler")
 		logFormat   = fs.String("log-format", "text", "operational log format: text or json")
@@ -243,7 +250,21 @@ func serveMain(args []string) int {
 
 	pipeline := darwinwga.DefaultConfig()
 	pipeline.Workers = *workers
-	srv := darwinwga.NewServer(darwinwga.ServerConfig{
+	// On the CLI "0" reads as "off"; the library uses 0 for "default"
+	// and negatives for "off", so map explicitly.
+	for _, z := range []*int{stallRetry, brkThresh} {
+		if *z <= 0 {
+			*z = -1
+		}
+	}
+	if *stallWindow <= 0 {
+		*stallWindow = -1
+	}
+	// The crash-injection env contract (DARWINWGA_CRASH_AFTER_CKPT_WRITES
+	// and friends) applies to the per-job pipeline checkpoints in serve
+	// mode too — the SIGKILL-restart e2e test uses it to die mid-job.
+	pipeline.CheckpointFaults = crashFaultsFromEnv()
+	srv, err := darwinwga.NewServer(darwinwga.ServerConfig{
 		Addr:                 *addr,
 		Pipeline:             pipeline,
 		JobWorkers:           *jobWorkers,
@@ -255,9 +276,20 @@ func serveMain(args []string) int {
 		DrainGrace:           *drainGrace,
 		RetainJobs:           *retain,
 		CheckpointRoot:       *ckptRoot,
+		JournalDir:           *journalDir,
+		StallWindow:          *stallWindow,
+		StallRetries:         *stallRetry,
+		StallRetryDelay:      *stallDelay,
+		BreakerThreshold:     *brkThresh,
+		BreakerCooldown:      *brkCooldown,
+		MemoryHighWater:      *memHighMB << 20,
 		Log:                  logger,
 		EnablePprof:          *enablePprof,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
+		return 1
+	}
 	for _, reg := range registers {
 		asm, err := darwinwga.ReadFASTA(reg.path)
 		if err != nil {

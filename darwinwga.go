@@ -216,9 +216,11 @@ func MultiRecorder(recs ...Recorder) Recorder { return obs.Multi(recs...) }
 // NewServer builds an alignment job server over the pipeline and
 // starts its workers: register targets with Server.RegisterTarget, then
 // serve Server.Handler (or call Server.ListenAndServe) and drain with
-// Server.Shutdown. See the internal/server package documentation for
-// the HTTP API.
-func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+// Server.Shutdown. When cfg.JournalDir is set, NewServer also replays
+// the durable job journal and re-queues every job a previous process
+// left unfinished (the only error path). See the internal/server
+// package documentation for the HTTP API.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // ReadFASTA loads an assembly from a FASTA file.
 func ReadFASTA(path string) (*Assembly, error) { return genome.ReadFASTAFile(path) }

@@ -131,6 +131,23 @@ func Open(dir string, opts Options) (*Journal, []Record, error) {
 				f.Close()
 				return nil, nil, err
 			}
+			if valid < int64(len(magic)) {
+				// The segment lost its magic (external truncation or
+				// corruption — a crash cannot produce this, since
+				// segments are published by rename after the magic is
+				// fsynced). Rewrite it so appended records land in a
+				// replayable file instead of vanishing behind the bad
+				// prefix.
+				if _, err := opts.Faults.Write(f, []byte(magic)); err != nil {
+					f.Close()
+					return nil, nil, err
+				}
+				if err := f.Sync(); err != nil {
+					f.Close()
+					return nil, nil, err
+				}
+				valid = int64(len(magic))
+			}
 			j.f, j.size, j.seq = f, valid, seqOf(seg)
 		}
 	}
@@ -218,8 +235,8 @@ func (j *Journal) sync() error {
 // Best effort: if the truncate itself fails the next append will fail
 // too, and the reader still recovers the acknowledged prefix.
 func (j *Journal) repairTail() {
-	j.f.Truncate(j.size)               //nolint:errcheck
-	j.f.Seek(j.size, io.SeekStart)     //nolint:errcheck
+	j.f.Truncate(j.size)           //nolint:errcheck
+	j.f.Seek(j.size, io.SeekStart) //nolint:errcheck
 }
 
 // rotate seals the active segment (fsync + close) and atomically brings

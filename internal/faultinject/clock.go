@@ -1,0 +1,132 @@
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time source of supervision loops (the server's
+// stuck-job watchdog, circuit-breaker cooldowns, retry backoff) so
+// tests can drive them deterministically. Production code uses
+// RealClock; tests install a ManualClock and advance it explicitly —
+// the clock-fault counterpart of the Injector's visit rules: instead of
+// perturbing where a worker fails, it perturbs when timers fire.
+//
+// The interface is deliberately minimal — Now, After, Sleep — because
+// that is all a supervision loop needs, and every method must stay
+// meaningful when time is frozen.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the (then-current) time
+	// once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed.
+	Sleep(d time.Duration)
+}
+
+// realClock delegates to package time.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// manualWaiter is one pending After/Sleep: a deadline and the channel
+// to close/deliver on when the clock passes it.
+type manualWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// ManualClock is a test clock: time stands still until Advance moves
+// it, and every pending timer whose deadline is reached fires during
+// the Advance call, on the advancing goroutine. Combined with
+// WaitForTimers — which blocks until a given number of timers are
+// parked — this makes scheduler races testable as straight-line code:
+// the test knows the supervision loop is parked before it moves time,
+// so a "tick fires exactly between two pipeline events" scenario is a
+// deterministic sequence, not a sleep-and-hope.
+type ManualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []manualWaiter
+	parked  *sync.Cond
+}
+
+// NewManualClock returns a manual clock reading start.
+func NewManualClock(start time.Time) *ManualClock {
+	c := &ManualClock{now: start}
+	c.parked = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now returns the clock's current reading.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires when the clock has been advanced
+// past d. d <= 0 fires immediately.
+func (c *ManualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, manualWaiter{at: c.now.Add(d), ch: ch})
+	c.parked.Broadcast()
+	return ch
+}
+
+// Sleep blocks until the clock has been advanced past d.
+func (c *ManualClock) Sleep(d time.Duration) {
+	<-c.After(d)
+}
+
+// Advance moves the clock forward by d and fires every timer whose
+// deadline is now reached, in deadline order.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var fire []manualWaiter
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(now) {
+			fire = append(fire, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+	c.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}
+
+// WaitForTimers blocks until at least n timers are pending (parked in
+// After or Sleep). It is how a test knows a supervision loop has
+// reached its select before advancing time.
+func (c *ManualClock) WaitForTimers(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.waiters) < n {
+		c.parked.Wait()
+	}
+}
+
+// Timers returns the number of pending timers.
+func (c *ManualClock) Timers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

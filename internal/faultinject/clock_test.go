@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestManualClockAdvanceFiresDueTimers(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewManualClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+
+	short := c.After(time.Second)
+	long := c.After(time.Minute)
+	if got := c.Timers(); got != 2 {
+		t.Fatalf("Timers = %d, want 2", got)
+	}
+
+	c.Advance(time.Second)
+	select {
+	case at := <-short:
+		if !at.Equal(start.Add(time.Second)) {
+			t.Errorf("short fired at %v, want %v", at, start.Add(time.Second))
+		}
+	default:
+		t.Fatal("short timer did not fire at its deadline")
+	}
+	select {
+	case <-long:
+		t.Fatal("long timer fired early")
+	default:
+	}
+
+	c.Advance(time.Minute)
+	select {
+	case <-long:
+	default:
+		t.Fatal("long timer did not fire after the clock passed it")
+	}
+	if got := c.Timers(); got != 0 {
+		t.Errorf("Timers after firing = %d, want 0", got)
+	}
+}
+
+func TestManualClockImmediateAfter(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("After(<0) did not fire immediately")
+	}
+}
+
+// TestManualClockWaitForTimers pins the scheduler-fault contract: a
+// test can block until a loop goroutine is provably parked on the
+// clock, then advance — no sleeps, no races.
+func TestManualClockWaitForTimers(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	woke := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Sleep(5 * time.Second)
+		close(woke)
+	}()
+
+	c.WaitForTimers(1)
+	select {
+	case <-woke:
+		t.Fatal("sleeper woke before the clock advanced")
+	default:
+	}
+	c.Advance(5 * time.Second)
+	wg.Wait()
+	select {
+	case <-woke:
+	default:
+		t.Fatal("sleeper did not wake after Advance")
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := RealClock()
+	if c.Now().IsZero() {
+		t.Error("RealClock Now is zero")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("RealClock.After never fired")
+	}
+	c.Sleep(time.Millisecond)
+}

@@ -1,0 +1,50 @@
+package genome
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFASTA throws arbitrary bytes at the FASTA parser. Two
+// properties: the parser never panics, and anything it accepts is
+// already normalized — writing the parsed sequences back out and
+// re-parsing must reproduce them exactly (names and bases), which is
+// the invariant the server's crash-recovery query spill depends on.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add([]byte(">chr1\nACGTACGT\nNNNN\n>chr2 description text\nacgtn\n"))
+	f.Add([]byte(">s\r\nACGT\r\n; legacy comment\r\nTTTT\r\n"))
+	f.Add([]byte(">lower\nacgturyswkmbdhvn\n"))
+	f.Add([]byte(">empty-seq\n>next\nAC\n"))
+	f.Add([]byte("ACGT\n"))  // data before any header
+	f.Add([]byte(">\nACGT")) // empty name
+	f.Add([]byte(""))
+	f.Add([]byte(">x\nACGT!"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seqs, err := ReadFASTA(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(seqs) == 0 {
+			t.Fatal("ReadFASTA returned no sequences and no error")
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, seqs, 0); err != nil {
+			t.Fatalf("WriteFASTA on parsed sequences: %v", err)
+		}
+		again, err := ReadFASTA(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing written FASTA: %v\noutput:\n%s", err, buf.Bytes())
+		}
+		if len(again) != len(seqs) {
+			t.Fatalf("round-trip: %d sequences became %d", len(seqs), len(again))
+		}
+		for i := range seqs {
+			if seqs[i].Name != again[i].Name {
+				t.Errorf("sequence %d name %q round-tripped to %q", i, seqs[i].Name, again[i].Name)
+			}
+			if !bytes.Equal(seqs[i].Bases, again[i].Bases) {
+				t.Errorf("sequence %d bases changed across round-trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package maf
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadMAF throws arbitrary bytes at the MAF reader. Properties:
+// neither Read nor ReadVerified panics, they agree on parse success,
+// and any stream Read accepts round-trips — writing the parsed blocks
+// back and re-reading yields equal blocks, because a successful parse
+// implies every block validated.
+func FuzzReadMAF(f *testing.F) {
+	f.Add([]byte("##maf version=1 scoring=darwin-wga\n\na score=42\ns tchr 0 4 + 100 ACGT\ns qchr 2 4 - 80 AC-GT\n\n##eof maf\n"))
+	f.Add([]byte("a score=5\ns t 0 2 + 10 AC\ns q 0 2 + 10 AC\n"))
+	f.Add([]byte("a score=1\ns only-one-line 0 2 + 10 AC\n"))
+	f.Add([]byte("##maf version=1\n# comment only\n"))
+	f.Add([]byte("s orphan 0 1 + 2 A\n"))
+	f.Add([]byte("a score=bad\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blocks, err := Read(bytes.NewReader(data))
+		vBlocks, complete, vErr := ReadVerified(bytes.NewReader(data))
+		if (err == nil) != (vErr == nil) {
+			t.Fatalf("Read err=%v but ReadVerified err=%v", err, vErr)
+		}
+		if err != nil {
+			return
+		}
+		if complete && len(vBlocks) != len(blocks) {
+			t.Fatalf("ReadVerified found %d blocks, Read found %d", len(vBlocks), len(blocks))
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i, b := range blocks {
+			if err := w.Write(b); err != nil {
+				t.Fatalf("re-writing accepted block %d: %v", i, err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("closing writer: %v", err)
+		}
+		again, complete, err := ReadVerified(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading written MAF: %v\noutput:\n%s", err, buf.Bytes())
+		}
+		if !complete {
+			t.Fatal("closed writer output is missing the trailer")
+		}
+		if !reflect.DeepEqual(blocks, again) {
+			t.Fatalf("blocks changed across round-trip:\nbefore %+v\nafter  %+v", blocks, again)
+		}
+	})
+}

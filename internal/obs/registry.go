@@ -121,6 +121,53 @@ func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
 	return bounds, cumulative
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) of the observed
+// distribution by linear interpolation inside the bucket the rank falls
+// in — the same estimate Prometheus' histogram_quantile computes. It
+// returns 0 when the histogram is empty, and the largest finite bound
+// when the rank lands in the +Inf bucket. The estimate is coarse (it
+// is bounded by the bucket ladder's resolution), which is fine for its
+// consumers: load-shedding hints, not measurements.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: the best finite statement is the last bound.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // ExpBuckets returns n upper bounds starting at start, each factor
 // times the previous — the standard latency/size bucket ladder.
 func ExpBuckets(start, factor float64, n int) []float64 {

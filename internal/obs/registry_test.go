@@ -89,6 +89,44 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantile pins the interpolated-quantile estimate the
+// server's adaptive Retry-After is computed from.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("darwinwga_test_q_seconds", "test", []float64{1, 2, 4})
+
+	if got := h.Quantile(0.9); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+
+	// Ten observations in (1, 2]: every quantile interpolates inside
+	// the (1, 2] bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Errorf("p50 = %g, want 1.5 (midpoint of (1,2])", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("p100 = %g, want 2 (bucket upper bound)", got)
+	}
+
+	// An observation past every bound lands in +Inf; a quantile ranking
+	// into it reports the largest finite bound.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("p100 with +Inf sample = %g, want 4 (largest finite bound)", got)
+	}
+
+	// q outside (0, 1] is clamped/zeroed.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q=0 quantile = %g, want 0", got)
+	}
+	if got, gotClamped := h.Quantile(1), h.Quantile(7); got != gotClamped {
+		t.Errorf("q>1 not clamped: %g vs %g", gotClamped, got)
+	}
+}
+
 func TestExpBuckets(t *testing.T) {
 	got := ExpBuckets(1, 2, 4)
 	want := []float64{1, 2, 4, 8}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -47,6 +48,7 @@ type jobStatus struct {
 	Finished  *time.Time     `json:"finished,omitempty"`
 	HSPs      int64          `json:"hsps"`
 	MAFBytes  int            `json:"maf_bytes"`
+	Attempts  int            `json:"attempts,omitempty"`
 	Truncated string         `json:"truncated,omitempty"`
 	Error     string         `json:"error,omitempty"`
 	Workload  *core.Workload `json:"workload,omitempty"`
@@ -118,12 +120,33 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// writeBusy answers an admission rejection: 429 with Retry-After.
-func (s *Server) writeBusy(w http.ResponseWriter, why string) {
+// retryAfterSecs derives the Retry-After hint from observed load: the
+// p90 of the queue-wait histogram, rounded up to whole seconds and
+// clamped to [1s, 10m]. Before any job has waited (empty histogram)
+// it falls back to the configured constant — so the hint tracks how
+// long rejected clients would actually have queued, instead of a
+// number picked at deploy time.
+func (s *Server) retryAfterSecs() int {
+	if p90 := s.jobs.queueWait.Quantile(0.90); p90 > 0 {
+		secs := int(math.Ceil(p90))
+		if secs < 1 {
+			secs = 1
+		}
+		if secs > 600 {
+			secs = 600
+		}
+		return secs
+	}
 	secs := int(s.cfg.RetryAfter / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
+	return secs
+}
+
+// writeBusy answers an admission rejection: 429 with Retry-After.
+func (s *Server) writeBusy(w http.ResponseWriter, why string) {
+	secs := s.retryAfterSecs()
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeJSON(w, http.StatusTooManyRequests, map[string]any{
 		"error":            why,
@@ -239,6 +262,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeBusy(w, "submission queue is full")
 	case errors.Is(err, ErrClientBusy):
 		s.writeBusy(w, "per-client in-flight limit reached")
+	case errors.Is(err, ErrMemoryPressure):
+		s.writeBusy(w, "server memory high-watermark reached")
+	case errors.Is(err, ErrJobTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"query alone would exceed the server's memory high-watermark")
+	case errors.Is(err, ErrBreakerOpen):
+		var bo *breakerOpenError
+		secs := s.retryAfterSecs()
+		if errors.As(err, &bo) {
+			if c := int(math.Ceil(bo.retryAfter.Seconds())); c >= 1 {
+				secs = c
+			}
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 	default:
@@ -249,6 +287,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // statusOf snapshots one job for JSON.
 func (s *Server) statusOf(j *Job) jobStatus {
 	j.mu.Lock()
+	sp, agg := j.spool, j.agg
 	st := jobStatus{
 		ID:        j.ID,
 		Target:    j.Params.Target,
@@ -261,6 +300,7 @@ func (s *Server) statusOf(j *Job) jobStatus {
 		StatusURL: "/v1/jobs/" + j.ID,
 		MAFURL:    "/v1/jobs/" + j.ID + "/maf",
 	}
+	st.Attempts = j.attempt
 	if !j.started.IsZero() {
 		t := j.started
 		st.Started = &t
@@ -276,7 +316,7 @@ func (s *Server) statusOf(j *Job) jobStatus {
 	if !j.started.IsZero() {
 		stats := &jobStats{
 			QueueWaitMS: j.started.Sub(j.created).Milliseconds(),
-			Stages:      j.agg.Snapshot(),
+			Stages:      agg.Snapshot(),
 		}
 		// A still-running job reports its run time so far.
 		end := j.finished
@@ -288,7 +328,7 @@ func (s *Server) statusOf(j *Job) jobStatus {
 	}
 	j.mu.Unlock()
 	st.HSPs = j.hsps.Load()
-	st.MAFBytes = j.spool.size()
+	st.MAFBytes = sp.size()
 	return st
 }
 
@@ -325,9 +365,14 @@ func (s *Server) handleMAF(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Job-ID", j.ID)
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
+	// Pin the attempt's spool: if the watchdog swaps in a fresh one for
+	// a retry, this reader drains the sealed old stream (a valid MAF
+	// prefix without a trailer) and ends; re-requesting the URL streams
+	// the new attempt.
+	sp := j.spoolRef()
 	off := 0
 	for {
-		chunk, done, wait := j.spool.view(off)
+		chunk, done, wait := sp.view(off)
 		if len(chunk) > 0 {
 			if _, err := w.Write(chunk); err != nil {
 				return
@@ -406,6 +451,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
+	s.jobs.TargetRegistered(t.Name)
 	writeJSON(w, http.StatusCreated, targetInfo{
 		Name: t.Name, Seqs: t.NumSeqs, Bases: len(t.Bases),
 		IndexBytes: t.IndexBytes, RegisteredAt: t.RegisteredAt,
@@ -417,16 +463,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz reports serving readiness, including per-target circuit
+// breaker states. The server goes unready (503) when draining, when no
+// targets are registered, or when every registered target's breaker is
+// open — a partially broken server (some targets open) stays ready and
+// lists the broken targets in the body.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	targets := s.reg.List()
+	breakers := s.jobs.brk.states()
+	openTargets := 0
+	for _, t := range targets {
+		if s.jobs.brk.openFor(t.Name) {
+			openTargets++
+		}
+	}
+	body := map[string]any{
+		"draining": s.jobs.Draining(),
+		"targets":  len(targets),
+	}
+	if len(breakers) > 0 {
+		body["breakers"] = breakers
+	}
+	var reason string
 	switch {
 	case s.jobs.Draining():
-		writeError(w, http.StatusServiceUnavailable, "draining")
-	case s.reg.Len() == 0:
-		writeError(w, http.StatusServiceUnavailable, "no targets registered")
-	default:
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ready")
+		reason = "draining"
+	case len(targets) == 0:
+		reason = "no targets registered"
+	case openTargets == len(targets):
+		reason = "all targets' circuit breakers are open"
 	}
+	if reason != "" {
+		body["ready"] = false
+		body["reason"] = reason
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["ready"] = true
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics serves the server's registry in the Prometheus text
@@ -464,10 +538,15 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			"rejected_client_limit": s.jobs.RejectedClientLimit.Value(),
 			"rejected_oversize":     s.jobs.RejectedOversize.Value(),
 			"rejected_draining":     s.jobs.RejectedDraining.Value(),
+			"rejected_memory":       s.jobs.RejectedMemory.Value(),
+			"rejected_breaker_open": s.jobs.RejectedBreaker.Value(),
 			"completed":             s.jobs.Completed.Value(),
 			"failed":                s.jobs.Failed.Value(),
 			"cancelled":             s.jobs.Cancelled.Value(),
 			"hsps_streamed":         s.jobs.HSPsStreamed.Value(),
+			"stalled":               s.jobs.Stalled.Value(),
+			"retried":               s.jobs.Retried.Value(),
+			"recovered":             s.jobs.Recovered.Value(),
 		},
 		"metrics": json.RawMessage(s.metrics.String()),
 	})

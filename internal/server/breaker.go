@@ -1,0 +1,239 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"darwinwga/internal/faultinject"
+	"darwinwga/internal/obs"
+)
+
+// breaker is the per-target circuit breaker: a target whose jobs fail
+// repeatedly (including watchdog-detected stalls, which surface as
+// failures once retries are exhausted) stops admitting work for a
+// cooldown, then lets one probe job through. The states are the
+// classic three:
+//
+//	closed    admitting; consecutive failures counted
+//	open      rejecting until cooldown elapses
+//	half-open one probe job in flight; success closes, failure reopens
+//
+// Cancellations are the client's doing and count as neither. Breaker
+// state is visible in /readyz (per-target) and /metrics
+// (darwinwga_breaker_open gauges, darwinwga_breaker_trips_total).
+//
+// A nil *breaker admits everything and records nothing — the disabled
+// mode, threaded unconditionally like the job store.
+type breaker struct {
+	clock     faultinject.Clock
+	threshold int
+	cooldown  time.Duration
+	metrics   *obs.Registry
+	trips     *obs.Counter
+
+	mu      sync.Mutex
+	targets map[string]*targetBreaker
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// gaugeValue is the /metrics encoding of a state: 0 closed, 1 open,
+// 0.5 half-open.
+func (s breakerState) gaugeValue() float64 {
+	switch s {
+	case breakerOpen:
+		return 1
+	case breakerHalfOpen:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+type targetBreaker struct {
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // half-open: a probe job is in flight
+}
+
+// newBreaker builds a breaker; threshold <= 0 disables it (returns nil).
+func newBreaker(clock faultinject.Clock, threshold int, cooldown time.Duration, metrics *obs.Registry) *breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	return &breaker{
+		clock:     clock,
+		threshold: threshold,
+		cooldown:  cooldown,
+		metrics:   metrics,
+		trips:     metrics.Counter("darwinwga_breaker_trips_total", "circuit breaker open transitions"),
+		targets:   make(map[string]*targetBreaker),
+	}
+}
+
+// forTarget returns (creating and registering a state gauge on first
+// sight) the per-target state. Requires b.mu.
+func (b *breaker) forTarget(target string) *targetBreaker {
+	tb, ok := b.targets[target]
+	if !ok {
+		tb = &targetBreaker{}
+		b.targets[target] = tb
+		name := fmt.Sprintf(`darwinwga_breaker_open{target="%s"}`, metricLabelSafe(target))
+		b.metrics.GaugeFunc(name, "circuit breaker state: 0 closed, 0.5 half-open, 1 open",
+			func() float64 {
+				b.mu.Lock()
+				defer b.mu.Unlock()
+				return b.currentLocked(tb).gaugeValue()
+			})
+	}
+	return tb
+}
+
+// currentLocked resolves the effective state, applying the open →
+// half-open transition lazily once the cooldown has elapsed. Requires
+// b.mu.
+func (b *breaker) currentLocked(tb *targetBreaker) breakerState {
+	if tb.state == breakerOpen && b.clock.Now().Sub(tb.openedAt) >= b.cooldown {
+		tb.state = breakerHalfOpen
+		tb.probing = false
+	}
+	return tb.state
+}
+
+// allow decides admission for one job against target. ok=false comes
+// with the remaining cooldown as a Retry-After hint. In half-open
+// state the first allowed job is marked as the probe; callers that
+// admit a job and then fail to enqueue it must releaseProbe so the
+// half-open state does not wedge.
+func (b *breaker) allow(target string) (retryAfter time.Duration, ok bool) {
+	if b == nil {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tb := b.forTarget(target)
+	switch b.currentLocked(tb) {
+	case breakerOpen:
+		return b.cooldown - b.clock.Now().Sub(tb.openedAt), false
+	case breakerHalfOpen:
+		if tb.probing {
+			return b.cooldown, false // a probe is already in flight
+		}
+		tb.probing = true
+		return 0, true
+	default:
+		return 0, true
+	}
+}
+
+// releaseProbe undoes allow's probe claim when the admitted job never
+// made it into the queue (or was cancelled before it could prove
+// anything).
+func (b *breaker) releaseProbe(target string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if tb, ok := b.targets[target]; ok && tb.state == breakerHalfOpen {
+		tb.probing = false
+	}
+}
+
+// record feeds one terminal job state back: done closes (or keeps
+// closed) the breaker, failed counts toward tripping it, cancelled is
+// neutral but releases a probe slot.
+func (b *breaker) record(target string, state JobState) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tb := b.forTarget(target)
+	cur := b.currentLocked(tb)
+	switch state {
+	case JobDone:
+		tb.state = breakerClosed
+		tb.fails = 0
+		tb.probing = false
+	case JobFailed:
+		switch cur {
+		case breakerHalfOpen:
+			// The probe failed: reopen for another cooldown.
+			tb.state = breakerOpen
+			tb.openedAt = b.clock.Now()
+			tb.probing = false
+			b.trips.Inc()
+		case breakerClosed:
+			tb.fails++
+			if tb.fails >= b.threshold {
+				tb.state = breakerOpen
+				tb.openedAt = b.clock.Now()
+				tb.fails = 0
+				b.trips.Inc()
+			}
+		}
+	case JobCancelled:
+		tb.probing = false
+	}
+}
+
+// states snapshots every target's effective breaker state, for /readyz.
+func (b *breaker) states() map[string]string {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]string, len(b.targets))
+	for name, tb := range b.targets {
+		out[name] = b.currentLocked(tb).String()
+	}
+	return out
+}
+
+// openFor reports whether target is currently rejecting (fully open;
+// half-open admits probes, so it does not count).
+func (b *breaker) openFor(target string) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tb, ok := b.targets[target]
+	return ok && b.currentLocked(tb) == breakerOpen
+}
+
+// metricLabelSafe maps an arbitrary target name into the registry's
+// label-value alphabet.
+func metricLabelSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.', r == ':', r == '/':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

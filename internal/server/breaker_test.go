@@ -1,0 +1,166 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"darwinwga/internal/faultinject"
+	"darwinwga/internal/obs"
+)
+
+// Breaker unit tests: pure state-machine coverage on a manual clock.
+// The end-to-end trip/untrip path (jobs failing through the manager)
+// lives in watchdog_test.go.
+
+func newTestBreaker(t *testing.T, threshold int, cooldown time.Duration) (*breaker, *faultinject.ManualClock) {
+	t.Helper()
+	mc := faultinject.NewManualClock(time.Unix(1700000000, 0))
+	b := newBreaker(mc, threshold, cooldown, obs.NewRegistry())
+	if b == nil {
+		t.Fatal("newBreaker returned nil for an enabled configuration")
+	}
+	return b, mc
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	if b := newBreaker(faultinject.RealClock(), 0, time.Second, obs.NewRegistry()); b != nil {
+		t.Fatal("threshold 0 should disable the breaker")
+	}
+	// Every method must be safe on the nil (disabled) breaker.
+	var b *breaker
+	if _, ok := b.allow("tgt"); !ok {
+		t.Error("nil breaker rejected a job")
+	}
+	b.record("tgt", JobFailed)
+	b.releaseProbe("tgt")
+	if b.openFor("tgt") {
+		t.Error("nil breaker reports open")
+	}
+	if b.states() != nil {
+		t.Error("nil breaker reports states")
+	}
+}
+
+func TestBreakerTripCooldownProbeClose(t *testing.T) {
+	b, mc := newTestBreaker(t, 2, 30*time.Second)
+
+	// Closed: admits, and one failure is below the threshold.
+	if _, ok := b.allow("tgt"); !ok {
+		t.Fatal("closed breaker rejected")
+	}
+	b.record("tgt", JobFailed)
+	if b.openFor("tgt") {
+		t.Fatal("tripped below threshold")
+	}
+
+	// Second consecutive failure trips it.
+	b.record("tgt", JobFailed)
+	if !b.openFor("tgt") {
+		t.Fatal("did not trip at threshold")
+	}
+	if got := b.trips.Value(); got != 1 {
+		t.Errorf("trips = %d, want 1", got)
+	}
+	retryAfter, ok := b.allow("tgt")
+	if ok {
+		t.Fatal("open breaker admitted")
+	}
+	if retryAfter <= 0 || retryAfter > 30*time.Second {
+		t.Errorf("retryAfter = %s, want within (0, 30s]", retryAfter)
+	}
+	if st := b.states()["tgt"]; st != "open" {
+		t.Errorf("state = %q, want open", st)
+	}
+
+	// Cooldown elapses: half-open admits exactly one probe.
+	mc.Advance(30 * time.Second)
+	if st := b.states()["tgt"]; st != "half-open" {
+		t.Errorf("state after cooldown = %q, want half-open", st)
+	}
+	if _, ok := b.allow("tgt"); !ok {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if _, ok := b.allow("tgt"); ok {
+		t.Fatal("half-open breaker admitted a second job while probing")
+	}
+
+	// Probe succeeds: closed again, failure counter reset.
+	b.record("tgt", JobDone)
+	if st := b.states()["tgt"]; st != "closed" {
+		t.Errorf("state after probe success = %q, want closed", st)
+	}
+	b.record("tgt", JobFailed)
+	if b.openFor("tgt") {
+		t.Error("single failure after close tripped the breaker (stale fail count)")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, mc := newTestBreaker(t, 1, 30*time.Second)
+	b.record("tgt", JobFailed)
+	if !b.openFor("tgt") {
+		t.Fatal("did not trip")
+	}
+	mc.Advance(30 * time.Second)
+	if _, ok := b.allow("tgt"); !ok {
+		t.Fatal("probe rejected")
+	}
+	b.record("tgt", JobFailed)
+	if !b.openFor("tgt") {
+		t.Fatal("failed probe did not reopen")
+	}
+	if got := b.trips.Value(); got != 2 {
+		t.Errorf("trips = %d, want 2 (initial + reopen)", got)
+	}
+	// The reopened cooldown starts from the probe failure, not the
+	// original trip.
+	if retryAfter, ok := b.allow("tgt"); ok || retryAfter != 30*time.Second {
+		t.Errorf("allow after reopen = (%s, %v), want full cooldown", retryAfter, ok)
+	}
+}
+
+func TestBreakerReleaseProbeUnwedgesHalfOpen(t *testing.T) {
+	b, mc := newTestBreaker(t, 1, 30*time.Second)
+	b.record("tgt", JobFailed)
+	mc.Advance(30 * time.Second)
+	if _, ok := b.allow("tgt"); !ok {
+		t.Fatal("probe rejected")
+	}
+	// The admitted probe never enqueued (journal failure, drain):
+	// releasing it must let the next submission probe instead.
+	b.releaseProbe("tgt")
+	if _, ok := b.allow("tgt"); !ok {
+		t.Fatal("probe slot leaked: half-open rejected after releaseProbe")
+	}
+	// A cancelled probe likewise frees the slot via record.
+	b.record("tgt", JobCancelled)
+	if _, ok := b.allow("tgt"); !ok {
+		t.Fatal("probe slot leaked after cancellation")
+	}
+}
+
+func TestBreakerCancellationIsNeutral(t *testing.T) {
+	b, _ := newTestBreaker(t, 1, time.Second)
+	b.record("tgt", JobCancelled)
+	if b.openFor("tgt") {
+		t.Fatal("cancellation tripped the breaker")
+	}
+	if _, ok := b.allow("tgt"); !ok {
+		t.Fatal("breaker rejected after a cancellation")
+	}
+}
+
+func TestBreakerTargetsAreIndependent(t *testing.T) {
+	b, _ := newTestBreaker(t, 1, time.Second)
+	b.record("bad", JobFailed)
+	if !b.openFor("bad") {
+		t.Fatal("bad target did not trip")
+	}
+	if _, ok := b.allow("good"); !ok {
+		t.Fatal("healthy target rejected because another target tripped")
+	}
+	states := b.states()
+	if states["bad"] != "open" || states["good"] != "closed" {
+		t.Errorf("states = %v", states)
+	}
+}

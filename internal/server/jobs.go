@@ -6,12 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"darwinwga/internal/checkpoint"
 	"darwinwga/internal/core"
+	"darwinwga/internal/faultinject"
 	"darwinwga/internal/genome"
 	"darwinwga/internal/maf"
 	"darwinwga/internal/obs"
@@ -34,13 +38,30 @@ func (s JobState) terminal() bool {
 }
 
 // Admission errors. The API layer maps these onto HTTP statuses
-// (429 with Retry-After for the load-shedding pair, 503 for draining).
+// (429 with Retry-After for the load-shedding trio, 503 for draining
+// and open breakers, 413 for jobs no amount of waiting will fit).
 var (
-	ErrQueueFull     = errors.New("server: submission queue is full")
-	ErrClientBusy    = errors.New("server: per-client in-flight limit reached")
-	ErrDraining      = errors.New("server: draining, not accepting jobs")
-	ErrUnknownTarget = errors.New("server: unknown target")
+	ErrQueueFull      = errors.New("server: submission queue is full")
+	ErrClientBusy     = errors.New("server: per-client in-flight limit reached")
+	ErrDraining       = errors.New("server: draining, not accepting jobs")
+	ErrUnknownTarget  = errors.New("server: unknown target")
+	ErrMemoryPressure = errors.New("server: memory high-watermark reached")
+	ErrJobTooLarge    = errors.New("server: job alone would exceed the memory high-watermark")
+	ErrBreakerOpen    = errors.New("server: target circuit breaker is open")
 )
+
+// breakerOpenError carries the cooldown remaining when a breaker
+// rejects a submission; errors.Is(err, ErrBreakerOpen) matches it.
+type breakerOpenError struct {
+	target     string
+	retryAfter time.Duration
+}
+
+func (e *breakerOpenError) Error() string {
+	return fmt.Sprintf("server: circuit breaker open for target %q (retry in %s)", e.target, e.retryAfter)
+}
+
+func (e *breakerOpenError) Is(err error) bool { return err == ErrBreakerOpen }
 
 // JobParams are the per-job pipeline knobs a request may set; zero
 // values inherit the server's base configuration. They map onto the
@@ -63,12 +84,16 @@ type JobParams struct {
 	MaxFilterTiles    int64 `json:"max_filter_tiles,omitempty"`
 	MaxExtensionCells int64 `json:"max_extension_cells,omitempty"`
 	// Deadline is the job's soft wall-clock budget; it is clamped to
-	// the server's MaxDeadline, and defaults to it when zero.
+	// the server's MaxDeadline, and defaults to it when zero. It is
+	// journaled separately (as milliseconds) by the job store.
 	Deadline time.Duration `json:"-"`
 }
 
 // Job is one alignment request moving through the manager. The spool
 // accumulates its streamed MAF; mu guards the mutable lifecycle state.
+// A watchdog retry replaces spool, context, and aggregate wholesale
+// (readers of the old spool see a clean end-of-stream without a
+// trailer), so access them through spoolRef/cancelNow.
 type Job struct {
 	ID     string
 	Client string
@@ -76,16 +101,24 @@ type Job struct {
 	// QueryName labels the query assembly in MAF output and status.
 	QueryName string
 
-	spool  *spool
-	ctx    context.Context
-	cancel context.CancelFunc
-	hsps   atomic.Int64
-	// agg accumulates the job's per-stage workload (an obs.Recorder
-	// attached to the pipeline call); the status endpoint's "stats"
-	// block snapshots it, including mid-run.
-	agg *obs.Aggregate
+	hsps atomic.Int64
+	// progress is the watchdog's heartbeat: the manager-clock
+	// nanosecond stamp of the last pipeline telemetry event.
+	progress atomic.Int64
+	// stalled is set (once per attempt) by the watchdog when the job
+	// goes silent past the stall window; the worker turns it into a
+	// retry or a failure.
+	stalled atomic.Bool
+	// cancelRequested distinguishes a client/drain cancellation from a
+	// watchdog one: the watchdog retries, the client wins.
+	cancelRequested atomic.Bool
 
 	mu        sync.Mutex
+	spool     *spool
+	ctx       context.Context
+	cancel    context.CancelFunc
+	agg       *obs.Aggregate
+	attempt   int // run attempts so far (1 = first)
 	state     JobState
 	created   time.Time
 	started   time.Time
@@ -103,29 +136,86 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
-// markRunning moves queued → running; false means the job was cancelled
-// while waiting and must be skipped.
-func (j *Job) markRunning() bool {
+// spoolRef returns the job's current output spool (it is replaced on
+// watchdog retry).
+func (j *Job) spoolRef() *spool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spool
+}
+
+// cancelNow cancels the job's current run context.
+func (j *Job) cancelNow() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	cancel()
+}
+
+// runCtx returns the current attempt's context.
+func (j *Job) runCtx() context.Context {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ctx
+}
+
+// aggRef returns the current attempt's telemetry aggregate.
+func (j *Job) aggRef() *obs.Aggregate {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.agg
+}
+
+// attemptNum returns how many run attempts the job has made.
+func (j *Job) attemptNum() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+// markRunning moves queued → running at now; false means the job was
+// cancelled while waiting and must be skipped.
+func (j *Job) markRunning(now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != JobQueued {
 		return false
 	}
 	j.state = JobRunning
-	j.started = time.Now()
+	j.started = now
+	j.attempt = 1
 	return true
+}
+
+// resetForRetry swaps in a fresh spool, context, and aggregate for the
+// next attempt and returns the sealed old spool plus the new attempt
+// number. The job stays running.
+func (j *Job) resetForRetry(now time.Time) (old *spool, attempt int) {
+	j.mu.Lock()
+	old = j.spool
+	j.spool = newSpool()
+	j.agg = &obs.Aggregate{}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.attempt++
+	j.started = now
+	attempt = j.attempt
+	j.mu.Unlock()
+	j.hsps.Store(0)
+	j.stalled.Store(false)
+	j.progress.Store(now.UnixNano())
+	return old, attempt
 }
 
 // tryCancelQueued cancels a job that has not started; false if it
 // already left the queue.
-func (j *Job) tryCancelQueued() bool {
+func (j *Job) tryCancelQueued(now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != JobQueued {
 		return false
 	}
 	j.state = JobCancelled
-	j.finished = time.Now()
+	j.finished = now
 	j.query = nil
 	j.cancel()
 	j.spool.close()
@@ -133,11 +223,11 @@ func (j *Job) tryCancelQueued() bool {
 }
 
 // finish records the terminal state of a job that ran.
-func (j *Job) finish(state JobState, res *core.Result, errMsg string) {
+func (j *Job) finish(state JobState, res *core.Result, errMsg string, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = state
-	j.finished = time.Now()
+	j.finished = now
 	j.errMsg = errMsg
 	if res != nil {
 		j.truncated = res.Truncated
@@ -146,13 +236,12 @@ func (j *Job) finish(state JobState, res *core.Result, errMsg string) {
 	j.query = nil
 }
 
-// takeQuery detaches the queued query assembly for the run.
-func (j *Job) takeQuery() *genome.Assembly {
+// queryRef returns the job's query assembly. It stays attached until
+// the job reaches a terminal state so a watchdog retry can re-run it.
+func (j *Job) queryRef() *genome.Assembly {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	q := j.query
-	j.query = nil
-	return q
+	return j.query
 }
 
 // counters are the manager's load-shedding and throughput counters.
@@ -164,11 +253,16 @@ type counters struct {
 	RejectedClientLimit *obs.Counter
 	RejectedOversize    *obs.Counter
 	RejectedDraining    *obs.Counter
+	RejectedMemory      *obs.Counter
+	RejectedBreaker     *obs.Counter
 	Completed           *obs.Counter
 	Failed              *obs.Counter
 	Cancelled           *obs.Counter
 	Running             *obs.Gauge
 	HSPsStreamed        *obs.Counter
+	Stalled             *obs.Counter
+	Retried             *obs.Counter
+	Recovered           *obs.Counter
 }
 
 // newCounters registers the manager's counter set on reg.
@@ -179,17 +273,25 @@ func newCounters(reg *obs.Registry) counters {
 		RejectedClientLimit: reg.Counter(`darwinwga_jobs_rejected_total{reason="client_limit"}`, "submissions rejected by admission control"),
 		RejectedOversize:    reg.Counter(`darwinwga_jobs_rejected_total{reason="oversize"}`, "submissions rejected by admission control"),
 		RejectedDraining:    reg.Counter(`darwinwga_jobs_rejected_total{reason="draining"}`, "submissions rejected by admission control"),
+		RejectedMemory:      reg.Counter(`darwinwga_jobs_rejected_total{reason="memory"}`, "submissions rejected by admission control"),
+		RejectedBreaker:     reg.Counter(`darwinwga_jobs_rejected_total{reason="breaker_open"}`, "submissions rejected by admission control"),
 		Completed:           reg.Counter(`darwinwga_jobs_finished_total{state="done"}`, "jobs reaching a terminal state"),
 		Failed:              reg.Counter(`darwinwga_jobs_finished_total{state="failed"}`, "jobs reaching a terminal state"),
 		Cancelled:           reg.Counter(`darwinwga_jobs_finished_total{state="cancelled"}`, "jobs reaching a terminal state"),
 		Running:             reg.Gauge("darwinwga_jobs_running", "jobs currently executing on a worker"),
 		HSPsStreamed:        reg.Counter("darwinwga_jobs_hsps_streamed_total", "alignment blocks streamed into job spools"),
+		Stalled:             reg.Counter("darwinwga_jobs_stalled_total", "watchdog stall detections"),
+		Retried:             reg.Counter("darwinwga_jobs_retried_total", "jobs re-run after a watchdog stall"),
+		Recovered:           reg.Counter("darwinwga_jobs_recovered_total", "jobs restored from the journal at startup"),
 	}
 }
 
 // Manager owns the job table, the bounded submission queue, and the
 // worker pool that drains it. Admission control happens in Submit;
-// execution in runJob; drain in Drain.
+// execution in runJob; drain in Drain. The store journals lifecycle
+// transitions (nil = in-memory only), the breaker gates per-target
+// admission (nil = disabled), and the clock drives the watchdog and
+// every timestamp so the chaos suite can freeze time.
 type Manager struct {
 	reg            *Registry
 	base           core.Config
@@ -199,6 +301,16 @@ type Manager struct {
 	checkpointRoot string
 	log            *slog.Logger
 
+	store        *jobStore
+	brk          *breaker
+	clock        faultinject.Clock
+	stallWindow  time.Duration
+	stallTick    time.Duration
+	stallRetries int
+	stallBackoff time.Duration
+	memHighWater int64
+	memUsage     func() int64
+
 	// pipe reports every job's pipeline events into the server metrics
 	// registry; queueWait/runSeconds are the job-lifecycle latency
 	// histograms.
@@ -206,41 +318,222 @@ type Manager struct {
 	queueWait  *obs.Histogram
 	runSeconds *obs.Histogram
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	queue      chan *Job
+	queueLimit int // admission sheds here; cap(queue) adds recovery slots
+	wg         sync.WaitGroup
+	watchWG    sync.WaitGroup
+	drainCh    chan struct{}
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
 	order     []string // insertion order, for bounded retention
 	perClient map[string]int
 	draining  bool
+	// pendingRecovery holds recovered queued jobs whose target has not
+	// been re-registered yet (recovery runs before startup
+	// registration); TargetRegistered releases them in order.
+	pendingRecovery map[string][]*Job
 
 	counters
 }
 
-// newManager wires a manager over reg; start launches the workers.
+// newManager wires a manager over reg and recovers journaled jobs.
 // Counters, pipeline metrics, and lifecycle histograms all register on
-// metrics.
-func newManager(reg *Registry, metrics *obs.Registry, logger *slog.Logger, base core.Config, queueDepth, maxPerClient int, maxDeadline time.Duration, retain int, checkpointRoot string) *Manager {
-	return &Manager{
-		reg:            reg,
-		base:           base,
-		maxPerClient:   maxPerClient,
-		maxDeadline:    maxDeadline,
-		retain:         retain,
-		checkpointRoot: checkpointRoot,
-		log:            logger,
-		pipe:           obs.NewPipelineMetrics(metrics),
-		queueWait:      metrics.Histogram("darwinwga_jobs_queue_wait_seconds", "time jobs spend queued before a worker picks them up", obs.ExpBuckets(0.001, 4, 12)),
-		runSeconds:     metrics.Histogram("darwinwga_jobs_run_seconds", "wall-clock of job execution on a worker", obs.ExpBuckets(0.001, 4, 12)),
-		queue:          make(chan *Job, queueDepth),
-		jobs:           make(map[string]*Job),
-		perClient:      make(map[string]int),
-		counters:       newCounters(metrics),
+// metrics. The submission queue reserves a slot for every recovered
+// non-terminal job on top of cfg.QueueDepth — restart must never shed
+// jobs the journal promised, and the reservation keeps every internal
+// queue send non-blocking (new submissions shed at queueLimit).
+func newManager(reg *Registry, metrics *obs.Registry, cfg Config, store *jobStore, brk *breaker, recovered []recoveredJob) *Manager {
+	nonTerminal := 0
+	for i := range recovered {
+		if recovered[i].fin == nil {
+			nonTerminal++
+		}
+	}
+	m := &Manager{
+		reg:             reg,
+		base:            cfg.Pipeline,
+		maxPerClient:    cfg.MaxInFlightPerClient,
+		maxDeadline:     cfg.MaxDeadline,
+		retain:          cfg.RetainJobs,
+		checkpointRoot:  cfg.CheckpointRoot,
+		log:             cfg.Log,
+		store:           store,
+		brk:             brk,
+		clock:           cfg.Clock,
+		stallWindow:     cfg.StallWindow,
+		stallTick:       cfg.StallTick,
+		stallRetries:    cfg.StallRetries,
+		stallBackoff:    cfg.StallRetryDelay,
+		memHighWater:    cfg.MemoryHighWater,
+		memUsage:        heapInUse,
+		pipe:            obs.NewPipelineMetrics(metrics),
+		queueWait:       metrics.Histogram("darwinwga_jobs_queue_wait_seconds", "time jobs spend queued before a worker picks them up", obs.ExpBuckets(0.001, 4, 12)),
+		runSeconds:      metrics.Histogram("darwinwga_jobs_run_seconds", "wall-clock of job execution on a worker", obs.ExpBuckets(0.001, 4, 12)),
+		queue:           make(chan *Job, cfg.QueueDepth+nonTerminal),
+		queueLimit:      cfg.QueueDepth,
+		drainCh:         make(chan struct{}),
+		jobs:            make(map[string]*Job),
+		perClient:       make(map[string]int),
+		pendingRecovery: make(map[string][]*Job),
+		counters:        newCounters(metrics),
+	}
+	m.recover(recovered)
+	return m
+}
+
+// recover restores journaled jobs in original submission order:
+// terminal jobs (with their spilled MAF) become queryable records
+// again, non-terminal jobs are re-queued — a job that was mid-run
+// resumes from its per-job pipeline checkpoint, so its MAF comes out
+// byte-identical to an uninterrupted run.
+func (m *Manager) recover(recovered []recoveredJob) {
+	for i := range recovered {
+		r := &recovered[i]
+		if r.fin != nil {
+			m.recoverTerminal(r)
+		} else {
+			m.recoverQueued(r)
+		}
 	}
 }
 
-// start launches n worker goroutines.
+// recoverParams rebuilds JobParams (Deadline is journaled separately
+// because it does not round-trip through JSON).
+func recoverParams(sub *jsSubmitted) JobParams {
+	p := sub.Params
+	p.Deadline = time.Duration(sub.DeadlineMS) * time.Millisecond
+	return p
+}
+
+// newRecoveredJob builds the common shell of a restored job.
+func newRecoveredJob(r *recoveredJob) *Job {
+	j := &Job{
+		ID:        r.sub.ID,
+		Client:    r.sub.Client,
+		Params:    recoverParams(&r.sub),
+		QueryName: r.sub.QueryName,
+		spool:     newSpool(),
+		agg:       &obs.Aggregate{},
+		created:   time.Unix(0, r.sub.CreatedNS),
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	if r.started {
+		j.started = time.Unix(0, r.startedNS)
+	}
+	return j
+}
+
+// recoverTerminal restores one finished job from its journal record
+// and spilled MAF. A record whose MAF artifact is gone was evicted
+// before the crash and stays gone.
+func (m *Manager) recoverTerminal(r *recoveredJob) {
+	if r.mafPath == "" {
+		return // evicted before the crash
+	}
+	state := JobState(r.fin.State)
+	if !state.terminal() {
+		m.log.Warn("job journal: ignoring finished record with non-terminal state",
+			"job_id", r.sub.ID, "state", r.fin.State)
+		return
+	}
+	data, err := os.ReadFile(r.mafPath)
+	if err != nil {
+		m.log.Warn("job journal: finished job's MAF unreadable, dropping",
+			"job_id", r.sub.ID, "error", err)
+		return
+	}
+	j := newRecoveredJob(r)
+	j.state = state
+	j.finished = time.Unix(0, r.fin.FinishedNS)
+	j.errMsg = r.fin.Error
+	j.truncated = core.TruncationReason(r.fin.Truncated)
+	j.hsps.Store(r.fin.HSPs)
+	if len(data) > 0 {
+		j.spool.Write(data) //nolint:errcheck // fresh open spool
+	}
+	j.spool.close()
+	j.cancel()
+	m.mu.Lock()
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.mu.Unlock()
+	m.Recovered.Inc()
+	m.log.Info("job recovered from journal", "job_id", j.ID, "state", string(state),
+		"maf_bytes", len(data))
+}
+
+// recoverQueued re-queues one non-terminal job. If its query artifact
+// is unreadable the job is failed (and journaled as such) rather than
+// silently dropped: the client polling it learns what happened.
+func (m *Manager) recoverQueued(r *recoveredJob) {
+	j := newRecoveredJob(r)
+	query, err := m.store.loadQuery(r)
+	if err != nil {
+		j.state = JobFailed
+		j.finished = m.clock.Now()
+		j.errMsg = fmt.Sprintf("query artifact lost in crash: %v", err)
+		j.spool.close()
+		j.cancel()
+		m.mu.Lock()
+		m.jobs[j.ID] = j
+		m.order = append(m.order, j.ID)
+		m.mu.Unlock()
+		if jerr := m.store.finished(j, JobFailed, j.errMsg, "", 0, nil, j.finished); jerr != nil {
+			m.log.Error("journaling recovery failure", "job_id", j.ID, "error", jerr)
+		}
+		m.Failed.Inc()
+		m.log.Warn("job recovery failed", "job_id", j.ID, "error", err)
+		return
+	}
+	j.state = JobQueued
+	j.query = query
+	j.progress.Store(m.clock.Now().UnixNano())
+	m.mu.Lock()
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.perClient[j.Client]++
+	// Recovery runs before startup target registration, so the job
+	// waits in pendingRecovery until TargetRegistered releases it; a
+	// target already present (embedders re-registering before New
+	// returns is impossible, but the check keeps the invariant local)
+	// dispatches immediately.
+	if _, ok := m.reg.Get(j.Params.Target); ok {
+		m.queue <- j // sized for every recovered job; cannot block
+	} else {
+		m.pendingRecovery[j.Params.Target] = append(m.pendingRecovery[j.Params.Target], j)
+	}
+	m.mu.Unlock()
+	m.Recovered.Inc()
+	m.log.Info("job recovered from journal", "job_id", j.ID, "state", "queued",
+		"was_running", r.started, "client", j.Client, "target", j.Params.Target)
+}
+
+// TargetRegistered releases recovered jobs that were waiting for
+// target to be (re-)registered, preserving their original submission
+// order. Jobs whose target never returns stay queued until cancelled
+// or drained — recovery never silently drops a journaled job.
+func (m *Manager) TargetRegistered(target string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pending := m.pendingRecovery[target]
+	if len(pending) == 0 {
+		return
+	}
+	delete(m.pendingRecovery, target)
+	if m.draining {
+		return // Drain already cancelled them via the job table
+	}
+	for _, j := range pending {
+		if j.State() != JobQueued {
+			continue // cancelled while waiting
+		}
+		m.queue <- j // queue is sized for every recovered job
+	}
+	m.log.Info("released recovered jobs for target", "target", target, "jobs", len(pending))
+}
+
+// start launches n worker goroutines plus the stall watchdog.
 func (m *Manager) start(n int) {
 	for i := 0; i < n; i++ {
 		m.wg.Add(1)
@@ -250,6 +543,10 @@ func (m *Manager) start(n int) {
 				m.runJob(j)
 			}
 		}()
+	}
+	if m.stallWindow > 0 {
+		m.watchWG.Add(1)
+		go m.watchdog()
 	}
 }
 
@@ -264,11 +561,45 @@ func newJobID() string {
 	return fmt.Sprintf("%x-%x-%x-%x-%x", b[0:4], b[4:6], b[6:8], b[8:10], b[10:16])
 }
 
+// heapInUse reads the runtime's in-use heap for the memory
+// high-watermark check.
+func heapInUse() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapInuse)
+}
+
+// estimateJobBytes is the admission-time estimate of one job's
+// transient heap: the concatenated query copy, its reverse complement,
+// and per-stage candidate/tile buffers. 8× the query length is
+// deliberately conservative; the shared target index is excluded
+// because it is already resident.
+func estimateJobBytes(queryBases int) int64 {
+	return 8 * int64(queryBases)
+}
+
 // Submit admits one job or rejects it with a typed admission error.
 // query is the parsed query assembly (the manager owns it from here).
+// Admission is journaled before it is acknowledged: a job the client
+// saw accepted survives a crash.
 func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string) (*Job, error) {
 	if _, ok := m.reg.Get(params.Target); !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTarget, params.Target)
+	}
+	if m.memHighWater > 0 {
+		footprint := estimateJobBytes(query.TotalLen())
+		if footprint > m.memHighWater {
+			m.RejectedMemory.Inc()
+			m.log.Warn("job rejected", "reason", "memory", "client", client,
+				"estimated_bytes", footprint, "high_water", m.memHighWater)
+			return nil, ErrJobTooLarge
+		}
+		if used := m.memUsage(); used+footprint > m.memHighWater {
+			m.RejectedMemory.Inc()
+			m.log.Warn("job rejected", "reason", "memory", "client", client,
+				"heap_in_use", used, "estimated_bytes", footprint, "high_water", m.memHighWater)
+			return nil, ErrMemoryPressure
+		}
 	}
 	j := &Job{
 		ID:        newJobID(),
@@ -278,10 +609,11 @@ func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string
 		spool:     newSpool(),
 		agg:       &obs.Aggregate{},
 		state:     JobQueued,
-		created:   time.Now(),
+		created:   m.clock.Now(),
 		query:     query,
 	}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.progress.Store(j.created.UnixNano())
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -295,13 +627,38 @@ func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string
 		m.log.Warn("job rejected", "reason", "client_limit", "client", client)
 		return nil, ErrClientBusy
 	}
-	select {
-	case m.queue <- j:
-	default:
+	// Workers only drain the queue and every sender holds m.mu, so a
+	// limit check now guarantees the send below cannot block (the slots
+	// between queueLimit and cap are reserved for recovered jobs).
+	if len(m.queue) >= m.queueLimit {
 		m.RejectedQueueFull.Inc()
 		m.log.Warn("job rejected", "reason", "queue_full", "client", client)
 		return nil, ErrQueueFull
 	}
+	if retryAfter, ok := m.brk.allow(params.Target); !ok {
+		m.RejectedBreaker.Inc()
+		m.log.Warn("job rejected", "reason", "breaker_open", "client", client,
+			"target", params.Target, "retry_after", retryAfter)
+		return nil, &breakerOpenError{target: params.Target, retryAfter: retryAfter}
+	}
+	// Durable admission: spill the query and journal the submission
+	// before acknowledging. Serializing the two fsyncs under m.mu is
+	// deliberate — admission order in the journal is submission order,
+	// which recovery relies on.
+	if m.store != nil {
+		if _, err := m.store.saveQuery(j.ID, query); err != nil {
+			m.brk.releaseProbe(params.Target)
+			m.log.Error("job rejected", "reason", "journal", "client", client, "error", err)
+			return nil, fmt.Errorf("server: persisting query: %w", err)
+		}
+		if err := m.store.submitted(j); err != nil {
+			m.brk.releaseProbe(params.Target)
+			m.store.removeArtifacts(j.ID)
+			m.log.Error("job rejected", "reason", "journal", "client", client, "error", err)
+			return nil, err
+		}
+	}
+	m.queue <- j
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.perClient[client]++
@@ -329,14 +686,25 @@ func (m *Manager) Cancel(id string) (JobState, bool) {
 	if !ok {
 		return "", false
 	}
-	if j.tryCancelQueued() {
-		m.Cancelled.Inc()
-		m.log.Info("job cancelled while queued", "job_id", j.ID, "client", j.Client)
-		m.settle(j)
+	if j.tryCancelQueued(m.clock.Now()) {
+		m.settleCancelledQueued(j, "cancelled while queued")
 		return JobCancelled, true
 	}
-	j.cancel()
+	j.cancelRequested.Store(true)
+	j.cancelNow()
 	return j.State(), true
+}
+
+// settleCancelledQueued journals and accounts a job cancelled before
+// it ever ran.
+func (m *Manager) settleCancelledQueued(j *Job, why string) {
+	m.Cancelled.Inc()
+	m.log.Info("job "+why, "job_id", j.ID, "client", j.Client)
+	if err := m.store.finished(j, JobCancelled, "", "", 0, nil, m.clock.Now()); err != nil {
+		m.log.Error("journaling job terminal state", "job_id", j.ID, "error", err)
+	}
+	m.brk.record(j.Params.Target, JobCancelled)
+	m.releaseClient(j)
 }
 
 // QueueDepth returns the number of jobs waiting for a worker.
@@ -389,33 +757,78 @@ func (m *Manager) jobConfig(p JobParams) core.Config {
 	return cfg
 }
 
-// runJob executes one job end to end on a worker goroutine: derive the
-// per-job configuration, stream each emitted HSP as a MAF block into
-// the job's spool, and record the terminal state.
+// runJob executes one job on a worker goroutine, re-running it (within
+// the stall-retry budget) when the watchdog cancels a wedged attempt.
+// The retry happens on the same worker: a stalled job keeps its slot
+// instead of jumping a re-queue ahead of waiting work.
 func (m *Manager) runJob(j *Job) {
-	if !j.markRunning() {
+	if !j.markRunning(m.clock.Now()) {
 		return // cancelled while queued
 	}
-	m.queueWait.Observe(time.Since(j.created).Seconds())
-	m.log.Info("job running", "job_id", j.ID, "client", j.Client, "target", j.Params.Target)
-	started := time.Now()
+	j.progress.Store(m.clock.Now().UnixNano())
+	m.queueWait.Observe(m.clock.Now().Sub(j.created).Seconds())
+	started := m.clock.Now()
 	m.Running.Add(1)
 	defer func() {
 		m.Running.Add(-1)
-		m.runSeconds.Observe(time.Since(started).Seconds())
+		m.runSeconds.Observe(m.clock.Now().Sub(started).Seconds())
 	}()
 
+	for {
+		if err := m.store.started(j, m.clock.Now()); err != nil {
+			m.log.Error("journaling job start", "job_id", j.ID, "error", err)
+		}
+		m.log.Info("job running", "job_id", j.ID, "client", j.Client,
+			"target", j.Params.Target, "attempt", j.attemptNum())
+		if m.runAttempt(j) {
+			return
+		}
+		if !m.prepareRetry(j) {
+			return
+		}
+	}
+}
+
+// prepareRetry resets a stalled job for its next attempt and waits out
+// the backoff. false means the job was finalized (cancelled) instead —
+// drain began or the client cancelled during the backoff.
+func (m *Manager) prepareRetry(j *Job) bool {
+	old, attempt := j.resetForRetry(m.clock.Now())
+	old.close()
+	m.Retried.Inc()
+	m.log.Warn("retrying stalled job", "job_id", j.ID, "attempt", attempt,
+		"backoff", m.stallBackoff)
+	if m.stallBackoff > 0 {
+		select {
+		case <-m.clock.After(m.stallBackoff):
+		case <-m.drainCh:
+		case <-j.runCtx().Done():
+		}
+	}
+	if j.cancelRequested.Load() || m.Draining() {
+		m.finalize(j, JobCancelled, nil, "cancelled during stall-retry backoff")
+		return false
+	}
+	j.progress.Store(m.clock.Now().UnixNano())
+	return true
+}
+
+// runAttempt performs one pipeline run of the job. It returns true
+// when the job reached a terminal state (already finalized) and false
+// when the watchdog stalled the attempt and a retry is allowed.
+func (m *Manager) runAttempt(j *Job) bool {
 	tgt, ok := m.reg.Get(j.Params.Target)
 	if !ok {
 		// Registration is validated at submit and targets are never
-		// removed; defensive only.
-		m.fail(j, nil, fmt.Sprintf("target %q vanished", j.Params.Target))
-		return
+		// removed; reachable only for recovered jobs whose target was
+		// not re-registered after restart.
+		m.finalize(j, JobFailed, nil, fmt.Sprintf("target %q is not registered", j.Params.Target))
+		return true
 	}
-	query := j.takeQuery()
+	query := j.queryRef()
 	if query == nil {
-		m.fail(j, nil, "job lost its query")
-		return
+		m.finalize(j, JobFailed, nil, "job lost its query")
+		return true
 	}
 	qBases, qStarts := genome.Concat(query.Seqs)
 	names := make([]string, len(query.Seqs))
@@ -424,22 +837,24 @@ func (m *Manager) runJob(j *Job) {
 	}
 	qMap, err := maf.NewSeqMap(query.Name, names, qStarts)
 	if err != nil {
-		m.fail(j, nil, err.Error())
-		return
+		m.finalize(j, JobFailed, nil, err.Error())
+		return true
 	}
-	sw, err := maf.NewStreamWriter(j.spool)
+	sp := j.spoolRef()
+	sw, err := maf.NewStreamWriter(sp)
 	if err != nil {
-		m.fail(j, nil, err.Error())
-		return
+		m.finalize(j, JobFailed, nil, err.Error())
+		return true
 	}
 
 	cfg := m.jobConfig(j.Params)
 	if m.checkpointRoot != "" {
 		cfg.CheckpointDir = filepath.Join(m.checkpointRoot, j.ID)
 	}
-	// Fan pipeline telemetry out to the server-wide registry and the
-	// job's own aggregate (the status endpoint's "stats" block).
-	cfg.Recorder = obs.Multi(m.pipe, j.agg)
+	// Fan pipeline telemetry out to the server-wide registry, the job's
+	// own aggregate (the status endpoint's "stats" block), and the
+	// watchdog's progress stamp.
+	cfg.Recorder = obs.Multi(m.pipe, j.aggRef(), &progressRecorder{j: j, clock: m.clock})
 	br := &maf.BlockRenderer{TMap: tgt.Map, QMap: qMap, Target: tgt.Bases, Query: qBases}
 	var streamErr error
 	cfg.HSPHook = func(h core.HSP) {
@@ -463,52 +878,86 @@ func (m *Manager) runJob(j *Job) {
 	}
 	aligner, err := tgt.Aligner.WithConfig(cfg)
 	if err != nil {
-		m.fail(j, nil, err.Error())
-		return
+		m.finalize(j, JobFailed, nil, err.Error())
+		return true
 	}
 
-	res, alignErr := aligner.AlignContext(j.ctx, qBases)
+	res, alignErr := aligner.AlignContext(j.runCtx(), qBases)
+	if alignErr != nil && j.stalled.Load() && !j.cancelRequested.Load() {
+		// The watchdog cancelled this attempt. Retry if the budget
+		// allows; otherwise the stall is the job's terminal failure,
+		// which also feeds the target's circuit breaker.
+		if j.attemptNum() <= m.stallRetries {
+			return false
+		}
+		m.finalize(j, JobFailed, res, fmt.Sprintf(
+			"stalled: no pipeline progress within %s (attempt %d)", m.stallWindow, j.attemptNum()))
+		return true
+	}
 	switch {
 	case res == nil:
-		m.fail(j, nil, alignErr.Error())
+		m.finalize(j, JobFailed, nil, alignErr.Error())
 	case streamErr != nil:
 		// The spool holds a valid MAF prefix but the stream is
 		// incomplete; no trailer, so ReadVerified reports it as such.
-		m.fail(j, res, fmt.Sprintf("streaming MAF: %v", streamErr))
+		m.finalize(j, JobFailed, res, fmt.Sprintf("streaming MAF: %v", streamErr))
 	default:
 		// Partial results (cancellation, deadline, budgets) still get
 		// the trailer — exactly like the CLI's atomic partial output.
 		if err := sw.Close(); err != nil {
-			m.fail(j, res, fmt.Sprintf("finalizing MAF: %v", err))
-			return
+			m.finalize(j, JobFailed, res, fmt.Sprintf("finalizing MAF: %v", err))
+			return true
 		}
 		if alignErr != nil {
-			j.finish(JobCancelled, res, alignErr.Error())
-			m.Cancelled.Inc()
-			m.log.Info("job cancelled", "job_id", j.ID, "client", j.Client, "error", alignErr.Error())
-			m.settle(j)
+			m.finalize(j, JobCancelled, res, alignErr.Error())
 		} else {
-			j.finish(JobDone, res, "")
-			m.Completed.Inc()
-			m.log.Info("job done", "job_id", j.ID, "client", j.Client,
-				"hsps", j.hsps.Load(), "truncated", string(res.Truncated))
-			m.settle(j)
+			m.finalize(j, JobDone, res, "")
 		}
 	}
+	return true
 }
 
-// fail marks a job failed and settles its accounting.
-func (m *Manager) fail(j *Job, res *core.Result, msg string) {
-	j.finish(JobFailed, res, msg)
-	m.Failed.Inc()
-	m.log.Warn("job failed", "job_id", j.ID, "client", j.Client, "error", msg)
-	m.settle(j)
+// finalize is the single terminal path for a job that ran: record the
+// state, seal the spool, spill + journal the outcome, feed the
+// breaker, release accounting, and drop the job's per-run pipeline
+// checkpoint (its output is durable now, so the intermediate journal
+// has nothing left to protect).
+func (m *Manager) finalize(j *Job, state JobState, res *core.Result, msg string) {
+	now := m.clock.Now()
+	j.finish(state, res, msg, now)
+	sp := j.spoolRef()
+	sp.close()
+	var truncated string
+	if res != nil {
+		truncated = string(res.Truncated)
+	}
+	if err := m.store.finished(j, state, msg, truncated, j.hsps.Load(), sp.contents(), now); err != nil {
+		m.log.Error("journaling job terminal state", "job_id", j.ID, "error", err)
+	}
+	if m.checkpointRoot != "" {
+		if err := checkpoint.Remove(filepath.Join(m.checkpointRoot, j.ID)); err != nil {
+			m.log.Warn("removing job pipeline checkpoint", "job_id", j.ID, "error", err)
+		}
+	}
+	switch state {
+	case JobDone:
+		m.Completed.Inc()
+		m.log.Info("job done", "job_id", j.ID, "client", j.Client,
+			"hsps", j.hsps.Load(), "attempts", j.attemptNum())
+	case JobCancelled:
+		m.Cancelled.Inc()
+		m.log.Info("job cancelled", "job_id", j.ID, "client", j.Client, "error", msg)
+	default:
+		m.Failed.Inc()
+		m.log.Warn("job failed", "job_id", j.ID, "client", j.Client, "error", msg)
+	}
+	m.brk.record(j.Params.Target, state)
+	m.releaseClient(j)
 }
 
-// settle closes the job's spool, releases its per-client slot, and
-// evicts old terminal jobs beyond the retention cap.
-func (m *Manager) settle(j *Job) {
-	j.spool.close()
+// releaseClient frees the job's per-client slot and evicts old
+// terminal jobs beyond the retention cap.
+func (m *Manager) releaseClient(j *Job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if n := m.perClient[j.Client]; n <= 1 {
@@ -521,7 +970,8 @@ func (m *Manager) settle(j *Job) {
 
 // evictLocked drops the oldest terminal jobs beyond the retention cap,
 // so a long-lived server's job table (and the spooled MAF held by each
-// entry) stays bounded. Requires m.mu.
+// entry) stays bounded; the store's per-job artifacts go with them.
+// Requires m.mu.
 func (m *Manager) evictLocked() {
 	if m.retain <= 0 {
 		return
@@ -539,6 +989,7 @@ func (m *Manager) evictLocked() {
 	for _, id := range m.order {
 		if terminal > m.retain && m.jobs[id].State().terminal() {
 			delete(m.jobs, id)
+			m.store.removeArtifacts(id)
 			terminal--
 			continue
 		}
@@ -548,11 +999,12 @@ func (m *Manager) evictLocked() {
 }
 
 // Drain shuts the manager down gracefully: new submissions are
-// rejected, queued jobs are cancelled, and running jobs are given
-// until ctx expires to finish (their checkpoint journals, if enabled,
-// are already durably flushed record by record). After ctx expires the
-// running jobs' contexts are cancelled and Drain waits for them to
-// stop at tile granularity, finalizing their partial streams.
+// rejected, queued jobs are cancelled, the watchdog stops, and running
+// jobs are given until ctx expires to finish (their checkpoint
+// journals, if enabled, are already durably flushed record by record).
+// After ctx expires the running jobs' contexts are cancelled and Drain
+// waits for them to stop at tile granularity, finalizing their partial
+// streams.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	already := m.draining
@@ -563,20 +1015,21 @@ func (m *Manager) Drain(ctx context.Context) error {
 			queued = append(queued, m.jobs[id])
 		}
 		close(m.queue)
+		close(m.drainCh)
 	}
 	m.mu.Unlock()
 	if already {
 		return nil
 	}
 	for _, j := range queued {
-		if j.tryCancelQueued() {
-			m.Cancelled.Inc()
-			m.settle(j)
+		if j.tryCancelQueued(m.clock.Now()) {
+			m.settleCancelledQueued(j, "cancelled by drain")
 		}
 	}
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()
+		m.watchWG.Wait()
 		close(done)
 	}()
 	select {
@@ -585,7 +1038,9 @@ func (m *Manager) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		m.mu.Lock()
 		for _, id := range m.order {
-			m.jobs[id].cancel()
+			j := m.jobs[id]
+			j.cancelRequested.Store(true)
+			j.cancelNow()
 		}
 		m.mu.Unlock()
 		<-done

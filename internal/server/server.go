@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"darwinwga/internal/core"
+	"darwinwga/internal/faultinject"
 	"darwinwga/internal/genome"
 	"darwinwga/internal/obs"
 )
@@ -51,8 +52,49 @@ type Config struct {
 	// stay queryable (default 256).
 	RetainJobs int
 	// CheckpointRoot, when set, gives each job a crash-safe journal in
-	// CheckpointRoot/<job-id> (see core.Config.CheckpointDir).
+	// CheckpointRoot/<job-id> (see core.Config.CheckpointDir). Combined
+	// with JournalDir it is what makes a recovered mid-run job resume
+	// instead of restart.
 	CheckpointRoot string
+	// JournalDir, when set, enables the durable job store: every job
+	// lifecycle transition is fsynced to a WAL there (plus per-job
+	// query/MAF artifacts), and New replays it on startup — re-queueing
+	// unfinished jobs and restoring finished ones. Empty = in-memory
+	// only (jobs are lost on restart).
+	JournalDir string
+	// StallWindow is how long a running job may go without any pipeline
+	// progress (telemetry events) before the watchdog cancels it for
+	// retry (default 2m; negative = watchdog disabled).
+	StallWindow time.Duration
+	// StallTick is the watchdog sweep interval (default StallWindow/4).
+	StallTick time.Duration
+	// StallRetries is how many times a stalled job is re-run before it
+	// is failed (default 1; negative = no retries).
+	StallRetries int
+	// StallRetryDelay is the pause before re-running a stalled job
+	// (default 1s).
+	StallRetryDelay time.Duration
+	// BreakerThreshold trips a target's circuit breaker after this many
+	// consecutive job failures (default 5; negative = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker rejects submissions
+	// before admitting a probe job (default 30s).
+	BreakerCooldown time.Duration
+	// MemoryHighWater, when > 0, rejects submissions whose estimated
+	// footprint would push the heap past this many bytes: oversize jobs
+	// get 413, transient pressure gets 429. 0 = disabled.
+	MemoryHighWater int64
+	// ReadHeaderTimeout/ReadTimeout/IdleTimeout harden the HTTP server
+	// against slow-client resource pinning (defaults 10s / 5m / 2m;
+	// negative = disabled). The write timeout stays unset because MAF
+	// streaming responses legitimately run for the life of a job.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+	// Clock drives the watchdog, breaker cooldowns, retry backoff, and
+	// job timestamps (default: the wall clock). The chaos tests install
+	// a faultinject.ManualClock here.
+	Clock faultinject.Clock
 	// Log receives structured operational messages: job lifecycle
 	// transitions at Info, admission rejections at Warn, each carrying
 	// job_id/client attributes (default: discard).
@@ -95,6 +137,54 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 256
 	}
+	switch {
+	case c.StallWindow == 0:
+		c.StallWindow = 2 * time.Minute
+	case c.StallWindow < 0:
+		c.StallWindow = 0 // watchdog disabled
+	}
+	if c.StallTick <= 0 {
+		c.StallTick = c.StallWindow / 4
+	}
+	switch {
+	case c.StallRetries == 0:
+		c.StallRetries = 1
+	case c.StallRetries < 0:
+		c.StallRetries = 0
+	}
+	if c.StallRetryDelay == 0 {
+		c.StallRetryDelay = time.Second
+	}
+	switch {
+	case c.BreakerThreshold == 0:
+		c.BreakerThreshold = 5
+	case c.BreakerThreshold < 0:
+		c.BreakerThreshold = 0 // breaker disabled
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	switch {
+	case c.ReadHeaderTimeout == 0:
+		c.ReadHeaderTimeout = 10 * time.Second
+	case c.ReadHeaderTimeout < 0:
+		c.ReadHeaderTimeout = 0
+	}
+	switch {
+	case c.ReadTimeout == 0:
+		c.ReadTimeout = 5 * time.Minute
+	case c.ReadTimeout < 0:
+		c.ReadTimeout = 0
+	}
+	switch {
+	case c.IdleTimeout == 0:
+		c.IdleTimeout = 2 * time.Minute
+	case c.IdleTimeout < 0:
+		c.IdleTimeout = 0
+	}
+	if c.Clock == nil {
+		c.Clock = faultinject.RealClock()
+	}
 	if c.Log == nil {
 		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -118,15 +208,27 @@ type Server struct {
 	listener net.Listener
 }
 
-// New builds a server and starts its job workers.
-func New(cfg Config) *Server {
+// New builds a server, replays the job journal (when JournalDir is
+// set), and starts its job workers — recovered unfinished jobs are
+// already queued when New returns.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := NewRegistry()
 	metrics := obs.NewRegistry()
+	var store *jobStore
+	var recovered []recoveredJob
+	if cfg.JournalDir != "" {
+		var err error
+		store, recovered, err = openJobStore(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	brk := newBreaker(cfg.Clock, cfg.BreakerThreshold, cfg.BreakerCooldown, metrics)
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
-		jobs:    newManager(reg, metrics, cfg.Log, cfg.Pipeline, cfg.QueueDepth, cfg.MaxInFlightPerClient, cfg.MaxDeadline, cfg.RetainJobs, cfg.CheckpointRoot),
+		jobs:    newManager(reg, metrics, cfg, store, brk, recovered),
 		metrics: metrics,
 		started: time.Now(),
 		log:     cfg.Log,
@@ -134,7 +236,7 @@ func New(cfg Config) *Server {
 	s.registerGauges()
 	s.handler = s.buildHandler()
 	s.jobs.start(cfg.JobWorkers)
-	return s
+	return s, nil
 }
 
 // registerGauges adds the scrape-time gauges: queue occupancy, per-state
@@ -179,6 +281,7 @@ func (s *Server) RegisterTarget(name string, asm *genome.Assembly) (*Target, err
 	if err == nil {
 		s.log.Info("registered target", "target", t.Name,
 			"seqs", t.NumSeqs, "bases", len(t.Bases), "index_bytes", t.IndexBytes)
+		s.jobs.TargetRegistered(t.Name)
 	}
 	return t, err
 }
@@ -208,9 +311,17 @@ func (s *Server) ListenAndServe() error {
 	return s.Serve(ln)
 }
 
-// Serve serves the API on ln until Shutdown.
+// Serve serves the API on ln until Shutdown. The server is hardened
+// against slow clients: header, read, and idle timeouts bound how long
+// a connection can pin a goroutine without making progress (request
+// bodies are additionally capped by MaxBytesReader in the handlers).
 func (s *Server) Serve(ln net.Listener) error {
-	srv := &http.Server{Handler: s.handler}
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 	s.mu.Lock()
 	s.httpSrv = srv
 	s.listener = ln
@@ -234,8 +345,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	if srv != nil {
 		if err := srv.Shutdown(ctx); err != nil {
+			s.jobs.store.close()
 			return err
 		}
 	}
+	// The drain has finished every worker, so no more journal appends:
+	// the store can seal its segment.
+	s.jobs.store.close()
 	return drainErr
 }

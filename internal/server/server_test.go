@@ -79,7 +79,10 @@ func fastaText(t *testing.T, asm *genome.Assembly) string {
 // down (releasing any gate first via unblock) when the test ends.
 func newTestServer(t *testing.T, cfg server.Config, unblock func()) (*server.Server, *httptest.Server) {
 	t.Helper()
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		if unblock != nil {
@@ -378,8 +381,11 @@ func TestAdmissionControl(t *testing.T) {
 	if resp3.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-limit submit: HTTP %d, want 429", resp3.StatusCode)
 	}
-	if ra := resp3.Header.Get("Retry-After"); ra != "3" {
-		t.Errorf("Retry-After = %q, want \"3\"", ra)
+	// Job 1 was already picked up, so the queue-wait histogram has one
+	// (sub-second) sample and the adaptive hint — ceil(p90), floored at
+	// 1s — applies instead of the configured 3s constant.
+	if ra := resp3.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\" (adaptive p90)", ra)
 	}
 
 	// The queue slot is taken, so another client is shed too.

@@ -78,3 +78,11 @@ func (s *spool) size() int {
 	defer s.mu.Unlock()
 	return len(s.buf)
 }
+
+// contents snapshots the spooled bytes. The buffer is append-only, so
+// the returned slice is immutable for its current length.
+func (s *spool) contents() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf[:len(s.buf):len(s.buf)]
+}
