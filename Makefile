@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-resume test-serve test-obs test-chaos test-fuzz ci
+.PHONY: all build vet test test-race test-resume test-serve test-obs test-chaos test-cluster test-fuzz bench ci
 
 all: build
 
@@ -67,6 +67,32 @@ test-chaos:
 	$(GO) test -race -timeout 20m -run 'TestJobStore|TestRestart|TestWatchdog|TestBreaker|TestMemoryAdmission|TestSlowloris|TestBodyCap' ./internal/server/
 	$(GO) test -timeout 15m -run 'TestServeCrashRestartRecoversJob' ./cmd/darwin-wga/
 
+# Cluster suite: the coordinator/worker topology under the race
+# detector — consistent-hash ring properties, lease membership on a
+# manual clock, per-worker circuit breakers, the routing WAL
+# round-trip, and the ManualClock + flaky-transport chaos tests
+# (lease-expiry failover, retry exhaustion opening a breaker then
+# parking, partition failover, all-replicas-down degradation,
+# coordinator restart reattach) plus the faultinject seam's own
+# determinism tests. Then the subprocess failover e2e: SIGKILL a
+# worker mid-job and later the coordinator itself; both recovered
+# MAFs must be byte-identical to a one-shot run. Not -short: the e2e
+# re-execs the test binary as coordinator and workers.
+test-cluster:
+	$(GO) test -race -timeout 15m ./internal/cluster/ ./internal/faultinject/
+	$(GO) test -timeout 15m -run 'TestClusterFailoverE2E' ./cmd/darwin-wga/
+
+# Benchmark trajectory: one point per PR. Runs the pipeline kernel
+# benchmarks (filter tiles, GACT-X extension, seeding, index build,
+# reference Smith-Waterman) and records them as BENCH_pipeline.json
+# via cmd/bench2json, so the perf history is diffable across PRs.
+# Non-gating in CI: a slow shared runner must not fail the build.
+BENCH_PATTERN := ^(BenchmarkBSWFilterTile|BenchmarkUngappedFilterTile|BenchmarkGACTXExtension|BenchmarkSeedIndexBuild|BenchmarkDSoftSeeding|BenchmarkSmithWaterman)$$
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -timeout 30m . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) run ./cmd/bench2json -o BENCH_pipeline.json < bench.out
+	@rm -f bench.out
+
 # Fuzz smoke: ten seconds per parser on the three crash-recovery
 # attack surfaces — FASTA queries (the spill the job store replays),
 # MAF streams (the recovered artifacts), and WAL segments (arbitrary
@@ -77,4 +103,4 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadMAF -fuzztime 10s ./internal/maf/
 	$(GO) test -run '^$$' -fuzz FuzzWALRecover -fuzztime 10s ./internal/checkpoint/
 
-ci: build vet test test-race test-resume test-serve test-obs test-chaos test-fuzz
+ci: build vet test test-race test-resume test-serve test-obs test-chaos test-cluster test-fuzz

@@ -1,0 +1,148 @@
+// Command bench2json converts `go test -bench` text output into a
+// stable JSON document, so each PR can record one benchmark trajectory
+// point (BENCH_pipeline.json) that later tooling can diff without
+// re-parsing the bench text format.
+//
+//	go test -run '^$' -bench '^BenchmarkSeedIndexBuild$' . | bench2json -o BENCH_pipeline.json
+//
+// It reads the bench output on stdin, keeps the environment header
+// lines (goos/goarch/cpu/pkg), and parses every benchmark result line
+// into name, parallelism suffix, iteration count, and the full set of
+// reported metrics — the standard ns/op, B/op, allocs/op, MB/s plus
+// any custom b.ReportMetric units (the pipeline reports bp/s). It
+// exits non-zero if it parses no benchmark lines at all, so a broken
+// bench run cannot silently write an empty trajectory point.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkSeedIndexBuild-8   	       7	 156063402 ns/op	 3203881 bp/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+type result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type document struct {
+	Schema    int       `json:"schema"`
+	Generated time.Time `json:"generated"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	CPU       string    `json:"cpu,omitempty"`
+	Package   string    `json:"pkg,omitempty"`
+	Results   []result  `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "-", "output path (- = stdout)")
+	flag.Parse()
+
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	doc.Generated = time.Now().UTC().Truncate(time.Second)
+	doc.GoVersion = runtime.Version()
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data) //nolint:errcheck
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench2json: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// parse folds bench output into a document. Header lines name the
+// environment; result lines become entries; everything else (log
+// chatter from the benchmarks themselves, PASS/ok trailers) is
+// skipped.
+func parse(sc *bufio.Scanner) (*document, error) {
+	doc := &document{Schema: 1, GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Package = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if r, ok := parseResult(line); ok {
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin (did the bench run fail?)")
+	}
+	return doc, nil
+}
+
+// parseResult parses one result line. The tail after the iteration
+// count is a sequence of "<value> <unit>" pairs.
+func parseResult(line string) (result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(m[3], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+	if m[2] != "" {
+		r.Procs, _ = strconv.Atoi(m[2])
+	}
+	fields := strings.Fields(m[4])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		r.Metrics[unit] = v
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: darwinwga
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSeedIndexBuild 	       7	 156063402 ns/op	   3203881 bp/s
+BenchmarkBSWFilterTile-8         	   12000	     98213 ns/op	 1043333 cells/s	     128 B/op	       2 allocs/op
+some benchmark chatter the parser must skip
+BenchmarkDSoftSeeding/dense-4    	     500	   2150000 ns/op
+PASS
+ok  	darwinwga	12.345s
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Package != "darwinwga" {
+		t.Fatalf("environment header lost: %+v", doc)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("cpu header lost: %q", doc.CPU)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(doc.Results))
+	}
+
+	r0 := doc.Results[0]
+	if r0.Name != "BenchmarkSeedIndexBuild" || r0.Procs != 0 || r0.Iterations != 7 {
+		t.Fatalf("result 0 = %+v", r0)
+	}
+	if r0.NsPerOp != 156063402 {
+		t.Fatalf("result 0 ns/op = %v", r0.NsPerOp)
+	}
+	if r0.Metrics["bp/s"] != 3203881 {
+		t.Fatalf("result 0 custom metric lost: %+v", r0.Metrics)
+	}
+
+	r1 := doc.Results[1]
+	if r1.Name != "BenchmarkBSWFilterTile" || r1.Procs != 8 {
+		t.Fatalf("result 1 = %+v", r1)
+	}
+	if r1.Metrics["B/op"] != 128 || r1.Metrics["allocs/op"] != 2 || r1.Metrics["cells/s"] != 1043333 {
+		t.Fatalf("result 1 metrics = %+v", r1.Metrics)
+	}
+
+	r2 := doc.Results[2]
+	if r2.Name != "BenchmarkDSoftSeeding/dense" || r2.Procs != 4 {
+		t.Fatalf("sub-benchmark name/procs = %+v", r2)
+	}
+	if r2.Metrics != nil {
+		t.Fatalf("result 2 should have no extra metrics: %+v", r2.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok\n"))); err == nil {
+		t.Fatal("empty bench output must be an error, not an empty trajectory point")
+	}
+}

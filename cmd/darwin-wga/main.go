@@ -63,6 +63,7 @@ import (
 
 	"darwinwga"
 	"darwinwga/internal/checkpoint"
+	"darwinwga/internal/cluster"
 	"darwinwga/internal/faultinject"
 	"darwinwga/internal/stats"
 )
@@ -207,6 +208,14 @@ func serveMain(args []string) int {
 	fs := flag.NewFlagSet("darwin-wga serve", flag.ContinueOnError)
 	var (
 		registers   registerList
+		role        = fs.String("role", "standalone", "standalone, coordinator, or worker")
+		coordURL    = fs.String("coordinator", "", "coordinator base URL to register with (worker role)")
+		advertise   = fs.String("advertise", "", "base URL the coordinator dials back (worker role; default http://<bound addr>)")
+		workerID    = fs.String("worker-id", "", "stable worker identity across restarts (worker role; default the bound addr)")
+		replication = fs.Int("replication", 2, "replicas considered per target (coordinator role)")
+		leaseTTL    = fs.Duration("lease-ttl", 10*time.Second, "worker lease lifetime without a heartbeat (coordinator role)")
+		pollEvery   = fs.Duration("poll-interval", 500*time.Millisecond, "worker status poll cadence per routed job (coordinator role)")
+		dispatchTO  = fs.Duration("dispatch-timeout", 10*time.Second, "per-request timeout talking to workers (coordinator role)")
 		addr        = fs.String("addr", "127.0.0.1:8053", "listen address (host:port, port 0 picks a free port)")
 		jobWorkers  = fs.Int("job-workers", 2, "jobs aligned concurrently")
 		queueDepth  = fs.Int("queue", 16, "submission queue depth; a full queue answers 429")
@@ -245,6 +254,28 @@ func serveMain(args []string) int {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	default:
 		fmt.Fprintf(os.Stderr, "darwin-wga serve: -log-format must be text or json, got %q\n", *logFormat)
+		return 2
+	}
+
+	switch *role {
+	case "standalone", "worker":
+	case "coordinator":
+		return coordinatorMain(coordinatorOptions{
+			addr:        *addr,
+			replication: *replication,
+			leaseTTL:    *leaseTTL,
+			poll:        *pollEvery,
+			dispatchTO:  *dispatchTO,
+			maxQuery:    *maxQueryMB << 20,
+			journalDir:  *journalDir,
+			log:         logger,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "darwin-wga serve: -role must be standalone, coordinator, or worker, got %q\n", *role)
+		return 2
+	}
+	if *role == "worker" && *coordURL == "" {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve: -role=worker requires -coordinator")
 		return 2
 	}
 
@@ -313,6 +344,28 @@ func serveMain(args []string) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *role == "worker" {
+		id := *workerID
+		if id == "" {
+			id = ln.Addr().String()
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		agent, err := cluster.NewAgent(cluster.AgentConfig{
+			Coordinator: strings.TrimSuffix(*coordURL, "/"),
+			WorkerID:    id,
+			Advertise:   adv,
+			Server:      srv,
+			Log:         logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
+			return 1
+		}
+		go agent.Run(ctx) //nolint:errcheck // exits with ctx at shutdown
+	}
 	drained := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -329,6 +382,65 @@ func serveMain(args []string) int {
 		return 1
 	}
 	logger.Info("drained, exiting")
+	return 0
+}
+
+// coordinatorOptions is the flag subset the coordinator role consumes.
+type coordinatorOptions struct {
+	addr        string
+	replication int
+	leaseTTL    time.Duration
+	poll        time.Duration
+	dispatchTO  time.Duration
+	maxQuery    int
+	journalDir  string
+	log         *slog.Logger
+}
+
+// coordinatorMain runs the cluster coordinator until SIGINT/SIGTERM.
+// Shutdown is crash-only: in-flight jobs are not failed, they are
+// journaled and resume on the next start exactly as after a crash.
+func coordinatorMain(opts coordinatorOptions) int {
+	coord, err := cluster.New(cluster.Config{
+		Addr:              opts.addr,
+		ReplicationFactor: opts.replication,
+		LeaseTTL:          opts.leaseTTL,
+		PollInterval:      opts.poll,
+		DispatchTimeout:   opts.dispatchTO,
+		MaxQueryBases:     opts.maxQuery,
+		JournalDir:        opts.journalDir,
+		Log:               opts.log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
+		return 1
+	}
+	// Same load-bearing line as the server roles: with -addr :0 this is
+	// how callers discover the bound port.
+	fmt.Fprintf(os.Stderr, "darwin-wga serve: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		opts.log.Info("signal received, stopping coordinator")
+		drained <- coord.Shutdown(context.Background())
+	}()
+	if err := coord.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
+		return 1
+	}
+	if err := <-drained; err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve: shutdown:", err)
+		return 1
+	}
+	opts.log.Info("coordinator stopped, exiting")
 	return 0
 }
 

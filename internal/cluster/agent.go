@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"darwinwga/internal/core"
+	"darwinwga/internal/faultinject"
+	"darwinwga/internal/server"
+)
+
+// AgentConfig parameterizes a worker's registration agent.
+type AgentConfig struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// WorkerID identifies this worker across restarts. Required.
+	WorkerID string
+	// Advertise is the base URL the coordinator should dial back —
+	// usually "http://<bound addr>".
+	Advertise string
+	// Server supplies the target registry the agent advertises.
+	Server *server.Server
+	// Retry shapes register retries (default 0 = retry forever with
+	// backoff capped by the policy's MaxDelay; default policy 250ms
+	// base, 5s cap).
+	Retry core.RetryPolicy
+	// Transport is the HTTP transport to the coordinator (default
+	// http.DefaultTransport); the chaos tests inject faults here.
+	Transport http.RoundTripper
+	// RequestTimeout bounds each register/heartbeat call (default 5s).
+	RequestTimeout time.Duration
+	// Clock drives heartbeat cadence and backoff (default wall clock).
+	Clock faultinject.Clock
+	// Log receives agent messages (default discard).
+	Log *slog.Logger
+}
+
+// Agent keeps one worker registered with the coordinator: it registers
+// the worker's target set, then renews the lease with heartbeats at a
+// third of the TTL the coordinator granted. A heartbeat answered 404
+// (coordinator restarted, or the lease expired under a partition) makes
+// the agent re-register — which is the entire worker-side recovery
+// protocol.
+type Agent struct {
+	cfg    AgentConfig
+	client *http.Client
+	clock  faultinject.Clock
+	log    *slog.Logger
+}
+
+// NewAgent validates the config and returns an agent ready to Run.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("cluster: agent needs a coordinator URL")
+	}
+	if cfg.WorkerID == "" {
+		return nil, fmt.Errorf("cluster: agent needs a worker id")
+	}
+	if cfg.Advertise == "" {
+		return nil, fmt.Errorf("cluster: agent needs an advertise URL")
+	}
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("cluster: agent needs the worker server")
+	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry = core.RetryPolicy{BaseDelay: 250 * time.Millisecond, MaxDelay: 5 * time.Second}
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = http.DefaultTransport
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = faultinject.RealClock()
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Agent{
+		cfg:    cfg,
+		client: &http.Client{Transport: cfg.Transport, Timeout: cfg.RequestTimeout},
+		clock:  cfg.Clock,
+		log:    cfg.Log,
+	}, nil
+}
+
+// Run registers and heartbeats until ctx is done. Transient coordinator
+// unavailability is retried with backoff forever: a worker's job is to
+// keep trying to be part of the cluster.
+func (a *Agent) Run(ctx context.Context) error {
+	attempt := 0
+	for {
+		ttl, err := a.register(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			attempt++
+			a.log.Warn("register failed; backing off", "worker", a.cfg.WorkerID, "err", err)
+			if !a.sleep(ctx, a.cfg.Retry.Backoff(attempt, hash64(a.cfg.WorkerID))) {
+				return ctx.Err()
+			}
+			continue
+		}
+		attempt = 0
+		a.log.Info("registered with coordinator",
+			"worker", a.cfg.WorkerID, "coordinator", a.cfg.Coordinator, "lease_ttl", ttl)
+		if err := a.heartbeatLoop(ctx, ttl); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			a.log.Warn("heartbeat loop ended; re-registering", "worker", a.cfg.WorkerID, "err", err)
+		}
+	}
+}
+
+// heartbeatLoop renews the lease at ttl/3 until the coordinator stops
+// recognizing the worker or ctx ends.
+func (a *Agent) heartbeatLoop(ctx context.Context, ttl time.Duration) error {
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	misses := 0
+	for {
+		if !a.sleep(ctx, interval) {
+			return ctx.Err()
+		}
+		code, err := a.heartbeat(ctx)
+		switch {
+		case err != nil:
+			misses++
+			// Keep heartbeating through transient failures: as long as
+			// the lease has not expired coordinator-side, one success
+			// renews it. Past 3 consecutive misses the lease is likely
+			// gone — fall back to register.
+			if misses >= 3 {
+				return fmt.Errorf("cluster: %d consecutive heartbeat failures: %w", misses, err)
+			}
+		case code == http.StatusNotFound:
+			return fmt.Errorf("cluster: coordinator no longer knows this worker")
+		case code != http.StatusOK:
+			return fmt.Errorf("cluster: heartbeat HTTP %d", code)
+		default:
+			misses = 0
+		}
+	}
+}
+
+// sleep waits d on the agent clock; false means ctx ended.
+func (a *Agent) sleep(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-a.clock.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// register advertises the worker's targets and returns the granted
+// lease TTL.
+func (a *Agent) register(ctx context.Context) (time.Duration, error) {
+	type targetEntry struct {
+		Name        string `json:"name"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	body := struct {
+		WorkerID string        `json:"worker_id"`
+		Addr     string        `json:"addr"`
+		Targets  []targetEntry `json:"targets"`
+	}{WorkerID: a.cfg.WorkerID, Addr: a.cfg.Advertise}
+	for _, t := range a.cfg.Server.Registry().List() {
+		body.Targets = append(body.Targets, targetEntry{Name: t.Name, Fingerprint: t.Fingerprint})
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.cfg.Coordinator+"/cluster/v1/register", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck
+		return 0, fmt.Errorf("cluster: register HTTP %d", resp.StatusCode)
+	}
+	var granted struct {
+		LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&granted); err != nil {
+		return 0, err
+	}
+	ttl := time.Duration(granted.LeaseTTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	return ttl, nil
+}
+
+// heartbeat renews the lease once, returning the HTTP status.
+func (a *Agent) heartbeat(ctx context.Context) (int, error) {
+	payload, err := json.Marshal(map[string]string{"worker_id": a.cfg.WorkerID})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.cfg.Coordinator+"/cluster/v1/heartbeat", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()                               //nolint:errcheck
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"darwinwga/internal/faultinject"
+)
+
+// workerBreakers is the coordinator's per-worker circuit breaker layer.
+// It sits above the per-target breaker each worker already runs: the
+// worker-side breaker protects a target index from poisonous jobs, this
+// one protects routing from a worker whose transport keeps failing
+// (resets, timeouts, partitions) even though its lease may still be
+// current. Consecutive transport failures reaching threshold open the
+// breaker for cooldown; after cooldown one dispatch is allowed through
+// as a probe (half-open), and its outcome closes or re-opens the
+// breaker.
+type workerBreakers struct {
+	clock     faultinject.Clock
+	threshold int // 0 = disabled
+	cooldown  time.Duration
+
+	mu     sync.Mutex
+	states map[string]*wbState
+}
+
+type wbState struct {
+	failures int
+	openedAt time.Time
+	open     bool
+	probing  bool
+}
+
+func newWorkerBreakers(clock faultinject.Clock, threshold int, cooldown time.Duration) *workerBreakers {
+	return &workerBreakers{
+		clock:     clock,
+		threshold: threshold,
+		cooldown:  cooldown,
+		states:    make(map[string]*wbState),
+	}
+}
+
+// allow reports whether a dispatch to worker id may proceed. In
+// half-open it admits exactly one caller as the probe.
+func (b *workerBreakers) allow(id string) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[id]
+	if !ok || !st.open {
+		return true
+	}
+	if b.clock.Now().Sub(st.openedAt) < b.cooldown {
+		return false
+	}
+	if st.probing {
+		return false
+	}
+	st.probing = true
+	return true
+}
+
+// success records a working dispatch: the breaker closes and the
+// failure streak resets.
+func (b *workerBreakers) success(id string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.states, id)
+}
+
+// failure records a transport failure; the streak reaching threshold
+// opens the breaker. A failed half-open probe re-opens it for a fresh
+// cooldown.
+func (b *workerBreakers) failure(id string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[id]
+	if !ok {
+		st = &wbState{}
+		b.states[id] = st
+	}
+	st.failures++
+	if st.failures >= b.threshold || st.probing {
+		st.open = true
+		st.probing = false
+		st.openedAt = b.clock.Now()
+	}
+}
+
+// forget drops a worker's breaker state (it deregistered or died; a
+// re-registration starts clean).
+func (b *workerBreakers) forget(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.states, id)
+}
+
+// state reports "closed", "open", or "half-open" for a worker.
+func (b *workerBreakers) state(id string) string {
+	if b.threshold <= 0 {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.states[id]
+	if !ok || !st.open {
+		return "closed"
+	}
+	if b.clock.Now().Sub(st.openedAt) >= b.cooldown {
+		return "half-open"
+	}
+	return "open"
+}
+
+// openCount returns how many workers currently have an open breaker.
+func (b *workerBreakers) openCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	now := b.clock.Now()
+	for _, st := range b.states {
+		if st.open && now.Sub(st.openedAt) < b.cooldown {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,818 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"darwinwga/internal/core"
+	"darwinwga/internal/faultinject"
+	"darwinwga/internal/obs"
+)
+
+// Job states as the coordinator tracks them. They intentionally mirror
+// the worker-side server.JobState strings so clients see one vocabulary
+// whether they talk to a standalone server or a coordinator.
+const (
+	StateQueued    = "queued"    // accepted; parked or between dispatches
+	StateRunning   = "running"   // assigned to a worker and being watched
+	StateDone      = "done"      // worker completed it
+	StateFailed    = "failed"    // worker reported failure, or failover budget exhausted
+	StateCancelled = "cancelled" // client cancelled
+)
+
+func terminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// jobSpec is the pipeline parameter set a job carries through routing:
+// the submitRequest knobs minus the query itself, preserved verbatim so
+// a re-dispatched job runs with identical parameters (which is what
+// makes its MAF byte-identical).
+type jobSpec struct {
+	Ungapped          bool  `json:"ungapped,omitempty"`
+	ForwardOnly       bool  `json:"forward_only,omitempty"`
+	Hf                int32 `json:"hf,omitempty"`
+	He                int32 `json:"he,omitempty"`
+	MaxCandidates     int64 `json:"max_candidates,omitempty"`
+	MaxFilterTiles    int64 `json:"max_filter_tiles,omitempty"`
+	MaxExtensionCells int64 `json:"max_extension_cells,omitempty"`
+	DeadlineMS        int64 `json:"deadline_ms,omitempty"`
+}
+
+// assignment is one routing decision: this job ran (or is running) on
+// this worker under this worker-side job id.
+type assignment struct {
+	WorkerID    string    `json:"worker_id"`
+	WorkerAddr  string    `json:"worker_addr"`
+	WorkerJobID string    `json:"worker_job_id"`
+	At          time.Time `json:"at"`
+}
+
+// coordJob is one job the coordinator is routing.
+type coordJob struct {
+	ID          string
+	Target      string
+	Fingerprint string
+	Client      string
+	QueryName   string
+	Spec        jobSpec
+	Created     time.Time
+
+	// queryFASTA holds the normalized query text for dispatch. With a
+	// journal it is backed by the spilled queries/<id>.fa; without one
+	// it lives only here.
+	queryFASTA string
+
+	mu          sync.Mutex
+	state       string
+	errMsg      string
+	assignments []assignment
+	finishedAt  time.Time
+	parked      bool
+
+	cancelOnce sync.Once
+	cancelCh   chan struct{} // closed by Cancel
+	doneCh     chan struct{} // closed on terminal state
+}
+
+func (j *coordJob) snapshotState() (state, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg
+}
+
+func (j *coordJob) lastAssignment() (assignment, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.assignments) == 0 {
+		return assignment{}, false
+	}
+	return j.assignments[len(j.assignments)-1], true
+}
+
+func (j *coordJob) dispatchCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.assignments)
+}
+
+func (j *coordJob) cancelled() bool {
+	select {
+	case <-j.cancelCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Config parameterizes a Coordinator. The zero value is usable.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:8052").
+	Addr string
+	// ReplicationFactor is how many replicas a target's routing
+	// considers (default 2). It bounds the preference list, not the
+	// number of workers that may hold the target.
+	ReplicationFactor int
+	// LeaseTTL is how long a worker lives without a heartbeat
+	// (default 10s).
+	LeaseTTL time.Duration
+	// SweepInterval is how often expired leases are collected
+	// (default LeaseTTL/4).
+	SweepInterval time.Duration
+	// PollInterval is how often a job's worker is polled for status
+	// (default 500ms).
+	PollInterval time.Duration
+	// DispatchTimeout bounds each HTTP request to a worker
+	// (default 10s). Driven by Clock, so chaos tests control it.
+	DispatchTimeout time.Duration
+	// Retry shapes per-worker retries: attempts and exponential
+	// backoff with jitter (default 4 attempts, 250ms base, 5s cap).
+	Retry core.RetryPolicy
+	// MaxDispatches bounds how many assignments one job may consume
+	// across failovers before it is failed (default 5).
+	MaxDispatches int
+	// BreakerThreshold opens a worker's circuit after this many
+	// consecutive transport failures (default 3; negative = disabled).
+	BreakerThreshold int
+	// BreakerCooldown is the open interval before a half-open probe
+	// (default 15s).
+	BreakerCooldown time.Duration
+	// MaxQueryBases rejects oversized queries up front (default 64 MiB).
+	MaxQueryBases int
+	// JournalDir, when set, makes the coordinator crash-only: every
+	// routing decision is journaled there and restart recovers it.
+	JournalDir string
+	// RetainJobs bounds how many terminal jobs stay queryable in
+	// memory (default 256).
+	RetainJobs int
+	// Transport is the HTTP transport used to reach workers (default
+	// http.DefaultTransport). The chaos tests install a
+	// faultinject.Transport here.
+	Transport http.RoundTripper
+	// Clock drives leases, polls, timeouts, and backoff (default wall
+	// clock).
+	Clock faultinject.Clock
+	// Log receives structured operational messages (default discard).
+	Log *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8052"
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.LeaseTTL / 4
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 500 * time.Millisecond
+	}
+	if c.DispatchTimeout <= 0 {
+		c.DispatchTimeout = 10 * time.Second
+	}
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry = core.RetryPolicy{MaxAttempts: 4, BaseDelay: 250 * time.Millisecond, MaxDelay: 5 * time.Second}
+	}
+	if c.MaxDispatches <= 0 {
+		c.MaxDispatches = 5
+	}
+	switch {
+	case c.BreakerThreshold == 0:
+		c.BreakerThreshold = 3
+	case c.BreakerThreshold < 0:
+		c.BreakerThreshold = 0
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 15 * time.Second
+	}
+	if c.MaxQueryBases <= 0 {
+		c.MaxQueryBases = 64 << 20
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 256
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	if c.Clock == nil {
+		c.Clock = faultinject.RealClock()
+	}
+	if c.Log == nil {
+		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Coordinator routes jobs across registered workers. Construct with
+// New, then Serve/ListenAndServe; Shutdown stops routing (journaled
+// jobs continue after the next restart — clean shutdown and crash are
+// the same path).
+type Coordinator struct {
+	cfg     Config
+	ms      *membership
+	brk     *workerBreakers
+	wal     *coordJournal
+	metrics *obs.Registry
+	handler http.Handler
+	client  *http.Client
+	log     *slog.Logger
+	started time.Time
+
+	mu    sync.Mutex
+	jobs  map[string]*coordJob
+	order []string // submission order, for retention
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	listener addrHolder
+
+	c counters
+}
+
+// addrHolder remembers the bound listener address for Addr().
+type addrHolder struct {
+	mu   sync.Mutex
+	addr string
+}
+
+type counters struct {
+	routed         *obs.Counter
+	failovers      *obs.Counter
+	registrations  *obs.Counter
+	expirations    *obs.Counter
+	dispatchErrors *obs.Counter
+	noReplica503   *obs.Counter
+	recovReattach  *obs.Counter
+	recovRedisp    *obs.Counter
+	recovRestored  *obs.Counter
+	recovRequeued  *obs.Counter
+}
+
+// New builds a coordinator, replays its routing WAL (when JournalDir is
+// set), and starts the lease sweeper plus a runner per unfinished
+// recovered job.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:     cfg,
+		ms:      newMembership(cfg.Clock, cfg.LeaseTTL),
+		brk:     newWorkerBreakers(cfg.Clock, cfg.BreakerThreshold, cfg.BreakerCooldown),
+		metrics: obs.NewRegistry(),
+		client:  &http.Client{Transport: cfg.Transport},
+		log:     cfg.Log,
+		started: time.Now(),
+		jobs:    make(map[string]*coordJob),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	c.registerMetrics()
+
+	var recovered []recoveredRouting
+	if cfg.JournalDir != "" {
+		wal, recs, err := openCoordJournal(cfg.JournalDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		c.wal = wal
+		recovered = recs
+	}
+	c.handler = c.buildHandler()
+	c.recover(recovered)
+
+	c.wg.Add(1)
+	go c.sweeper()
+	return c, nil
+}
+
+func (c *Coordinator) registerMetrics() {
+	reg := c.metrics
+	c.c = counters{
+		routed:         reg.Counter("darwinwga_cluster_jobs_routed_total", "jobs dispatched to a worker"),
+		failovers:      reg.Counter("darwinwga_cluster_failovers_total", "jobs re-dispatched after losing their worker"),
+		registrations:  reg.Counter("darwinwga_cluster_registrations_total", "worker register calls accepted"),
+		expirations:    reg.Counter("darwinwga_cluster_lease_expirations_total", "worker leases expired by the sweeper"),
+		dispatchErrors: reg.Counter("darwinwga_cluster_dispatch_errors_total", "failed HTTP requests to workers"),
+		noReplica503:   reg.Counter("darwinwga_cluster_no_replica_total", "submissions rejected because a known target had no live replica"),
+		recovReattach:  reg.Counter(`darwinwga_cluster_recovered_jobs_total{outcome="reattached"}`, "journal replay outcomes at coordinator startup"),
+		recovRedisp:    reg.Counter(`darwinwga_cluster_recovered_jobs_total{outcome="redispatched"}`, "journal replay outcomes at coordinator startup"),
+		recovRestored:  reg.Counter(`darwinwga_cluster_recovered_jobs_total{outcome="restored"}`, "journal replay outcomes at coordinator startup"),
+		recovRequeued:  reg.Counter(`darwinwga_cluster_recovered_jobs_total{outcome="requeued"}`, "journal replay outcomes at coordinator startup"),
+	}
+	reg.GaugeFunc("darwinwga_cluster_workers_live", "workers with a current lease",
+		func() float64 { return float64(c.ms.size()) })
+	reg.GaugeFunc("darwinwga_cluster_breakers_open", "workers with an open circuit breaker",
+		func() float64 { return float64(c.brk.openCount()) })
+	reg.GaugeFunc("darwinwga_cluster_jobs_parked", "jobs waiting for a replica to appear",
+		func() float64 { return float64(c.parkedCount()) })
+	reg.GaugeFunc("darwinwga_cluster_jobs_active", "non-terminal jobs",
+		func() float64 { return float64(c.activeCount()) })
+}
+
+func (c *Coordinator) parkedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, j := range c.jobs {
+		j.mu.Lock()
+		if j.parked {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+func (c *Coordinator) activeCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, j := range c.jobs {
+		st, _ := j.snapshotState()
+		if !terminalState(st) {
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics exposes the coordinator's metric registry.
+func (c *Coordinator) Metrics() *obs.Registry { return c.metrics }
+
+// Handler exposes the coordinator's HTTP API for embedding.
+func (c *Coordinator) Handler() http.Handler { return c.handler }
+
+// newCoordJobID returns a fresh routing-scope job id.
+func newCoordJobID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("cluster: crypto/rand failed: %v", err))
+	}
+	return "cj-" + hex.EncodeToString(b[:])
+}
+
+// sweeper expires leases on a clock-driven cadence. Dead workers wake
+// parked runners through the membership broadcast; watch loops notice
+// on their next poll tick.
+func (c *Coordinator) sweeper() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-c.cfg.Clock.After(c.cfg.SweepInterval):
+		}
+		dead := c.ms.sweep(c.cfg.Clock.Now())
+		for _, id := range dead {
+			c.c.expirations.Inc()
+			c.brk.forget(id)
+			c.log.Warn("worker lease expired", "worker", id, "ttl", c.cfg.LeaseTTL)
+		}
+	}
+}
+
+// recover folds the WAL's routing histories back into the job table:
+// finished jobs become queryable terminal records; unfinished jobs with
+// an assignment try to reattach to the worker they were on; everything
+// else re-enters the dispatch loop.
+func (c *Coordinator) recover(recs []recoveredRouting) {
+	if len(recs) == 0 {
+		return
+	}
+	var restored, reattach, requeued int
+	for _, r := range recs {
+		j := &coordJob{
+			ID:          r.sub.ID,
+			Target:      r.sub.Target,
+			Fingerprint: r.sub.Fingerprint,
+			Client:      r.sub.Client,
+			QueryName:   r.sub.QueryName,
+			Spec:        r.sub.Spec,
+			Created:     time.Unix(0, r.sub.CreatedNS),
+			cancelCh:    make(chan struct{}),
+			doneCh:      make(chan struct{}),
+		}
+		for _, a := range r.assigns {
+			j.assignments = append(j.assignments, assignment{
+				WorkerID:    a.WorkerID,
+				WorkerAddr:  a.WorkerAddr,
+				WorkerJobID: a.WorkerJobID,
+				At:          time.Unix(0, a.AtNS),
+			})
+		}
+		if r.sub.Fingerprint != "" {
+			c.ms.noteTarget(r.sub.Target, r.sub.Fingerprint)
+		}
+		c.mu.Lock()
+		c.jobs[j.ID] = j
+		c.order = append(c.order, j.ID)
+		c.mu.Unlock()
+
+		if r.finished {
+			j.state = r.finalState
+			j.errMsg = r.finalErr
+			j.finishedAt = r.finishedAt
+			close(j.doneCh)
+			c.c.recovRestored.Inc()
+			restored++
+			continue
+		}
+		// Unfinished: reload the spilled query and hand the job to a
+		// runner. The runner's first move is a reattach attempt when an
+		// assignment exists.
+		if c.wal != nil {
+			if fasta, err := c.wal.loadQuery(j.ID); err == nil {
+				j.queryFASTA = fasta
+			} else {
+				c.finalize(j, StateFailed, fmt.Sprintf("recovery: query artifact lost: %v", err))
+				continue
+			}
+		}
+		j.state = StateQueued
+		if len(j.assignments) > 0 {
+			reattach++
+		} else {
+			c.c.recovRequeued.Inc()
+			requeued++
+		}
+		c.wg.Add(1)
+		go c.runJob(j, len(j.assignments) > 0)
+	}
+	c.log.Info("routing journal replay complete",
+		"restored", restored, "reattach_candidates", reattach, "requeued", requeued)
+}
+
+// Submit accepts a parsed job, journals it, and starts its runner. The
+// caller (the HTTP layer) has already validated the query and checked
+// replica availability for the fast-path rejection.
+func (c *Coordinator) submit(target, fingerprint, client, queryName, fasta string, spec jobSpec) (*coordJob, error) {
+	j := &coordJob{
+		ID:          newCoordJobID(),
+		Target:      target,
+		Fingerprint: fingerprint,
+		Client:      client,
+		QueryName:   queryName,
+		Spec:        spec,
+		Created:     c.cfg.Clock.Now(),
+		queryFASTA:  fasta,
+		state:       StateQueued,
+		cancelCh:    make(chan struct{}),
+		doneCh:      make(chan struct{}),
+	}
+	if c.wal != nil {
+		// Spill-before-journal: the submitted record must imply a
+		// readable query artifact.
+		if err := c.wal.saveQuery(j.ID, fasta); err != nil {
+			return nil, fmt.Errorf("cluster: spilling query: %w", err)
+		}
+		if err := c.wal.submitted(j); err != nil {
+			return nil, fmt.Errorf("cluster: journaling submission: %w", err)
+		}
+	}
+	c.mu.Lock()
+	c.jobs[j.ID] = j
+	c.order = append(c.order, j.ID)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go c.runJob(j, false)
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal jobs past the retention cap.
+func (c *Coordinator) evictLocked() {
+	over := len(c.order) - c.cfg.RetainJobs
+	if over <= 0 {
+		return
+	}
+	kept := c.order[:0]
+	for _, id := range c.order {
+		j := c.jobs[id]
+		st, _ := j.snapshotState()
+		if over > 0 && terminalState(st) {
+			delete(c.jobs, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	c.order = kept
+}
+
+// Get returns a job by coordinator id.
+func (c *Coordinator) getJob(id string) (*coordJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation. The runner forwards it to the current
+// worker and finalizes; a parked job settles immediately.
+func (c *Coordinator) cancelJob(id string) (string, bool) {
+	j, ok := c.getJob(id)
+	if !ok {
+		return "", false
+	}
+	st, _ := j.snapshotState()
+	if terminalState(st) {
+		return st, true
+	}
+	j.cancelOnce.Do(func() { close(j.cancelCh) })
+	return StateCancelled, true
+}
+
+// finalize records a terminal outcome exactly once.
+func (c *Coordinator) finalize(j *coordJob, state, errMsg string) {
+	now := c.cfg.Clock.Now()
+	j.mu.Lock()
+	if terminalState(j.state) {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finishedAt = now
+	j.parked = false
+	j.mu.Unlock()
+	if err := c.wal.finished(j, state, errMsg, now); err != nil {
+		c.log.Error("journaling terminal state failed", "job", j.ID, "err", err)
+	}
+	close(j.doneCh)
+	c.log.Info("job finished", "job", j.ID, "state", state, "err", errMsg,
+		"dispatches", j.dispatchCount())
+}
+
+// runJob is the per-job routing state machine: pick a replica, dispatch
+// with bounded retries, watch until terminal, fail over on loss.
+// tryReattach makes the first cycle adopt the journaled assignment
+// instead of dispatching anew (coordinator restart with the worker
+// still running the job).
+func (c *Coordinator) runJob(j *coordJob, tryReattach bool) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return // shutting down; the journal carries the job forward
+		case <-j.cancelCh:
+			c.forwardCancel(j)
+			c.finalize(j, StateCancelled, "cancelled by client")
+			return
+		default:
+		}
+
+		var a assignment
+		var ok bool
+		if tryReattach {
+			tryReattach = false
+			a, ok = j.lastAssignment()
+			if ok {
+				if st, err := c.workerJobStatus(j, a); err == nil && st.ID == a.WorkerJobID {
+					c.c.recovReattach.Inc()
+					c.log.Info("reattached to worker after restart",
+						"job", j.ID, "worker", a.WorkerID, "worker_job", a.WorkerJobID)
+					j.mu.Lock()
+					j.state = StateRunning
+					j.mu.Unlock()
+					ok = true
+				} else {
+					c.c.recovRedisp.Inc()
+					c.log.Warn("recovered assignment unreachable; re-dispatching",
+						"job", j.ID, "worker", a.WorkerID, "err", err)
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+		} else {
+			if j.dispatchCount() >= c.cfg.MaxDispatches {
+				c.finalize(j, StateFailed, fmt.Sprintf(
+					"failover budget exhausted after %d dispatches", j.dispatchCount()))
+				return
+			}
+			a, ok = c.dispatch(j)
+			if !ok {
+				// No replica reachable right now: park until membership
+				// changes (or cancellation/shutdown), then try again.
+				if !c.park(j) {
+					return
+				}
+				continue
+			}
+		}
+
+		switch c.watch(j, a) {
+		case watchDone:
+			return
+		case watchCancelled:
+			c.forwardCancelTo(a)
+			c.finalize(j, StateCancelled, "cancelled by client")
+			return
+		case watchShutdown:
+			return
+		case watchLost:
+			c.c.failovers.Inc()
+			c.log.Warn("worker lost mid-job; failing over",
+				"job", j.ID, "worker", a.WorkerID, "dispatches", j.dispatchCount())
+			// Loop: pick the next surviving replica. The deterministic
+			// pipeline makes the re-run byte-identical.
+		}
+	}
+}
+
+// park blocks until membership changes. False means the job terminated
+// (cancel/shutdown) and the runner must return.
+func (c *Coordinator) park(j *coordJob) bool {
+	j.mu.Lock()
+	j.parked = true
+	j.state = StateQueued
+	j.mu.Unlock()
+	defer func() {
+		j.mu.Lock()
+		j.parked = false
+		j.mu.Unlock()
+	}()
+	c.log.Info("job parked: no live replica", "job", j.ID, "target", j.Target)
+	select {
+	case <-c.ms.changedCh():
+		return true
+	case <-c.cfg.Clock.After(c.cfg.LeaseTTL):
+		// Re-evaluate periodically even without a membership event —
+		// breakers may have cooled down.
+		return true
+	case <-j.cancelCh:
+		c.finalize(j, StateCancelled, "cancelled while parked")
+		return false
+	case <-c.ctx.Done():
+		return false
+	}
+}
+
+// dispatch walks the replica preference list and tries to place the job
+// on the first worker that accepts it. Returns false if no replica
+// accepted.
+func (c *Coordinator) dispatch(j *coordJob) (assignment, bool) {
+	replicas := c.ms.replicasFor(j.Target, c.cfg.ReplicationFactor)
+	// Demote (not drop) the worker the job was last on: after a
+	// failover we prefer a different replica, but if the lost worker is
+	// the only one left alive it stays eligible at the back.
+	if prev, ok := j.lastAssignment(); ok && len(replicas) > 1 {
+		reordered := make([]*Member, 0, len(replicas))
+		var demoted *Member
+		for _, m := range replicas {
+			if m.ID == prev.WorkerID {
+				demoted = m
+				continue
+			}
+			reordered = append(reordered, m)
+		}
+		if demoted != nil {
+			reordered = append(reordered, demoted)
+		}
+		replicas = reordered
+	}
+	for _, m := range replicas {
+		if !c.brk.allow(m.ID) {
+			continue
+		}
+		wid, err := c.dispatchTo(j, m)
+		if err != nil {
+			c.log.Warn("dispatch failed", "job", j.ID, "worker", m.ID, "err", err)
+			continue
+		}
+		a := assignment{WorkerID: m.ID, WorkerAddr: m.Addr, WorkerJobID: wid, At: c.cfg.Clock.Now()}
+		j.mu.Lock()
+		j.assignments = append(j.assignments, a)
+		j.state = StateRunning
+		j.mu.Unlock()
+		if err := c.wal.assigned(j, a); err != nil {
+			c.log.Error("journaling assignment failed", "job", j.ID, "err", err)
+		}
+		c.c.routed.Inc()
+		c.log.Info("job routed", "job", j.ID, "worker", m.ID, "worker_job", wid,
+			"attempt", j.dispatchCount())
+		return a, true
+	}
+	return assignment{}, false
+}
+
+type watchOutcome int
+
+const (
+	watchDone watchOutcome = iota
+	watchLost
+	watchCancelled
+	watchShutdown
+)
+
+// watch polls the assignment until the worker reports a terminal state
+// (watchDone: the worker's verdict is the job's verdict) or the worker
+// is lost — lease expired, or status polls failing past the retry
+// budget (watchLost: fail over).
+func (c *Coordinator) watch(j *coordJob, a assignment) watchOutcome {
+	failures := 0
+	for {
+		select {
+		case <-j.cancelCh:
+			return watchCancelled
+		case <-c.ctx.Done():
+			return watchShutdown
+		case <-c.cfg.Clock.After(c.cfg.PollInterval):
+		}
+		if _, live := c.ms.alive(a.WorkerID); !live {
+			c.log.Warn("worker lease gone while watching", "job", j.ID, "worker", a.WorkerID)
+			return watchLost
+		}
+		st, err := c.workerJobStatus(j, a)
+		if err != nil {
+			failures++
+			c.brk.failure(a.WorkerID)
+			c.c.dispatchErrors.Inc()
+			if failures >= c.cfg.Retry.Attempts() {
+				return watchLost
+			}
+			// Exponential backoff with jitter on top of the poll cadence.
+			select {
+			case <-c.cfg.Clock.After(c.cfg.Retry.Backoff(failures, hash64(j.ID))):
+			case <-j.cancelCh:
+				return watchCancelled
+			case <-c.ctx.Done():
+				return watchShutdown
+			}
+			continue
+		}
+		failures = 0
+		c.brk.success(a.WorkerID)
+		if terminalState(string(st.State)) {
+			c.finalize(j, string(st.State), st.Error)
+			return watchDone
+		}
+	}
+}
+
+// forwardCancel forwards a cancellation to the job's current worker.
+func (c *Coordinator) forwardCancel(j *coordJob) {
+	if a, ok := j.lastAssignment(); ok {
+		c.forwardCancelTo(a)
+	}
+}
+
+func (c *Coordinator) forwardCancelTo(a assignment) {
+	req, err := http.NewRequest(http.MethodDelete,
+		a.WorkerAddr+"/v1/jobs/"+a.WorkerJobID, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.doRequest(req, nil)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort
+	resp.Body.Close()              //nolint:errcheck
+}
+
+// Shutdown stops the HTTP server and the routing goroutines. In-flight
+// jobs are not failed: with a journal they resume on the next start,
+// which is the crash-only contract — clean shutdown takes the same
+// recovery path as a crash.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.httpMu.Lock()
+	srv := c.httpSrv
+	c.httpMu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	c.cancel()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	c.wal.close()
+	return err
+}

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"darwinwga/internal/checkpoint"
+)
+
+// The coordinator's WAL journals every routing decision so a restart is
+// crash-only: submissions, assignments, and terminal outcomes fold back
+// into the job table, and unfinished jobs either reattach to the worker
+// they were on or re-dispatch to a surviving replica. Record kinds:
+//
+//	1 header    — store version
+//	2 submitted — job accepted: id, target, spec, client; the query has
+//	              already been spilled to queries/<id>.fa (the spill is
+//	              ordered before the record, so a submitted record
+//	              guarantees a readable query)
+//	3 assigned  — routing decision: which worker, at which address,
+//	              under which worker-side job id
+//	4 finished  — terminal outcome: state + error
+const (
+	ckKindHeader    = 1
+	ckKindSubmitted = 2
+	ckKindAssigned  = 3
+	ckKindFinished  = 4
+
+	ckVersion = 1
+)
+
+type ckHeader struct {
+	Version int `json:"version"`
+}
+
+type ckSubmitted struct {
+	ID          string  `json:"id"`
+	Target      string  `json:"target"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Client      string  `json:"client,omitempty"`
+	QueryName   string  `json:"query_name,omitempty"`
+	Spec        jobSpec `json:"spec"`
+	CreatedNS   int64   `json:"created_ns"`
+}
+
+type ckAssigned struct {
+	ID          string `json:"id"`
+	WorkerID    string `json:"worker_id"`
+	WorkerAddr  string `json:"worker_addr"`
+	WorkerJobID string `json:"worker_job_id"`
+	AtNS        int64  `json:"at_ns"`
+}
+
+type ckFinished struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	AtNS  int64  `json:"at_ns"`
+}
+
+// recoveredRouting is one job folded out of the WAL.
+type recoveredRouting struct {
+	sub        ckSubmitted
+	assigns    []ckAssigned
+	finished   bool
+	finalState string
+	finalErr   string
+	finishedAt time.Time
+}
+
+// coordJournal wraps a checkpoint.Journal with the locking the
+// coordinator needs (runners journal concurrently; checkpoint.Journal
+// itself is single-writer) plus the query spill directory.
+type coordJournal struct {
+	mu  sync.Mutex
+	j   *checkpoint.Journal
+	dir string
+}
+
+// openCoordJournal opens (creating if needed) the coordinator WAL in
+// dir and folds every valid record into per-job routing histories, in
+// submission order.
+func openCoordJournal(dir string) (*coordJournal, []recoveredRouting, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "queries"), 0o755); err != nil {
+		return nil, nil, err
+	}
+	j, recs, err := checkpoint.Open(filepath.Join(dir, "wal"), checkpoint.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: opening coordinator journal: %w", err)
+	}
+	cj := &coordJournal{j: j, dir: dir}
+	recovered, err := cj.fold(recs)
+	if err != nil {
+		j.Close() //nolint:errcheck
+		return nil, nil, err
+	}
+	if len(recs) == 0 {
+		if err := cj.append(ckKindHeader, ckHeader{Version: ckVersion}); err != nil {
+			j.Close() //nolint:errcheck
+			return nil, nil, err
+		}
+	}
+	return cj, recovered, nil
+}
+
+// fold replays records into routing histories keyed by job id,
+// preserving submission order.
+func (cj *coordJournal) fold(recs []checkpoint.Record) ([]recoveredRouting, error) {
+	byID := make(map[string]*recoveredRouting)
+	var order []string
+	for _, rec := range recs {
+		switch rec.Kind {
+		case ckKindHeader:
+			var h ckHeader
+			if err := json.Unmarshal(rec.Payload, &h); err != nil {
+				return nil, fmt.Errorf("cluster: journal header: %w", err)
+			}
+			if h.Version != ckVersion {
+				return nil, fmt.Errorf("cluster: journal version %d, want %d", h.Version, ckVersion)
+			}
+		case ckKindSubmitted:
+			var sub ckSubmitted
+			if err := json.Unmarshal(rec.Payload, &sub); err != nil {
+				return nil, fmt.Errorf("cluster: submitted record: %w", err)
+			}
+			if _, dup := byID[sub.ID]; !dup {
+				byID[sub.ID] = &recoveredRouting{sub: sub}
+				order = append(order, sub.ID)
+			}
+		case ckKindAssigned:
+			var a ckAssigned
+			if err := json.Unmarshal(rec.Payload, &a); err != nil {
+				return nil, fmt.Errorf("cluster: assigned record: %w", err)
+			}
+			if r, ok := byID[a.ID]; ok {
+				r.assigns = append(r.assigns, a)
+			}
+		case ckKindFinished:
+			var f ckFinished
+			if err := json.Unmarshal(rec.Payload, &f); err != nil {
+				return nil, fmt.Errorf("cluster: finished record: %w", err)
+			}
+			if r, ok := byID[f.ID]; ok {
+				r.finished = true
+				r.finalState = f.State
+				r.finalErr = f.Error
+				r.finishedAt = time.Unix(0, f.AtNS)
+			}
+		default:
+			// Unknown kinds from a newer writer are skipped, not fatal.
+		}
+	}
+	out := make([]recoveredRouting, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out, nil
+}
+
+func (cj *coordJournal) append(kind uint8, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.j.Append(kind, payload)
+}
+
+// queryPath is where job id's spilled query lives.
+func (cj *coordJournal) queryPath(id string) string {
+	return filepath.Join(cj.dir, "queries", id+".fa")
+}
+
+// saveQuery durably spills the job's already-normalized FASTA text
+// before the submitted record is journaled — the spill-before-journal
+// order is the crash-safety invariant: a submitted record implies a
+// readable query.
+func (cj *coordJournal) saveQuery(id, fasta string) error {
+	return writeFileAtomicCluster(cj.queryPath(id), []byte(fasta))
+}
+
+// loadQuery reads back a spilled query as FASTA text for dispatch.
+func (cj *coordJournal) loadQuery(id string) (string, error) {
+	data, err := os.ReadFile(cj.queryPath(id))
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func (cj *coordJournal) submitted(j *coordJob) error {
+	if cj == nil {
+		return nil
+	}
+	return cj.append(ckKindSubmitted, ckSubmitted{
+		ID:          j.ID,
+		Target:      j.Target,
+		Fingerprint: j.Fingerprint,
+		Client:      j.Client,
+		QueryName:   j.QueryName,
+		Spec:        j.Spec,
+		CreatedNS:   j.Created.UnixNano(),
+	})
+}
+
+func (cj *coordJournal) assigned(j *coordJob, a assignment) error {
+	if cj == nil {
+		return nil
+	}
+	return cj.append(ckKindAssigned, ckAssigned{
+		ID:          j.ID,
+		WorkerID:    a.WorkerID,
+		WorkerAddr:  a.WorkerAddr,
+		WorkerJobID: a.WorkerJobID,
+		AtNS:        a.At.UnixNano(),
+	})
+}
+
+func (cj *coordJournal) finished(j *coordJob, state, errMsg string, at time.Time) error {
+	if cj == nil {
+		return nil
+	}
+	return cj.append(ckKindFinished, ckFinished{
+		ID:    j.ID,
+		State: state,
+		Error: errMsg,
+		AtNS:  at.UnixNano(),
+	})
+}
+
+func (cj *coordJournal) close() {
+	if cj == nil {
+		return
+	}
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	cj.j.Close() //nolint:errcheck // shutdown path
+}
+
+// writeFileAtomicCluster writes data to path via temp + fsync + rename
+// + dirsync, so a crash leaves either the old file or the new one.
+func writeFileAtomicCluster(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	return checkpoint.SyncDir(filepath.Dir(path))
+}

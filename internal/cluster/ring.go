@@ -1,0 +1,88 @@
+// Package cluster provides the sharded coordinator/worker topology on
+// top of the embedded alignment server: workers register which target
+// indexes they hold and keep a lease alive with heartbeats; a
+// coordinator routes jobs by consistent hashing on the target's content
+// fingerprint, proxies status and MAF streaming, journals every routing
+// decision through the checkpoint WAL so its own restart is crash-only,
+// and fails jobs over to surviving replicas when a worker dies
+// mid-flight. Because the pipeline is deterministic, a failed-over job
+// produces MAF byte-identical to an uninterrupted run — which is also
+// what lets the MAF proxy splice a stream across a failover.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVirtualNodes is how many points each worker contributes to the
+// ring. Enough to smooth placement across a handful of workers without
+// making ring rebuilds (every membership change) expensive.
+const defaultVirtualNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by
+// a worker.
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// ring is a consistent-hash ring over worker IDs. Immutable once built;
+// membership rebuilds it on every change.
+type ring struct {
+	points  []ringPoint
+	workers int
+}
+
+// hash64 positions a key on the ring.
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck // hash.Hash never errors
+	return h.Sum64()
+}
+
+// buildRing places vnodes virtual nodes per worker on the ring.
+func buildRing(workers []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	points := make([]ringPoint, 0, len(workers)*vnodes)
+	for _, w := range workers {
+		for i := 0; i < vnodes; i++ {
+			points = append(points, ringPoint{
+				hash:   hash64(fmt.Sprintf("%s#%d", w, i)),
+				worker: w,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].worker < points[j].worker
+	})
+	return &ring{points: points, workers: len(workers)}
+}
+
+// order returns every distinct worker in ring order starting at key's
+// position. The caller filters by liveness/target/breaker and takes the
+// replication factor's worth; returning the full preference order keeps
+// that policy out of the ring.
+func (r *ring) order(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, r.workers)
+	seen := make(map[string]bool, r.workers)
+	for i := 0; i < len(r.points) && len(out) < r.workers; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, p.worker)
+		}
+	}
+	return out
+}

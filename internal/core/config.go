@@ -195,6 +195,20 @@ func (p RetryPolicy) attempts() int {
 	return p.MaxAttempts
 }
 
+// Attempts returns the total attempt budget, normalized to at least
+// one.
+func (p RetryPolicy) Attempts() int { return p.attempts() }
+
+// Backoff returns the delay to wait after failed attempt `attempt`
+// (1-based): BaseDelay·2^(attempt-1) capped at MaxDelay with
+// deterministic ±50% jitter derived from seed. It is the policy the
+// pipeline applies to shard retries, exported so other layers (the
+// cluster coordinator's per-worker request retries) share one backoff
+// shape.
+func (p RetryPolicy) Backoff(attempt int, seed uint64) time.Duration {
+	return p.delay(attempt, seed)
+}
+
 // delay returns the backoff to sleep after failed attempt `attempt`
 // (1-based), jittered deterministically by seed.
 func (p RetryPolicy) delay(attempt int, seed uint64) time.Duration {

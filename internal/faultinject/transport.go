@@ -1,0 +1,207 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Flaky network transport injection. Transport wraps an
+// http.RoundTripper and perturbs requests the way real networks do —
+// added latency, connection resets, responses that vanish after the
+// server did the work, and full partitions — but deterministically:
+// rules fire on exact per-host request counts (the transport analogue
+// of the Injector's visit rules) and latency runs on a Clock, so a
+// ManualClock test can park a delayed request, advance time, and
+// observe the release as straight-line code.
+//
+// The cluster coordinator threads its outbound HTTP through this seam,
+// which is what makes every failover path (retry exhaustion, breaker
+// trips, lease expiry under partition) testable under -race without
+// real sockets misbehaving on cue.
+
+// Errors returned by injected faults. They satisfy errors.Is against
+// themselves and read like their net counterparts.
+var (
+	// ErrInjectedReset models a connection reset before the request
+	// reached the peer: the caller cannot know whether any bytes
+	// arrived.
+	ErrInjectedReset = errors.New("faultinject: connection reset by peer (injected)")
+	// ErrInjectedDrop models a response lost in flight: the inner
+	// round trip completed (the server did the work) but the caller
+	// never sees the response.
+	ErrInjectedDrop = errors.New("faultinject: response dropped (injected)")
+	// ErrInjectedPartition models a network partition: every request
+	// to the partitioned host fails until the partition heals.
+	ErrInjectedPartition = errors.New("faultinject: host partitioned (injected)")
+)
+
+// TransportAction is what a TransportRule does when it fires.
+type TransportAction int
+
+const (
+	// TransportLatency delays the request by Rule.Latency on the
+	// transport's clock, then forwards it.
+	TransportLatency TransportAction = iota
+	// TransportReset fails the request with ErrInjectedReset without
+	// forwarding it.
+	TransportReset
+	// TransportDrop forwards the request, discards the response, and
+	// fails with ErrInjectedDrop — the server-side effects happened.
+	TransportDrop
+)
+
+func (a TransportAction) String() string {
+	switch a {
+	case TransportLatency:
+		return "latency"
+	case TransportReset:
+		return "reset"
+	case TransportDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("TransportAction(%d)", int(a))
+	}
+}
+
+// TransportRule selects the requests an action fires on. Matching is
+// by request host (URL.Host); an empty Host matches every request.
+// Hit fires on the Nth matching request (1-based, counted per rule);
+// 0 fires on every match.
+type TransportRule struct {
+	Host    string
+	Hit     int
+	Action  TransportAction
+	Latency time.Duration
+}
+
+// TransportEvent records one fired rule, for test assertions.
+type TransportEvent struct {
+	Host   string
+	Action TransportAction
+}
+
+// Transport is the flaky http.RoundTripper. The zero value is not
+// usable; construct with NewTransport. Safe for concurrent use.
+type Transport struct {
+	inner http.RoundTripper
+	clock Clock
+
+	mu          sync.Mutex
+	rules       []TransportRule
+	seen        []int
+	fired       []TransportEvent
+	partitioned map[string]bool
+}
+
+// NewTransport wraps inner (nil = http.DefaultTransport) with the
+// given fault rules on clock (nil = the wall clock). Rules are tried
+// in order; the first match fires at most one action per request.
+func NewTransport(inner http.RoundTripper, clock Clock, rules ...TransportRule) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if clock == nil {
+		clock = RealClock()
+	}
+	return &Transport{
+		inner:       inner,
+		clock:       clock,
+		rules:       rules,
+		seen:        make([]int, len(rules)),
+		partitioned: make(map[string]bool),
+	}
+}
+
+// AddRule appends a fault rule at runtime, with a fresh hit counter.
+// Lets a test break a host whose address is only known mid-scenario.
+func (t *Transport) AddRule(r TransportRule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = append(t.rules, r)
+	t.seen = append(t.seen, 0)
+}
+
+// Partition cuts host off: every subsequent request to it fails with
+// ErrInjectedPartition until Heal. Partitions are dynamic state, not
+// counted rules, because a partition's defining property is that it
+// persists for a span of (test-controlled) time.
+func (t *Transport) Partition(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partitioned[host] = true
+}
+
+// Heal reconnects a partitioned host.
+func (t *Transport) Heal(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.partitioned, host)
+}
+
+// Partitioned reports whether host is currently cut off.
+func (t *Transport) Partitioned(host string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.partitioned[host]
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	var act *TransportRule
+	t.mu.Lock()
+	if t.partitioned[host] {
+		t.fired = append(t.fired, TransportEvent{Host: host, Action: TransportReset})
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL, ErrInjectedPartition)
+	}
+	for i := range t.rules {
+		r := &t.rules[i]
+		if r.Host != "" && r.Host != host {
+			continue
+		}
+		t.seen[i]++
+		if r.Hit == 0 || t.seen[i] == r.Hit {
+			t.fired = append(t.fired, TransportEvent{Host: host, Action: r.Action})
+			act = r
+			break
+		}
+	}
+	t.mu.Unlock()
+	if act == nil {
+		return t.inner.RoundTrip(req)
+	}
+	switch act.Action {
+	case TransportReset:
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL, ErrInjectedReset)
+	case TransportDrop:
+		resp, err := t.inner.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
+			resp.Body.Close()              //nolint:errcheck
+		}
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL, ErrInjectedDrop)
+	default: // TransportLatency
+		t.clock.Sleep(act.Latency)
+		return t.inner.RoundTrip(req)
+	}
+}
+
+// Fired returns a copy of the events fired so far (partition
+// rejections record as resets against the partitioned host).
+func (t *Transport) Fired() []TransportEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TransportEvent(nil), t.fired...)
+}
+
+// FiredCount returns the number of fired events.
+func (t *Transport) FiredCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.fired)
+}

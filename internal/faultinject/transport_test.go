@@ -1,0 +1,175 @@
+package faultinject
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// transportTestServer returns an httptest server that counts the
+// requests that actually reached it.
+func transportTestServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte("ok")) //nolint:errcheck
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func get(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, rerr := tr.RoundTrip(req)
+	if rerr == nil {
+		t.Cleanup(func() { resp.Body.Close() }) //nolint:errcheck
+	}
+	return resp, rerr
+}
+
+// TestTransportResetFiresOnExactHit pins the determinism the chaos
+// suite depends on: a Hit=N reset rule fails exactly the Nth request,
+// and that request never reaches the server.
+func TestTransportResetFiresOnExactHit(t *testing.T) {
+	srv, hits := transportTestServer(t)
+	tr := NewTransport(srv.Client().Transport, nil,
+		TransportRule{Hit: 2, Action: TransportReset})
+
+	if _, err := get(t, tr, srv.URL); err != nil {
+		t.Fatalf("request 1: unexpected error %v", err)
+	}
+	_, err := get(t, tr, srv.URL)
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("request 2: want ErrInjectedReset, got %v", err)
+	}
+	if _, err := get(t, tr, srv.URL); err != nil {
+		t.Fatalf("request 3: unexpected error %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (reset must not forward)", got)
+	}
+	fired := tr.Fired()
+	if len(fired) != 1 || fired[0].Action != TransportReset {
+		t.Fatalf("fired = %+v, want exactly one reset", fired)
+	}
+}
+
+// TestTransportDropReachesServer proves the drop action's defining
+// property: the server does the work, the caller sees an error.
+func TestTransportDropReachesServer(t *testing.T) {
+	srv, hits := transportTestServer(t)
+	tr := NewTransport(srv.Client().Transport, nil,
+		TransportRule{Hit: 1, Action: TransportDrop})
+
+	_, err := get(t, tr, srv.URL)
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("want ErrInjectedDrop, got %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (drop must forward)", got)
+	}
+}
+
+// TestTransportPartitionIsStateful: a partitioned host rejects every
+// request without forwarding until Heal, then recovers completely.
+func TestTransportPartitionIsStateful(t *testing.T) {
+	srv, hits := transportTestServer(t)
+	tr := NewTransport(srv.Client().Transport, nil)
+	host := srv.Listener.Addr().String()
+
+	tr.Partition(host)
+	for i := 0; i < 3; i++ {
+		if _, err := get(t, tr, srv.URL); !errors.Is(err, ErrInjectedPartition) {
+			t.Fatalf("partitioned request %d: want ErrInjectedPartition, got %v", i, err)
+		}
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("server saw %d requests through a partition", got)
+	}
+	if !tr.Partitioned(host) {
+		t.Fatal("Partitioned() = false while partitioned")
+	}
+	tr.Heal(host)
+	if _, err := get(t, tr, srv.URL); err != nil {
+		t.Fatalf("post-heal request: %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests after heal, want 1", got)
+	}
+}
+
+// TestTransportLatencyOnManualClock parks a delayed request on a
+// ManualClock timer and proves it releases exactly when the clock
+// advances past the injected latency — no wall-clock involved.
+func TestTransportLatencyOnManualClock(t *testing.T) {
+	srv, hits := transportTestServer(t)
+	clock := NewManualClock(time.Unix(0, 0))
+	tr := NewTransport(srv.Client().Transport, clock,
+		TransportRule{Hit: 1, Action: TransportLatency, Latency: 30 * time.Second})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := get(t, tr, srv.URL)
+		done <- err
+	}()
+
+	// The request must be parked on the clock, not in flight.
+	clock.WaitForTimers(1)
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("server saw %d requests before the latency elapsed", got)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("request completed before the clock advanced: %v", err)
+	default:
+	}
+
+	// A partial advance must not release it.
+	clock.Advance(29 * time.Second)
+	select {
+	case err := <-done:
+		t.Fatalf("request released %v early: err=%v", time.Second, err)
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	clock.Advance(time.Second)
+	if err := <-done; err != nil {
+		t.Fatalf("request after latency: %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+// TestTransportHostScopedRules: rules bound to one host must not fire
+// for another, so a chaos test can break exactly one worker.
+func TestTransportHostScopedRules(t *testing.T) {
+	srvA, hitsA := transportTestServer(t)
+	srvB, hitsB := transportTestServer(t)
+	hostA := srvA.Listener.Addr().String()
+	tr := NewTransport(http.DefaultTransport, nil,
+		TransportRule{Host: hostA, Action: TransportReset}) // Hit 0: every request to A
+
+	for i := 0; i < 2; i++ {
+		if _, err := get(t, tr, srvA.URL); !errors.Is(err, ErrInjectedReset) {
+			t.Fatalf("host A request %d: want reset, got %v", i, err)
+		}
+		if _, err := get(t, tr, srvB.URL); err != nil {
+			t.Fatalf("host B request %d: %v", i, err)
+		}
+	}
+	if hitsA.Load() != 0 || hitsB.Load() != 2 {
+		t.Fatalf("hits A=%d B=%d, want 0 and 2", hitsA.Load(), hitsB.Load())
+	}
+	if got := tr.FiredCount(); got != 2 {
+		t.Fatalf("FiredCount = %d, want 2", got)
+	}
+}

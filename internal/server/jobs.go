@@ -263,6 +263,10 @@ type counters struct {
 	Stalled             *obs.Counter
 	Retried             *obs.Counter
 	Recovered           *obs.Counter
+	RecoveredRequeued   *obs.Counter
+	RecoveredResumed    *obs.Counter
+	RecoveredRestored   *obs.Counter
+	RecoveredFailed     *obs.Counter
 }
 
 // newCounters registers the manager's counter set on reg.
@@ -283,6 +287,10 @@ func newCounters(reg *obs.Registry) counters {
 		Stalled:             reg.Counter("darwinwga_jobs_stalled_total", "watchdog stall detections"),
 		Retried:             reg.Counter("darwinwga_jobs_retried_total", "jobs re-run after a watchdog stall"),
 		Recovered:           reg.Counter("darwinwga_jobs_recovered_total", "jobs restored from the journal at startup"),
+		RecoveredRequeued:   reg.Counter(`darwinwga_recovered_jobs_total{outcome="requeued"}`, "journal replay outcomes at startup"),
+		RecoveredResumed:    reg.Counter(`darwinwga_recovered_jobs_total{outcome="resumed"}`, "journal replay outcomes at startup"),
+		RecoveredRestored:   reg.Counter(`darwinwga_recovered_jobs_total{outcome="restored"}`, "journal replay outcomes at startup"),
+		RecoveredFailed:     reg.Counter(`darwinwga_recovered_jobs_total{outcome="failed"}`, "journal replay outcomes at startup"),
 	}
 }
 
@@ -331,8 +339,14 @@ type Manager struct {
 	draining  bool
 	// pendingRecovery holds recovered queued jobs whose target has not
 	// been re-registered yet (recovery runs before startup
-	// registration); TargetRegistered releases them in order.
+	// registration); TargetRegistered releases them in order, and
+	// Cancel removes parked entries so a deleted job cannot linger as
+	// an orphan.
 	pendingRecovery map[string][]*Job
+
+	// recovery is the startup journal-replay outcome tally; written
+	// once during newManager, read-only afterwards.
+	recovery RecoverySummary
 
 	counters
 }
@@ -382,11 +396,36 @@ func newManager(reg *Registry, metrics *obs.Registry, cfg Config, store *jobStor
 	return m
 }
 
+// RecoverySummary tallies what the startup journal replay did with
+// each recovered job. It backs the one-line replay summary logged at
+// serve startup and the darwinwga_recovered_jobs_total{outcome}
+// counters — without it, recovery is silent unless you read the WAL.
+type RecoverySummary struct {
+	// Requeued jobs were admitted but never started; they run from
+	// scratch.
+	Requeued int `json:"requeued"`
+	// Resumed jobs were mid-run at the crash; they re-queue and resume
+	// from their per-job pipeline checkpoints.
+	Resumed int `json:"resumed"`
+	// Restored jobs were already terminal; they return as queryable
+	// history with their spilled MAF.
+	Restored int `json:"restored"`
+	// Failed jobs lost their query artifact in the crash; they finish
+	// failed instead of silently vanishing.
+	Failed int `json:"failed"`
+	// Dropped jobs were terminal with no MAF artifact — evicted before
+	// the crash, and they stay evicted.
+	Dropped int `json:"dropped"`
+}
+
 // recover restores journaled jobs in original submission order:
 // terminal jobs (with their spilled MAF) become queryable records
 // again, non-terminal jobs are re-queued — a job that was mid-run
 // resumes from its per-job pipeline checkpoint, so its MAF comes out
-// byte-identical to an uninterrupted run.
+// byte-identical to an uninterrupted run. The replay outcome counts
+// land in m.recovery and the per-outcome counters, and are logged as
+// one summary line (only when a journal is configured, so in-memory
+// servers stay silent).
 func (m *Manager) recover(recovered []recoveredJob) {
 	for i := range recovered {
 		r := &recovered[i]
@@ -396,7 +435,17 @@ func (m *Manager) recover(recovered []recoveredJob) {
 			m.recoverQueued(r)
 		}
 	}
+	if m.store != nil {
+		m.log.Info("journal replay complete",
+			"requeued", m.recovery.Requeued, "resumed", m.recovery.Resumed,
+			"restored", m.recovery.Restored, "failed", m.recovery.Failed,
+			"dropped", m.recovery.Dropped)
+	}
 }
+
+// RecoverySummary returns the startup journal-replay outcome counts
+// (all zero for an in-memory server).
+func (m *Manager) RecoverySummary() RecoverySummary { return m.recovery }
 
 // recoverParams rebuilds JobParams (Deadline is journaled separately
 // because it does not round-trip through JSON).
@@ -429,18 +478,21 @@ func newRecoveredJob(r *recoveredJob) *Job {
 // before the crash and stays gone.
 func (m *Manager) recoverTerminal(r *recoveredJob) {
 	if r.mafPath == "" {
+		m.recovery.Dropped++
 		return // evicted before the crash
 	}
 	state := JobState(r.fin.State)
 	if !state.terminal() {
 		m.log.Warn("job journal: ignoring finished record with non-terminal state",
 			"job_id", r.sub.ID, "state", r.fin.State)
+		m.recovery.Dropped++
 		return
 	}
 	data, err := os.ReadFile(r.mafPath)
 	if err != nil {
 		m.log.Warn("job journal: finished job's MAF unreadable, dropping",
 			"job_id", r.sub.ID, "error", err)
+		m.recovery.Dropped++
 		return
 	}
 	j := newRecoveredJob(r)
@@ -459,6 +511,8 @@ func (m *Manager) recoverTerminal(r *recoveredJob) {
 	m.order = append(m.order, j.ID)
 	m.mu.Unlock()
 	m.Recovered.Inc()
+	m.RecoveredRestored.Inc()
+	m.recovery.Restored++
 	m.log.Info("job recovered from journal", "job_id", j.ID, "state", string(state),
 		"maf_bytes", len(data))
 }
@@ -483,6 +537,8 @@ func (m *Manager) recoverQueued(r *recoveredJob) {
 			m.log.Error("journaling recovery failure", "job_id", j.ID, "error", jerr)
 		}
 		m.Failed.Inc()
+		m.RecoveredFailed.Inc()
+		m.recovery.Failed++
 		m.log.Warn("job recovery failed", "job_id", j.ID, "error", err)
 		return
 	}
@@ -505,6 +561,13 @@ func (m *Manager) recoverQueued(r *recoveredJob) {
 	}
 	m.mu.Unlock()
 	m.Recovered.Inc()
+	if r.started {
+		m.RecoveredResumed.Inc()
+		m.recovery.Resumed++
+	} else {
+		m.RecoveredRequeued.Inc()
+		m.recovery.Requeued++
+	}
 	m.log.Info("job recovered from journal", "job_id", j.ID, "state", "queued",
 		"was_running", r.started, "client", j.Client, "target", j.Params.Target)
 }
@@ -687,12 +750,39 @@ func (m *Manager) Cancel(id string) (JobState, bool) {
 		return "", false
 	}
 	if j.tryCancelQueued(m.clock.Now()) {
+		// A recovered job parked for target re-registration lives in
+		// pendingRecovery, not the queue; drop it there too or the
+		// cancelled job would linger as a parked orphan (and be held
+		// forever if its target never returns).
+		m.unparkRecovered(j)
 		m.settleCancelledQueued(j, "cancelled while queued")
 		return JobCancelled, true
 	}
 	j.cancelRequested.Store(true)
 	j.cancelNow()
 	return j.State(), true
+}
+
+// unparkRecovered removes j from the recovery parking lot, if present.
+func (m *Manager) unparkRecovered(j *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	target := j.Params.Target
+	pending, ok := m.pendingRecovery[target]
+	if !ok {
+		return
+	}
+	kept := pending[:0]
+	for _, p := range pending {
+		if p != j {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		delete(m.pendingRecovery, target)
+	} else {
+		m.pendingRecovery[target] = kept
+	}
 }
 
 // settleCancelledQueued journals and accounts a job cancelled before

@@ -19,6 +19,7 @@ package server
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -41,10 +42,23 @@ type Target struct {
 	Bases []byte
 	// Map renders concatenated-space coordinates back to sequences.
 	Map *maf.SeqMap
+	// Fingerprint identifies the assembly's content (FNV-64a over the
+	// concatenated bases, hex). The cluster coordinator hashes it onto
+	// the routing ring and uses it to check that replicas of a target
+	// name actually hold the same assembly.
+	Fingerprint string
 
 	NumSeqs      int
 	IndexBytes   int
 	RegisteredAt time.Time
+}
+
+// fingerprintBases computes the content fingerprint of a concatenated
+// assembly.
+func fingerprintBases(bases []byte) string {
+	h := fnv.New64a()
+	h.Write(bases) //nolint:errcheck // hash.Hash never errors
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Registry holds the targets a server aligns against. Registration is
@@ -88,6 +102,7 @@ func (r *Registry) Register(name string, asm *genome.Assembly, cfg core.Config) 
 		Aligner:      aligner,
 		Bases:        bases,
 		Map:          m,
+		Fingerprint:  fingerprintBases(bases),
 		NumSeqs:      len(asm.Seqs),
 		IndexBytes:   aligner.IndexMemoryBytes(),
 		RegisteredAt: time.Now(),
