@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-resume test-serve test-obs test-chaos test-cluster test-fuzz bench ci
+.PHONY: all build vet test test-race test-resume test-serve test-obs test-chaos test-cluster test-fuzz bench bench-diff lint ci
 
 all: build
 
@@ -74,13 +74,20 @@ test-chaos:
 # (lease-expiry failover, retry exhaustion opening a breaker then
 # parking, partition failover, all-replicas-down degradation,
 # coordinator restart reattach) plus the faultinject seam's own
-# determinism tests. Then the subprocess failover e2e: SIGKILL a
-# worker mid-job and later the coordinator itself; both recovered
-# MAFs must be byte-identical to a one-shot run. Not -short: the e2e
-# re-execs the test binary as coordinator and workers.
+# determinism tests, and the warm-standby HA chaos tests (journal
+# shipping, fenced promotion, snapshot compaction, shipped-segment
+# failover). Then the subprocess failover e2e: SIGKILL a worker
+# mid-job and later the coordinator itself; both recovered MAFs must
+# be byte-identical to a one-shot run. The HA e2e additionally
+# SIGKILLs a leader with a live warm standby (promotion must finish
+# the job under its original id) and a shipping worker mid-pipeline
+# (the replacement must resume from the shipped checkpoints with a
+# nonzero replayed workload). Not -short: the e2e re-execs the test
+# binary as coordinator, standby, and workers. Every line carries an
+# explicit -timeout so a wedged subprocess can never hang the target.
 test-cluster:
 	$(GO) test -race -timeout 15m ./internal/cluster/ ./internal/faultinject/
-	$(GO) test -timeout 15m -run 'TestClusterFailoverE2E' ./cmd/darwin-wga/
+	$(GO) test -timeout 20m -run 'TestClusterFailoverE2E|TestHALeaderFailoverE2E|TestHAWorkerFailoverResumesFromShippedE2E' ./cmd/darwin-wga/
 
 # Benchmark trajectory: one point per PR. Runs the pipeline kernel
 # benchmarks (filter tiles, GACT-X extension, seeding, index build,
@@ -88,10 +95,30 @@ test-cluster:
 # via cmd/bench2json, so the perf history is diffable across PRs.
 # Non-gating in CI: a slow shared runner must not fail the build.
 BENCH_PATTERN := ^(BenchmarkBSWFilterTile|BenchmarkUngappedFilterTile|BenchmarkGACTXExtension|BenchmarkSeedIndexBuild|BenchmarkDSoftSeeding|BenchmarkSmithWaterman)$$
+BENCH_OUT ?= BENCH_pipeline.json
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -timeout 30m . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	$(GO) run ./cmd/bench2json -o BENCH_pipeline.json < bench.out
+	$(GO) run ./cmd/bench2json -o $(BENCH_OUT) < bench.out
 	@rm -f bench.out
+
+# Benchmark delta: run the kernels fresh and diff ns/op against the
+# committed BENCH_pipeline.json via cmd/benchdiff. Exits non-zero when
+# any benchmark regressed past the threshold — advisory locally and
+# non-gating in CI, because shared-runner noise routinely exceeds it.
+bench-diff:
+	$(MAKE) bench BENCH_OUT=bench-new.json
+	$(GO) run ./cmd/benchdiff -old BENCH_pipeline.json -new bench-new.json -threshold-pct 25; \
+		st=$$?; rm -f bench-new.json; exit $$st
+
+# Static analysis and vulnerability scan. Both tools are optional: the
+# build must work on machines (and CI runners) that do not have them,
+# and nothing is ever downloaded or installed here — a missing tool is
+# reported and skipped.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed; skipping"; fi
 
 # Fuzz smoke: ten seconds per parser on the three crash-recovery
 # attack surfaces — FASTA queries (the spill the job store replays),

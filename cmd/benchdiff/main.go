@@ -1,0 +1,158 @@
+// Command benchdiff compares two bench2json documents — typically a
+// fresh `make bench` against the committed BENCH_pipeline.json — and
+// prints a per-benchmark ns/op delta table. It is a trajectory check,
+// not a gate: benchmarks on shared CI runners are noisy, so the exit
+// status flags only deltas past -threshold-pct, and the CI step that
+// runs it is non-blocking.
+//
+//	make bench BENCH_OUT=new.json
+//	benchdiff -old BENCH_pipeline.json -new new.json -threshold-pct 20
+//
+// Benchmarks are matched by (name, procs). Entries present on only one
+// side are listed as added/removed and never affect the exit status.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type document struct {
+	Schema  int      `json:"schema"`
+	Results []result `json:"results"`
+}
+
+// deltaRow is one matched benchmark's comparison.
+type deltaRow struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	DeltaPct float64 // positive = slower
+}
+
+// change classifies one benchmark across the two documents.
+type change struct {
+	Added   []string
+	Removed []string
+	Rows    []deltaRow
+}
+
+// key identifies a benchmark across documents.
+func key(r result) string {
+	if r.Procs > 0 {
+		return fmt.Sprintf("%s-%d", r.Name, r.Procs)
+	}
+	return r.Name
+}
+
+// diff matches the two documents' results by (name, procs) and
+// computes ns/op deltas, sorted worst-regression first.
+func diff(oldDoc, newDoc *document) change {
+	oldBy := make(map[string]result, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		oldBy[key(r)] = r
+	}
+	var c change
+	seen := make(map[string]bool, len(newDoc.Results))
+	for _, nr := range newDoc.Results {
+		k := key(nr)
+		seen[k] = true
+		or, ok := oldBy[k]
+		if !ok {
+			c.Added = append(c.Added, k)
+			continue
+		}
+		row := deltaRow{Name: k, OldNs: or.NsPerOp, NewNs: nr.NsPerOp}
+		if or.NsPerOp > 0 {
+			row.DeltaPct = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		}
+		c.Rows = append(c.Rows, row)
+	}
+	for _, or := range oldDoc.Results {
+		if !seen[key(or)] {
+			c.Removed = append(c.Removed, key(or))
+		}
+	}
+	sort.Slice(c.Rows, func(i, j int) bool { return c.Rows[i].DeltaPct > c.Rows[j].DeltaPct })
+	sort.Strings(c.Added)
+	sort.Strings(c.Removed)
+	return c
+}
+
+// render prints the comparison and returns how many rows regressed
+// past thresholdPct.
+func render(w io.Writer, c change, thresholdPct float64) int {
+	regressed := 0
+	fmt.Fprintf(w, "%-40s %15s %15s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, row := range c.Rows {
+		marker := ""
+		if row.DeltaPct >= thresholdPct {
+			marker = "  <-- regression"
+			regressed++
+		} else if row.DeltaPct <= -thresholdPct {
+			marker = "  (improved)"
+		}
+		fmt.Fprintf(w, "%-40s %15.1f %15.1f %+8.1f%%%s\n",
+			row.Name, row.OldNs, row.NewNs, row.DeltaPct, marker)
+	}
+	for _, k := range c.Added {
+		fmt.Fprintf(w, "%-40s %15s %15s %9s\n", k, "-", "(new)", "")
+	}
+	for _, k := range c.Removed {
+		fmt.Fprintf(w, "%-40s %15s %15s %9s\n", k, "(gone)", "-", "")
+	}
+	return regressed
+}
+
+func load(path string) (*document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d", path, doc.Schema)
+	}
+	return &doc, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_pipeline.json", "baseline bench2json document")
+	newPath := flag.String("new", "", "fresh bench2json document to compare (required)")
+	threshold := flag.Float64("threshold-pct", 15, "flag ns/op regressions at or past this percentage")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	oldDoc, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	c := diff(oldDoc, newDoc)
+	if n := render(os.Stdout, c, *threshold); n > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past %.0f%%\n", n, *threshold)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"io"
+	"reflect"
+	"testing"
+)
+
+func doc(results ...result) *document { return &document{Schema: 1, Results: results} }
+
+func TestDiffMatchesByNameAndProcs(t *testing.T) {
+	oldDoc := doc(
+		result{Name: "BenchmarkA", Procs: 8, NsPerOp: 100},
+		result{Name: "BenchmarkA", Procs: 4, NsPerOp: 150},
+		result{Name: "BenchmarkGone", NsPerOp: 10},
+	)
+	newDoc := doc(
+		result{Name: "BenchmarkA", Procs: 8, NsPerOp: 130},
+		result{Name: "BenchmarkA", Procs: 4, NsPerOp: 75},
+		result{Name: "BenchmarkNew", NsPerOp: 5},
+	)
+	c := diff(oldDoc, newDoc)
+	if !reflect.DeepEqual(c.Added, []string{"BenchmarkNew"}) {
+		t.Errorf("Added = %v", c.Added)
+	}
+	if !reflect.DeepEqual(c.Removed, []string{"BenchmarkGone"}) {
+		t.Errorf("Removed = %v", c.Removed)
+	}
+	if len(c.Rows) != 2 {
+		t.Fatalf("Rows = %+v, want 2 matched", c.Rows)
+	}
+	// Sorted worst-regression first: the -8 variant slowed 30%, the -4
+	// variant halved.
+	if c.Rows[0].Name != "BenchmarkA-8" || c.Rows[0].DeltaPct != 30 {
+		t.Errorf("worst row = %+v, want BenchmarkA-8 at +30%%", c.Rows[0])
+	}
+	if c.Rows[1].Name != "BenchmarkA-4" || c.Rows[1].DeltaPct != -50 {
+		t.Errorf("second row = %+v, want BenchmarkA-4 at -50%%", c.Rows[1])
+	}
+}
+
+func TestDiffSameProcsDifferentBenchmarksDoNotCollide(t *testing.T) {
+	oldDoc := doc(result{Name: "BenchmarkX", Procs: 8, NsPerOp: 100})
+	newDoc := doc(result{Name: "BenchmarkY", Procs: 8, NsPerOp: 100})
+	c := diff(oldDoc, newDoc)
+	if len(c.Rows) != 0 || len(c.Added) != 1 || len(c.Removed) != 1 {
+		t.Errorf("diff = %+v, want disjoint add/remove", c)
+	}
+}
+
+func TestDiffZeroBaselineHasNoDelta(t *testing.T) {
+	// A baseline entry without ns/op (custom-metric-only benchmark) must
+	// not divide by zero; delta stays 0 and never flags.
+	c := diff(doc(result{Name: "BenchmarkM"}), doc(result{Name: "BenchmarkM", NsPerOp: 50}))
+	if len(c.Rows) != 1 || c.Rows[0].DeltaPct != 0 {
+		t.Errorf("rows = %+v, want one row with zero delta", c.Rows)
+	}
+}
+
+func TestRenderCountsRegressions(t *testing.T) {
+	c := change{Rows: []deltaRow{
+		{Name: "slow", OldNs: 100, NewNs: 130, DeltaPct: 30},
+		{Name: "ok", OldNs: 100, NewNs: 105, DeltaPct: 5},
+		{Name: "fast", OldNs: 100, NewNs: 70, DeltaPct: -30},
+	}}
+	if n := render(io.Discard, c, 15); n != 1 {
+		t.Errorf("render flagged %d regressions, want 1 (improvements never flag)", n)
+	}
+}

@@ -215,8 +215,9 @@ type clusterStatusView struct {
 	Dispatches int    `json:"dispatches"`
 	Parked     bool   `json:"parked"`
 	Worker     *struct {
-		WorkerID   string `json:"worker_id"`
-		WorkerAddr string `json:"worker_addr"`
+		WorkerID    string `json:"worker_id"`
+		WorkerAddr  string `json:"worker_addr"`
+		WorkerJobID string `json:"worker_job_id"`
 	} `json:"worker"`
 }
 

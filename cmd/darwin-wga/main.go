@@ -210,8 +210,13 @@ func serveMain(args []string) int {
 		registers   registerList
 		role        = fs.String("role", "standalone", "standalone, coordinator, or worker")
 		coordURL    = fs.String("coordinator", "", "coordinator base URL to register with (worker role)")
+		coordList   = fs.String("coordinators", "", "comma-separated additional coordinator URLs the worker fails over to (worker role)")
 		advertise   = fs.String("advertise", "", "base URL the coordinator dials back (worker role; default http://<bound addr>)")
 		workerID    = fs.String("worker-id", "", "stable worker identity across restarts (worker role; default the bound addr)")
+		standbyOf   = fs.String("standby-of", "", "run as a warm standby of this leader coordinator URL (coordinator role; requires -journal-dir)")
+		standbyURLs = fs.String("standbys", "", "comma-separated standby coordinator URLs advertised to workers (coordinator role)")
+		advURL      = fs.String("advertise-url", "", "base URL workers dial this coordinator back at (coordinator role; default http://<addr>)")
+		shipEvery   = fs.Duration("ship-interval", 2*time.Second, "how often a running job's checkpoint segments ship to its coordinator (worker role with -checkpoint-root)")
 		replication = fs.Int("replication", 2, "replicas considered per target (coordinator role)")
 		leaseTTL    = fs.Duration("lease-ttl", 10*time.Second, "worker lease lifetime without a heartbeat (coordinator role)")
 		pollEvery   = fs.Duration("poll-interval", 500*time.Millisecond, "worker status poll cadence per routed job (coordinator role)")
@@ -268,6 +273,9 @@ func serveMain(args []string) int {
 			dispatchTO:  *dispatchTO,
 			maxQuery:    *maxQueryMB << 20,
 			journalDir:  *journalDir,
+			standbyOf:   strings.TrimSuffix(*standbyOf, "/"),
+			standbys:    splitURLList(*standbyURLs),
+			advertise:   strings.TrimSuffix(*advURL, "/"),
 			log:         logger,
 		})
 	default:
@@ -314,6 +322,7 @@ func serveMain(args []string) int {
 		BreakerThreshold:     *brkThresh,
 		BreakerCooldown:      *brkCooldown,
 		MemoryHighWater:      *memHighMB << 20,
+		ShipInterval:         *shipEvery,
 		Log:                  logger,
 		EnablePprof:          *enablePprof,
 	})
@@ -354,11 +363,12 @@ func serveMain(args []string) int {
 			adv = "http://" + ln.Addr().String()
 		}
 		agent, err := cluster.NewAgent(cluster.AgentConfig{
-			Coordinator: strings.TrimSuffix(*coordURL, "/"),
-			WorkerID:    id,
-			Advertise:   adv,
-			Server:      srv,
-			Log:         logger,
+			Coordinator:  strings.TrimSuffix(*coordURL, "/"),
+			Coordinators: splitURLList(*coordList),
+			WorkerID:     id,
+			Advertise:    adv,
+			Server:       srv,
+			Log:          logger,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
@@ -394,15 +404,32 @@ type coordinatorOptions struct {
 	dispatchTO  time.Duration
 	maxQuery    int
 	journalDir  string
+	standbyOf   string
+	standbys    []string
+	advertise   string
 	log         *slog.Logger
 }
 
-// coordinatorMain runs the cluster coordinator until SIGINT/SIGTERM.
-// Shutdown is crash-only: in-flight jobs are not failed, they are
-// journaled and resume on the next start exactly as after a crash.
-func coordinatorMain(opts coordinatorOptions) int {
-	coord, err := cluster.New(cluster.Config{
+// splitURLList parses a comma-separated URL list flag, dropping empties
+// and trailing slashes.
+func splitURLList(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// clusterConfig builds the coordinator configuration shared by the
+// leader path and the standby's promotion path.
+func (opts coordinatorOptions) clusterConfig() cluster.Config {
+	return cluster.Config{
 		Addr:              opts.addr,
+		AdvertiseURL:      opts.advertise,
+		Standbys:          opts.standbys,
 		ReplicationFactor: opts.replication,
 		LeaseTTL:          opts.leaseTTL,
 		PollInterval:      opts.poll,
@@ -410,7 +437,22 @@ func coordinatorMain(opts coordinatorOptions) int {
 		MaxQueryBases:     opts.maxQuery,
 		JournalDir:        opts.journalDir,
 		Log:               opts.log,
-	})
+	}
+}
+
+// coordinatorMain runs the cluster coordinator until SIGINT/SIGTERM.
+// Shutdown is crash-only: in-flight jobs are not failed, they are
+// journaled and resume on the next start exactly as after a crash.
+// With -standby-of it instead runs as a warm standby: it tails the
+// leader's routing WAL, serves 503 (pointing at the leader) until the
+// replication stream goes silent past the lease TTL, then promotes
+// itself to a full coordinator on the same address with a higher
+// fencing epoch.
+func coordinatorMain(opts coordinatorOptions) int {
+	if opts.standbyOf != "" {
+		return standbyMain(opts)
+	}
+	coord, err := cluster.New(opts.clusterConfig())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
 		return 1
@@ -441,6 +483,62 @@ func coordinatorMain(opts coordinatorOptions) int {
 		return 1
 	}
 	opts.log.Info("coordinator stopped, exiting")
+	return 0
+}
+
+// standbyMain runs the warm-standby coordinator: tail the leader's
+// journal, promote on silence, keep serving on the same listener
+// throughout (503 before promotion, the full coordinator API after).
+func standbyMain(opts coordinatorOptions) int {
+	if opts.journalDir == "" {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve: -standby-of requires -journal-dir")
+		return 2
+	}
+	sb, err := cluster.NewStandby(cluster.StandbyConfig{
+		LeaderURL:   opts.standbyOf,
+		JournalDir:  opts.journalDir,
+		Coordinator: opts.clusterConfig(),
+		Log:         opts.log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "darwin-wga serve: listening on %s\n", ln.Addr())
+	opts.log.Info("standby replicating", "leader", opts.standbyOf)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		if err := sb.Run(ctx); err != nil && ctx.Err() == nil {
+			opts.log.Error("standby replication loop", "err", err)
+		}
+	}()
+	httpSrv := &http.Server{Handler: sb.Handler()}
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		opts.log.Info("signal received, stopping standby")
+		err := sb.Shutdown(context.Background())
+		if cerr := httpSrv.Close(); err == nil {
+			err = cerr
+		}
+		drained <- err
+	}()
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve:", err)
+		return 1
+	}
+	if err := <-drained; err != nil {
+		fmt.Fprintln(os.Stderr, "darwin-wga serve: shutdown:", err)
+		return 1
+	}
+	opts.log.Info("standby stopped, exiting")
 	return 0
 }
 

@@ -290,6 +290,85 @@ func (j *Journal) openSegment() error {
 	return nil
 }
 
+// Compact atomically replaces the journal's contents with the given
+// records (typically a snapshot of the folded state): they are appended
+// to a fresh segment and made durable, and only then are the older
+// segments removed. Crash windows are safe by construction — a crash
+// before the new segment is published leaves the old records intact; a
+// crash after it is published but before the old segments are removed
+// leaves old records followed by the snapshot, which a fold that resets
+// its state at a snapshot record replays to the same result. The
+// journal stays open for appending after the snapshot.
+func (j *Journal) Compact(records []Record) error {
+	if j.closed {
+		return errors.New("checkpoint: compact on closed journal")
+	}
+	old, err := segmentFiles(j.dir, true)
+	if err != nil {
+		return err
+	}
+	// Seal the active segment and bring up a fresh one for the snapshot.
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	j.seq++
+	if err := j.openSegment(); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if err := j.Append(r.Kind, r.Payload); err != nil {
+			return err
+		}
+	}
+	// With NoSync the snapshot records may still be buffered; the old
+	// segments must not disappear before their replacement is durable.
+	if err := j.sync(); err != nil {
+		return err
+	}
+	for _, seg := range old {
+		if err := os.Remove(filepath.Join(j.dir, seg)); err != nil {
+			return err
+		}
+	}
+	return SyncDir(j.dir)
+}
+
+// SegmentInfo describes one on-disk segment file, for callers that ship
+// journal bytes elsewhere (replication, checkpoint handoff).
+type SegmentInfo struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// ListSegments returns the journal segments in dir in append order with
+// their current sizes. A missing directory yields an empty list.
+func ListSegments(dir string) ([]SegmentInfo, error) {
+	segs, err := segmentFiles(dir, false)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	out := make([]SegmentInfo, 0, len(segs))
+	for _, seg := range segs {
+		fi, err := os.Stat(filepath.Join(dir, seg))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SegmentInfo{Name: seg, Size: fi.Size()})
+	}
+	return out, nil
+}
+
+// IsSegmentName reports whether name is a well-formed segment file name
+// ("seg-%08d.wal"). Callers accepting shipped segment uploads use it to
+// reject path-traversal or junk names.
+func IsSegmentName(name string) bool { return isSegName(name) }
+
 // Close fsyncs and closes the active segment.
 func (j *Journal) Close() error {
 	if j.closed {

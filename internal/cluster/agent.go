@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"darwinwga/internal/core"
@@ -19,6 +22,12 @@ import (
 type AgentConfig struct {
 	// Coordinator is the coordinator's base URL.
 	Coordinator string
+	// Coordinators lists additional coordinator base URLs (warm
+	// standbys). The agent registers with one at a time and rotates to
+	// the next when the current one is unreachable — the worker-side
+	// half of coordinator failover. URLs learned from lease responses
+	// (the leader advertises its standbys) are merged in at runtime.
+	Coordinators []string
 	// WorkerID identifies this worker across restarts. Required.
 	WorkerID string
 	// Advertise is the base URL the coordinator should dial back —
@@ -52,6 +61,10 @@ type Agent struct {
 	client *http.Client
 	clock  faultinject.Clock
 	log    *slog.Logger
+
+	mu     sync.Mutex
+	coords []string // known coordinator URLs, configured + learned
+	cur    int      // index of the coordinator currently registered with
 }
 
 // NewAgent validates the config and returns an agent ready to Run.
@@ -83,17 +96,65 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Log == nil {
 		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Agent{
+	a := &Agent{
 		cfg:    cfg,
 		client: &http.Client{Transport: cfg.Transport, Timeout: cfg.RequestTimeout},
 		clock:  cfg.Clock,
 		log:    cfg.Log,
-	}, nil
+	}
+	a.coords = []string{strings.TrimSuffix(cfg.Coordinator, "/")}
+	a.mergeCoordinators(cfg.Coordinators)
+	return a, nil
+}
+
+// coordinator returns the URL the agent is currently talking to.
+func (a *Agent) coordinator() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.coords[a.cur]
+}
+
+// rotate moves to the next known coordinator (after the current one
+// proved unreachable or demoted itself).
+func (a *Agent) rotate() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.coords) > 1 {
+		a.cur = (a.cur + 1) % len(a.coords)
+	}
+}
+
+// mergeCoordinators adds newly learned coordinator URLs, deduplicated,
+// preserving discovery order.
+func (a *Agent) mergeCoordinators(urls []string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, u := range urls {
+		u = strings.TrimSuffix(u, "/")
+		if u == "" {
+			continue
+		}
+		known := false
+		for _, have := range a.coords {
+			if have == u {
+				known = true
+				break
+			}
+		}
+		if !known {
+			a.coords = append(a.coords, u)
+		}
+	}
 }
 
 // Run registers and heartbeats until ctx is done. Transient coordinator
 // unavailability is retried with backoff forever: a worker's job is to
 // keep trying to be part of the cluster.
+// errCoordinatorUnreachable marks heartbeat-loop endings where the
+// coordinator did not answer at all — the signal to rotate to a standby
+// rather than hammer the same address.
+var errCoordinatorUnreachable = errors.New("cluster: coordinator unreachable")
+
 func (a *Agent) Run(ctx context.Context) error {
 	attempt := 0
 	for {
@@ -103,27 +164,44 @@ func (a *Agent) Run(ctx context.Context) error {
 				return ctx.Err()
 			}
 			attempt++
+			a.rotate()
 			a.log.Warn("register failed; backing off", "worker", a.cfg.WorkerID, "err", err)
 			if !a.sleep(ctx, a.cfg.Retry.Backoff(attempt, hash64(a.cfg.WorkerID))) {
 				return ctx.Err()
 			}
 			continue
 		}
-		attempt = 0
+		// attempt is NOT reset here: a register that succeeds only to have
+		// every heartbeat answered 404 (coordinator flapping) must keep
+		// escalating its backoff. Only a healthy heartbeat run resets it.
 		a.log.Info("registered with coordinator",
-			"worker", a.cfg.WorkerID, "coordinator", a.cfg.Coordinator, "lease_ttl", ttl)
-		if err := a.heartbeatLoop(ctx, ttl); err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			a.log.Warn("heartbeat loop ended; re-registering", "worker", a.cfg.WorkerID, "err", err)
+			"worker", a.cfg.WorkerID, "coordinator", a.coordinator(), "lease_ttl", ttl)
+		healthy, err := a.heartbeatLoop(ctx, ttl)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		a.log.Warn("heartbeat loop ended; re-registering", "worker", a.cfg.WorkerID, "err", err)
+		if errors.Is(err, errCoordinatorUnreachable) {
+			a.rotate()
+		}
+		// Back off before re-registering. Without this a coordinator
+		// that answers heartbeats 404 (flapping restart loop, cleared
+		// membership) would see an unthrottled re-register storm from
+		// every worker at once.
+		if healthy {
+			attempt = 0
+		}
+		attempt++
+		if !a.sleep(ctx, a.cfg.Retry.Backoff(attempt, hash64(a.cfg.WorkerID))) {
+			return ctx.Err()
 		}
 	}
 }
 
 // heartbeatLoop renews the lease at ttl/3 until the coordinator stops
-// recognizing the worker or ctx ends.
-func (a *Agent) heartbeatLoop(ctx context.Context, ttl time.Duration) error {
+// recognizing the worker or ctx ends. healthy reports whether at least
+// one heartbeat succeeded (so Run can reset its backoff).
+func (a *Agent) heartbeatLoop(ctx context.Context, ttl time.Duration) (healthy bool, _ error) {
 	interval := ttl / 3
 	if interval <= 0 {
 		interval = time.Second
@@ -131,7 +209,7 @@ func (a *Agent) heartbeatLoop(ctx context.Context, ttl time.Duration) error {
 	misses := 0
 	for {
 		if !a.sleep(ctx, interval) {
-			return ctx.Err()
+			return healthy, ctx.Err()
 		}
 		code, err := a.heartbeat(ctx)
 		switch {
@@ -142,13 +220,18 @@ func (a *Agent) heartbeatLoop(ctx context.Context, ttl time.Duration) error {
 			// renews it. Past 3 consecutive misses the lease is likely
 			// gone — fall back to register.
 			if misses >= 3 {
-				return fmt.Errorf("cluster: %d consecutive heartbeat failures: %w", misses, err)
+				return healthy, fmt.Errorf("%w: %d consecutive heartbeat failures: %v",
+					errCoordinatorUnreachable, misses, err)
 			}
 		case code == http.StatusNotFound:
-			return fmt.Errorf("cluster: coordinator no longer knows this worker")
+			return healthy, fmt.Errorf("cluster: coordinator no longer knows this worker")
+		case code == http.StatusServiceUnavailable:
+			// A standby answering for a dead leader says 503: move on.
+			return healthy, fmt.Errorf("%w: heartbeat HTTP %d", errCoordinatorUnreachable, code)
 		case code != http.StatusOK:
-			return fmt.Errorf("cluster: heartbeat HTTP %d", code)
+			return healthy, fmt.Errorf("cluster: heartbeat HTTP %d", code)
 		default:
+			healthy = true
 			misses = 0
 		}
 	}
@@ -184,7 +267,7 @@ func (a *Agent) register(ctx context.Context) (time.Duration, error) {
 		return 0, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		a.cfg.Coordinator+"/cluster/v1/register", bytes.NewReader(payload))
+		a.coordinator()+"/cluster/v1/register", bytes.NewReader(payload))
 	if err != nil {
 		return 0, err
 	}
@@ -199,16 +282,29 @@ func (a *Agent) register(ctx context.Context) (time.Duration, error) {
 		return 0, fmt.Errorf("cluster: register HTTP %d", resp.StatusCode)
 	}
 	var granted struct {
-		LeaseTTLMS int64 `json:"lease_ttl_ms"`
+		LeaseTTLMS   int64    `json:"lease_ttl_ms"`
+		Epoch        uint64   `json:"epoch"`
+		Coordinators []string `json:"coordinators"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&granted); err != nil {
 		return 0, err
 	}
+	a.observeLease(granted.Epoch, granted.Coordinators)
 	ttl := time.Duration(granted.LeaseTTLMS) * time.Millisecond
 	if ttl <= 0 {
 		ttl = 10 * time.Second
 	}
 	return ttl, nil
+}
+
+// observeLease feeds what a lease response taught us back into the
+// worker: the coordinator's fencing epoch arms the server's stale-epoch
+// gate, and advertised standbys extend the failover list.
+func (a *Agent) observeLease(epoch uint64, coordinators []string) {
+	if epoch > 0 {
+		a.cfg.Server.ObserveClusterEpoch(epoch)
+	}
+	a.mergeCoordinators(coordinators)
 }
 
 // heartbeat renews the lease once, returning the HTTP status.
@@ -218,7 +314,7 @@ func (a *Agent) heartbeat(ctx context.Context) (int, error) {
 		return 0, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		a.cfg.Coordinator+"/cluster/v1/heartbeat", bytes.NewReader(payload))
+		a.coordinator()+"/cluster/v1/heartbeat", bytes.NewReader(payload))
 	if err != nil {
 		return 0, err
 	}
@@ -227,7 +323,16 @@ func (a *Agent) heartbeat(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer resp.Body.Close()                               //nolint:errcheck
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode == http.StatusOK {
+		var granted struct {
+			Epoch        uint64   `json:"epoch"`
+			Coordinators []string `json:"coordinators"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&granted); err == nil {
+			a.observeLease(granted.Epoch, granted.Coordinators)
+		}
+	}
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck
 	return resp.StatusCode, nil
 }

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"darwinwga/internal/faultinject"
+	"darwinwga/internal/server"
+)
+
+// flappingCoordinator answers every register 200 and every heartbeat
+// 404 — the shape of a coordinator stuck in a restart loop that keeps
+// losing its membership table.
+type flappingCoordinator struct {
+	srv *httptest.Server
+
+	mu        sync.Mutex
+	registers int
+}
+
+func newFlappingCoordinator(t *testing.T, leaseTTLMS int64) *flappingCoordinator {
+	t.Helper()
+	fc := &flappingCoordinator{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		fc.mu.Lock()
+		fc.registers++
+		fc.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"lease_ttl_ms": leaseTTLMS}) //nolint:errcheck
+	})
+	mux.HandleFunc("POST /cluster/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown worker"}`, http.StatusNotFound)
+	})
+	fc.srv = httptest.NewServer(mux)
+	t.Cleanup(fc.srv.Close)
+	return fc
+}
+
+func (fc *flappingCoordinator) registerCount() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.registers
+}
+
+// TestAgentBacksOffAfterHeartbeat404 pins the re-register throttle: a
+// coordinator whose heartbeats always answer 404 must see backed-off
+// re-registers, not an unthrottled storm. Regression test for the tight
+// re-register loop the agent used to enter when a heartbeat 404 ended
+// the loop without any delay before the next register.
+func TestAgentBacksOffAfterHeartbeat404(t *testing.T) {
+	fc := newFlappingCoordinator(t, 3000) // heartbeat interval 1s
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	defer srv.Shutdown(context.Background()) //nolint:errcheck
+
+	clock := faultinject.NewManualClock(time.Unix(1700000000, 0))
+	agent, err := NewAgent(AgentConfig{
+		Coordinator: fc.srv.URL,
+		WorkerID:    "w-backoff",
+		Advertise:   "http://127.0.0.1:0",
+		Server:      srv,
+		Clock:       clock,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		agent.Run(ctx) //nolint:errcheck
+	}()
+
+	// Walk 60 simulated seconds. Each cycle costs the 1s heartbeat wait
+	// plus a re-register backoff that doubles to its 5s cap, so a healthy
+	// agent lands ~12 registers; the unthrottled bug would land ~60.
+	const simulated = 60 * time.Second
+	const step = 500 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < simulated; elapsed += step {
+		clock.Advance(step)
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	got := fc.registerCount()
+	if got < 2 {
+		t.Fatalf("agent registered %d times; it should keep retrying", got)
+	}
+	if got > 25 {
+		t.Errorf("agent registered %d times in %v of 404 heartbeats; backoff is not throttling (want <= 25)",
+			got, simulated)
+	}
+}

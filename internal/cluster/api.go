@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"darwinwga/internal/checkpoint"
 	"darwinwga/internal/genome"
 )
 
@@ -81,6 +82,10 @@ func (c *Coordinator) buildHandler() http.Handler {
 	mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
 	mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("GET /cluster/v1/workers", c.handleWorkers)
+	mux.HandleFunc("GET /cluster/v1/replicate", c.serveReplicate)
+	mux.HandleFunc("GET /cluster/v1/jobs/{id}/journal", c.handleShippedList)
+	mux.HandleFunc("GET /cluster/v1/jobs/{id}/journal/{seg}", c.handleShippedGet)
+	mux.HandleFunc("PUT /cluster/v1/jobs/{id}/journal/{seg}", c.handleShippedPut)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /readyz", c.handleReadyz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
@@ -416,9 +421,18 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if fresh {
 		c.log.Info("worker registered", "worker", req.WorkerID, "addr", req.Addr, "targets", len(targets))
 	}
-	cWriteJSON(w, http.StatusOK, map[string]any{
+	cWriteJSON(w, http.StatusOK, c.leaseResponse())
+}
+
+// leaseResponse is the register/heartbeat reply: the lease to keep, the
+// coordinator's fencing epoch (workers gate stale leaders on it), and
+// the advertised standby set (where agents fail over to).
+func (c *Coordinator) leaseResponse() map[string]any {
+	return map[string]any{
 		"lease_ttl_ms": c.cfg.LeaseTTL.Milliseconds(),
-	})
+		"epoch":        c.epoch,
+		"coordinators": c.cfg.Standbys,
+	}
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -433,9 +447,88 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		cWriteError(w, http.StatusNotFound, "unknown worker %q: re-register", req.WorkerID)
 		return
 	}
-	cWriteJSON(w, http.StatusOK, map[string]any{
-		"lease_ttl_ms": c.cfg.LeaseTTL.Milliseconds(),
-	})
+	cWriteJSON(w, http.StatusOK, c.leaseResponse())
+}
+
+// The shipped-journal endpoints back checkpoint shipping: a worker PUTs
+// its running job's pipeline-WAL segments here; after a failover the
+// replacement worker lists and downloads them, then resumes
+// mid-pipeline.
+
+func (c *Coordinator) shippedJob(w http.ResponseWriter, r *http.Request) (*coordJob, string, bool) {
+	if c.wal == nil {
+		cWriteError(w, http.StatusServiceUnavailable, "checkpoint shipping requires -journal-dir")
+		return nil, "", false
+	}
+	id := r.PathValue("id")
+	j, ok := c.getJob(id)
+	if !ok {
+		cWriteError(w, http.StatusNotFound, "unknown job %q", id)
+		return nil, "", false
+	}
+	return j, id, true
+}
+
+func (c *Coordinator) handleShippedList(w http.ResponseWriter, r *http.Request) {
+	_, id, ok := c.shippedJob(w, r)
+	if !ok {
+		return
+	}
+	segs, err := c.wal.listShipped(id)
+	if err != nil {
+		cWriteError(w, http.StatusInternalServerError, "listing shipped segments: %v", err)
+		return
+	}
+	if segs == nil {
+		segs = []checkpoint.SegmentInfo{}
+	}
+	cWriteJSON(w, http.StatusOK, map[string]any{"segments": segs})
+}
+
+func (c *Coordinator) handleShippedGet(w http.ResponseWriter, r *http.Request) {
+	_, id, ok := c.shippedJob(w, r)
+	if !ok {
+		return
+	}
+	seg := r.PathValue("seg")
+	if !checkpoint.IsSegmentName(seg) {
+		cWriteError(w, http.StatusBadRequest, "bad segment name %q", seg)
+		return
+	}
+	data, err := c.wal.loadShipped(id, seg)
+	if err != nil {
+		cWriteError(w, http.StatusNotFound, "segment %q: %v", seg, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data) //nolint:errcheck // response committed
+}
+
+func (c *Coordinator) handleShippedPut(w http.ResponseWriter, r *http.Request) {
+	j, id, ok := c.shippedJob(w, r)
+	if !ok {
+		return
+	}
+	seg := r.PathValue("seg")
+	if !checkpoint.IsSegmentName(seg) {
+		cWriteError(w, http.StatusBadRequest, "bad segment name %q", seg)
+		return
+	}
+	if st, _ := j.snapshotState(); terminalState(st) {
+		// Nothing will resume a terminal job; don't re-accumulate.
+		cWriteError(w, http.StatusConflict, "job %q is %s", id, st)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, checkpoint.DefaultSegmentBytes*2))
+	if err != nil {
+		cWriteError(w, http.StatusRequestEntityTooLarge, "reading segment: %v", err)
+		return
+	}
+	if err := c.wal.saveShipped(id, seg, data); err != nil {
+		cWriteError(w, http.StatusInternalServerError, "storing segment: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
@@ -490,8 +583,12 @@ func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"workers":          workers,
 		"targets_served":   served,
 		"targets_degraded": degraded,
+		"epoch":            c.epoch,
 	}
 	switch {
+	case c.fenced.Load():
+		body["status"] = "fenced"
+		cWriteJSON(w, http.StatusServiceUnavailable, body)
 	case workers == 0:
 		body["status"] = "unavailable"
 		cWriteJSON(w, http.StatusServiceUnavailable, body)

@@ -37,21 +37,34 @@ const (
 type fakeWorker struct {
 	srv *httptest.Server
 
-	mu      sync.Mutex
-	jobs    map[string]string // worker job id -> state
-	nextID  int
-	submits int
+	mu       sync.Mutex
+	jobs     map[string]string // worker job id -> state
+	nextID   int
+	submits  int
+	shipURLs []string // journal_ship from each accepted dispatch, in order
 }
 
 func newFakeWorker(t *testing.T) *fakeWorker {
+	return newFakeWorkerWrapped(t, nil)
+}
+
+// newFakeWorkerWrapped builds a fake worker whose handler is wrapped by
+// wrap (nil = none) — the HA tests use it to stand in an epoch gate the
+// way the real worker server does.
+func newFakeWorkerWrapped(t *testing.T, wrap func(http.Handler) http.Handler) *fakeWorker {
 	t.Helper()
 	w := &fakeWorker{jobs: make(map[string]string)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(rw http.ResponseWriter, r *http.Request) {
-		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		var sub struct {
+			JournalShip string `json:"journal_ship"`
+		}
+		json.NewDecoder(r.Body).Decode(&sub)  //nolint:errcheck
+		io.Copy(io.Discard, r.Body)           //nolint:errcheck
 		w.mu.Lock()
 		w.nextID++
 		w.submits++
+		w.shipURLs = append(w.shipURLs, sub.JournalShip)
 		id := fmt.Sprintf("wj-%d", w.nextID)
 		w.jobs[id] = "running"
 		w.mu.Unlock()
@@ -89,9 +102,23 @@ func newFakeWorker(t *testing.T) *fakeWorker {
 		w.mu.Unlock()
 		json.NewEncoder(rw).Encode(map[string]any{"state": "cancelled"}) //nolint:errcheck
 	})
-	w.srv = httptest.NewServer(mux)
+	h := http.Handler(mux)
+	if wrap != nil {
+		h = wrap(h)
+	}
+	w.srv = httptest.NewServer(h)
 	t.Cleanup(w.srv.Close)
 	return w
+}
+
+// lastShipURL returns the journal_ship of the most recent dispatch.
+func (w *fakeWorker) lastShipURL() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.shipURLs) == 0 {
+		return ""
+	}
+	return w.shipURLs[len(w.shipURLs)-1]
 }
 
 func (w *fakeWorker) host() string { return mustHost(w.srv.URL) }

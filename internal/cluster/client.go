@@ -7,7 +7,17 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+
+	"darwinwga/internal/server"
 )
+
+// EpochHeader carries the dispatching coordinator's fencing epoch on
+// every coordinator→worker request. Workers track the highest epoch
+// seen and reject lower ones with 409, which is what keeps a partitioned
+// old leader from split-brain dispatching. Requests without the header
+// (standalone clients) are not fenced.
+const EpochHeader = server.ClusterEpochHeader
 
 // workerSubmit is the body dispatched to a worker's POST /v1/jobs — the
 // server's submitRequest shape with the query inlined from the
@@ -17,6 +27,10 @@ type workerSubmit struct {
 	QueryFASTA string `json:"query_fasta"`
 	QueryName  string `json:"query_name,omitempty"`
 	Client     string `json:"client,omitempty"`
+	// JournalShip is the coordinator artifact-store base URL the worker
+	// ships this job's pipeline-journal segments to (and downloads them
+	// from when resuming after a failover).
+	JournalShip string `json:"journal_ship,omitempty"`
 
 	Ungapped          bool  `json:"ungapped,omitempty"`
 	ForwardOnly       bool  `json:"forward_only,omitempty"`
@@ -58,6 +72,7 @@ func (b *cancelOnClose) Close() error {
 func (c *Coordinator) doRequest(req *http.Request, cancelCh <-chan struct{}) (*http.Response, error) {
 	ctx, cancel := context.WithCancel(req.Context())
 	req = req.WithContext(ctx)
+	req.Header.Set(EpochHeader, strconv.FormatUint(c.epoch, 10))
 	type result struct {
 		resp *http.Response
 		err  error
@@ -72,6 +87,14 @@ func (c *Coordinator) doRequest(req *http.Request, cancelCh <-chan struct{}) (*h
 		if r.err != nil {
 			cancel()
 			return nil, r.err
+		}
+		if r.resp.StatusCode == http.StatusConflict && r.resp.Header.Get(EpochHeader) != "" {
+			// The worker knows a newer epoch: a standby promoted past us.
+			// Stop dispatching — the new leader owns these jobs.
+			if c.fenced.CompareAndSwap(false, true) {
+				c.log.Error("fenced: worker rejected stale epoch; ceasing dispatch",
+					"epoch", c.epoch, "worker_epoch", r.resp.Header.Get(EpochHeader))
+			}
 		}
 		r.resp.Body = &cancelOnClose{ReadCloser: r.resp.Body, cancel: cancel}
 		return r.resp, nil
@@ -108,6 +131,7 @@ func (c *Coordinator) dispatchTo(j *coordJob, m *Member) (string, error) {
 		QueryFASTA:        j.queryFASTA,
 		QueryName:         j.QueryName,
 		Client:            "coord/" + j.Client,
+		JournalShip:       c.shipURLFor(j.ID),
 		Ungapped:          j.Spec.Ungapped,
 		ForwardOnly:       j.Spec.ForwardOnly,
 		Hf:                j.Spec.Hf,
@@ -206,6 +230,7 @@ func (c *Coordinator) openMAFStream(ctx context.Context, a assignment) (*http.Re
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set(EpochHeader, strconv.FormatUint(c.epoch, 10))
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, err

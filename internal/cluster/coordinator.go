@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darwinwga/internal/core"
@@ -149,6 +150,17 @@ type Config struct {
 	// JournalDir, when set, makes the coordinator crash-only: every
 	// routing decision is journaled there and restart recovers it.
 	JournalDir string
+	// SnapshotThreshold compacts the routing WAL to a snapshot record
+	// at open once it holds more than this many records (default 4096),
+	// bounding restart replay and standby sync. Requires JournalDir.
+	SnapshotThreshold int
+	// AdvertiseURL is the base URL workers use to reach this
+	// coordinator for checkpoint shipping (default "http://"+Addr).
+	AdvertiseURL string
+	// Standbys lists the base URLs of warm standbys replicating this
+	// coordinator's journal. They are advertised to workers in
+	// register/heartbeat responses so agents know where to fail over.
+	Standbys []string
 	// RetainJobs bounds how many terminal jobs stay queryable in
 	// memory (default 256).
 	RetainJobs int
@@ -203,6 +215,9 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 256
 	}
+	if c.AdvertiseURL == "" {
+		c.AdvertiseURL = "http://" + c.Addr
+	}
 	if c.Transport == nil {
 		c.Transport = http.DefaultTransport
 	}
@@ -224,6 +239,9 @@ type Coordinator struct {
 	ms      *membership
 	brk     *workerBreakers
 	wal     *coordJournal
+	hub     *replicationHub
+	epoch   uint64 // fencing token, fixed at New; promotions build a new Coordinator
+	fenced  atomic.Bool
 	metrics *obs.Registry
 	handler http.Handler
 	client  *http.Client
@@ -285,14 +303,27 @@ func New(cfg Config) (*Coordinator, error) {
 	c.registerMetrics()
 
 	var recovered []recoveredRouting
+	c.epoch = 1
 	if cfg.JournalDir != "" {
-		wal, recs, err := openCoordJournal(cfg.JournalDir)
+		wal, state, err := openCoordJournal(cfg.JournalDir, cfg.SnapshotThreshold)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
 		c.wal = wal
-		recovered = recs
+		recovered = state.recovered
+		// Every start — cold restart or standby promotion — bumps the
+		// fencing epoch past everything the journal (local or shipped
+		// from the old leader) has seen, and journals the bump so it
+		// replicates onward.
+		c.epoch = state.epoch + 1
+		c.hub = newReplicationHub(state.records)
+		wal.hub = c.hub
+		if err := wal.epoch(c.epoch); err != nil {
+			wal.close()
+			cancel()
+			return nil, fmt.Errorf("cluster: journaling epoch: %w", err)
+		}
 	}
 	c.handler = c.buildHandler()
 	c.recover(recovered)
@@ -355,6 +386,25 @@ func (c *Coordinator) activeCount() int {
 
 // Metrics exposes the coordinator's metric registry.
 func (c *Coordinator) Metrics() *obs.Registry { return c.metrics }
+
+// Epoch returns the coordinator's fencing epoch, fixed at construction.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// Fenced reports whether a worker rejected this coordinator's epoch as
+// stale — proof a newer leader exists. A fenced coordinator stops
+// dispatching; its jobs carry forward in the replicated journal under
+// the new leader.
+func (c *Coordinator) Fenced() bool { return c.fenced.Load() }
+
+// shipURLFor is the base URL a worker ships job id's pipeline-journal
+// segments to (and a failover replacement downloads them from). Empty
+// without a journal: shipping needs the artifact store.
+func (c *Coordinator) shipURLFor(id string) string {
+	if c.wal == nil {
+		return ""
+	}
+	return c.cfg.AdvertiseURL + "/cluster/v1/jobs/" + id + "/journal"
+}
 
 // Handler exposes the coordinator's HTTP API for embedding.
 func (c *Coordinator) Handler() http.Handler { return c.handler }
@@ -509,6 +559,7 @@ func (c *Coordinator) evictLocked() {
 		st, _ := j.snapshotState()
 		if over > 0 && terminalState(st) {
 			delete(c.jobs, id)
+			c.wal.removeShipped(id)
 			over--
 			continue
 		}
@@ -556,6 +607,7 @@ func (c *Coordinator) finalize(j *coordJob, state, errMsg string) {
 	if err := c.wal.finished(j, state, errMsg, now); err != nil {
 		c.log.Error("journaling terminal state failed", "job", j.ID, "err", err)
 	}
+	c.wal.removeShipped(j.ID)
 	close(j.doneCh)
 	c.log.Info("job finished", "job", j.ID, "state", state, "err", errMsg,
 		"dispatches", j.dispatchCount())
@@ -671,6 +723,12 @@ func (c *Coordinator) park(j *coordJob) bool {
 // on the first worker that accepts it. Returns false if no replica
 // accepted.
 func (c *Coordinator) dispatch(j *coordJob) (assignment, bool) {
+	if c.fenced.Load() {
+		// A newer leader owns the cluster; dispatching would split-brain.
+		// The job parks here and completes under the new leader, which
+		// replicated the same journal.
+		return assignment{}, false
+	}
 	replicas := c.ms.replicasFor(j.Target, c.cfg.ReplicationFactor)
 	// Demote (not drop) the worker the job was last on: after a
 	// failover we prefer a different replica, but if the lost worker is

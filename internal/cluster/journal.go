@@ -24,14 +24,26 @@ import (
 //	3 assigned  — routing decision: which worker, at which address,
 //	              under which worker-side job id
 //	4 finished  — terminal outcome: state + error
+//	5 epoch     — leadership fencing token: every coordinator start (and
+//	              every standby promotion) journals max-seen + 1, so the
+//	              epoch is monotone across the replicated journal
+//	6 snapshot  — the folded routing state at compaction time; a fold
+//	              resets at a snapshot record, which is what makes
+//	              segment truncation safe
 const (
 	ckKindHeader    = 1
 	ckKindSubmitted = 2
 	ckKindAssigned  = 3
 	ckKindFinished  = 4
+	ckKindEpoch     = 5
+	ckKindSnapshot  = 6
 
 	ckVersion = 1
 )
+
+// defaultSnapshotThreshold is the record count past which the journal is
+// compacted to a snapshot at open.
+const defaultSnapshotThreshold = 4096
 
 type ckHeader struct {
 	Version int `json:"version"`
@@ -62,6 +74,22 @@ type ckFinished struct {
 	AtNS  int64  `json:"at_ns"`
 }
 
+type ckEpoch struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// ckSnapJob is one job's full routing history inside a snapshot record.
+type ckSnapJob struct {
+	Sub      ckSubmitted `json:"sub"`
+	Assigns  []ckAssigned `json:"assigns,omitempty"`
+	Finished *ckFinished  `json:"finished,omitempty"`
+}
+
+type ckSnapshot struct {
+	Epoch uint64      `json:"epoch"`
+	Jobs  []ckSnapJob `json:"jobs"`
+}
+
 // recoveredRouting is one job folded out of the WAL.
 type recoveredRouting struct {
 	sub        ckSubmitted
@@ -74,17 +102,33 @@ type recoveredRouting struct {
 
 // coordJournal wraps a checkpoint.Journal with the locking the
 // coordinator needs (runners journal concurrently; checkpoint.Journal
-// itself is single-writer) plus the query spill directory.
+// itself is single-writer) plus the query spill directory, the shipped
+// pipeline-journal artifact store, and the replication hub every
+// appended record is published to (appends and publishes share cj.mu,
+// so hub order is WAL order).
 type coordJournal struct {
 	mu  sync.Mutex
 	j   *checkpoint.Journal
 	dir string
+	hub *replicationHub
+}
+
+// journalState is what openCoordJournal recovered: the folded per-job
+// routing histories, the highest journaled epoch, and the journal's
+// current raw records (post-compaction) for seeding the replication hub.
+type journalState struct {
+	recovered []recoveredRouting
+	epoch     uint64
+	records   []checkpoint.Record
 }
 
 // openCoordJournal opens (creating if needed) the coordinator WAL in
 // dir and folds every valid record into per-job routing histories, in
-// submission order.
-func openCoordJournal(dir string) (*coordJournal, []recoveredRouting, error) {
+// submission order. When the journal has grown past snapshotThreshold
+// records (0 = defaultSnapshotThreshold) it is compacted to a single
+// snapshot record so restart replay — and the journal a standby must
+// sync — stays bounded.
+func openCoordJournal(dir string, snapshotThreshold int) (*coordJournal, *journalState, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "queries"), 0o755); err != nil {
 		return nil, nil, err
 	}
@@ -93,39 +137,97 @@ func openCoordJournal(dir string) (*coordJournal, []recoveredRouting, error) {
 		return nil, nil, fmt.Errorf("cluster: opening coordinator journal: %w", err)
 	}
 	cj := &coordJournal{j: j, dir: dir}
-	recovered, err := cj.fold(recs)
+	recovered, epoch, err := foldRouting(recs)
 	if err != nil {
 		j.Close() //nolint:errcheck
 		return nil, nil, err
 	}
+	if snapshotThreshold <= 0 {
+		snapshotThreshold = defaultSnapshotThreshold
+	}
+	if len(recs) > snapshotThreshold {
+		recs, err = cj.compact(recovered, epoch)
+		if err != nil {
+			j.Close() //nolint:errcheck
+			return nil, nil, fmt.Errorf("cluster: compacting coordinator journal: %w", err)
+		}
+	}
 	if len(recs) == 0 {
-		if err := cj.append(ckKindHeader, ckHeader{Version: ckVersion}); err != nil {
+		hdr, err := jsonRecord(ckKindHeader, ckHeader{Version: ckVersion})
+		if err != nil {
 			j.Close() //nolint:errcheck
 			return nil, nil, err
 		}
+		if err := cj.j.Append(hdr.Kind, hdr.Payload); err != nil {
+			j.Close() //nolint:errcheck
+			return nil, nil, err
+		}
+		recs = []checkpoint.Record{hdr}
 	}
-	return cj, recovered, nil
+	return cj, &journalState{recovered: recovered, epoch: epoch, records: recs}, nil
 }
 
-// fold replays records into routing histories keyed by job id,
-// preserving submission order.
-func (cj *coordJournal) fold(recs []checkpoint.Record) ([]recoveredRouting, error) {
+// compact rewrites the journal as header + snapshot and returns the new
+// raw record set.
+func (cj *coordJournal) compact(recovered []recoveredRouting, epoch uint64) ([]checkpoint.Record, error) {
+	hdr, err := jsonRecord(ckKindHeader, ckHeader{Version: ckVersion})
+	if err != nil {
+		return nil, err
+	}
+	snap, err := jsonRecord(ckKindSnapshot, snapshotOf(recovered, epoch))
+	if err != nil {
+		return nil, err
+	}
+	recs := []checkpoint.Record{hdr, snap}
+	if err := cj.j.Compact(recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// snapshotOf serializes the folded routing state.
+func snapshotOf(recovered []recoveredRouting, epoch uint64) ckSnapshot {
+	snap := ckSnapshot{Epoch: epoch, Jobs: make([]ckSnapJob, 0, len(recovered))}
+	for _, r := range recovered {
+		sj := ckSnapJob{Sub: r.sub, Assigns: r.assigns}
+		if r.finished {
+			sj.Finished = &ckFinished{ID: r.sub.ID, State: r.finalState, Error: r.finalErr, AtNS: r.finishedAt.UnixNano()}
+		}
+		snap.Jobs = append(snap.Jobs, sj)
+	}
+	return snap
+}
+
+func jsonRecord(kind uint8, v any) (checkpoint.Record, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return checkpoint.Record{}, err
+	}
+	return checkpoint.Record{Kind: kind, Payload: payload}, nil
+}
+
+// foldRouting replays records into routing histories keyed by job id,
+// preserving submission order, and tracks the highest journaled epoch.
+// A snapshot record resets the folded state to the snapshot's — exactly
+// the semantics Compact's crash window needs.
+func foldRouting(recs []checkpoint.Record) ([]recoveredRouting, uint64, error) {
 	byID := make(map[string]*recoveredRouting)
 	var order []string
+	var epoch uint64
 	for _, rec := range recs {
 		switch rec.Kind {
 		case ckKindHeader:
 			var h ckHeader
 			if err := json.Unmarshal(rec.Payload, &h); err != nil {
-				return nil, fmt.Errorf("cluster: journal header: %w", err)
+				return nil, 0, fmt.Errorf("cluster: journal header: %w", err)
 			}
 			if h.Version != ckVersion {
-				return nil, fmt.Errorf("cluster: journal version %d, want %d", h.Version, ckVersion)
+				return nil, 0, fmt.Errorf("cluster: journal version %d, want %d", h.Version, ckVersion)
 			}
 		case ckKindSubmitted:
 			var sub ckSubmitted
 			if err := json.Unmarshal(rec.Payload, &sub); err != nil {
-				return nil, fmt.Errorf("cluster: submitted record: %w", err)
+				return nil, 0, fmt.Errorf("cluster: submitted record: %w", err)
 			}
 			if _, dup := byID[sub.ID]; !dup {
 				byID[sub.ID] = &recoveredRouting{sub: sub}
@@ -134,7 +236,7 @@ func (cj *coordJournal) fold(recs []checkpoint.Record) ([]recoveredRouting, erro
 		case ckKindAssigned:
 			var a ckAssigned
 			if err := json.Unmarshal(rec.Payload, &a); err != nil {
-				return nil, fmt.Errorf("cluster: assigned record: %w", err)
+				return nil, 0, fmt.Errorf("cluster: assigned record: %w", err)
 			}
 			if r, ok := byID[a.ID]; ok {
 				r.assigns = append(r.assigns, a)
@@ -142,13 +244,42 @@ func (cj *coordJournal) fold(recs []checkpoint.Record) ([]recoveredRouting, erro
 		case ckKindFinished:
 			var f ckFinished
 			if err := json.Unmarshal(rec.Payload, &f); err != nil {
-				return nil, fmt.Errorf("cluster: finished record: %w", err)
+				return nil, 0, fmt.Errorf("cluster: finished record: %w", err)
 			}
 			if r, ok := byID[f.ID]; ok {
 				r.finished = true
 				r.finalState = f.State
 				r.finalErr = f.Error
 				r.finishedAt = time.Unix(0, f.AtNS)
+			}
+		case ckKindEpoch:
+			var e ckEpoch
+			if err := json.Unmarshal(rec.Payload, &e); err != nil {
+				return nil, 0, fmt.Errorf("cluster: epoch record: %w", err)
+			}
+			if e.Epoch > epoch {
+				epoch = e.Epoch
+			}
+		case ckKindSnapshot:
+			var s ckSnapshot
+			if err := json.Unmarshal(rec.Payload, &s); err != nil {
+				return nil, 0, fmt.Errorf("cluster: snapshot record: %w", err)
+			}
+			byID = make(map[string]*recoveredRouting)
+			order = order[:0]
+			if s.Epoch > epoch {
+				epoch = s.Epoch
+			}
+			for _, sj := range s.Jobs {
+				r := &recoveredRouting{sub: sj.Sub, assigns: sj.Assigns}
+				if sj.Finished != nil {
+					r.finished = true
+					r.finalState = sj.Finished.State
+					r.finalErr = sj.Finished.Error
+					r.finishedAt = time.Unix(0, sj.Finished.AtNS)
+				}
+				byID[sj.Sub.ID] = r
+				order = append(order, sj.Sub.ID)
 			}
 		default:
 			// Unknown kinds from a newer writer are skipped, not fatal.
@@ -158,7 +289,7 @@ func (cj *coordJournal) fold(recs []checkpoint.Record) ([]recoveredRouting, erro
 	for _, id := range order {
 		out = append(out, *byID[id])
 	}
-	return out, nil
+	return out, epoch, nil
 }
 
 func (cj *coordJournal) append(kind uint8, v any) error {
@@ -168,7 +299,21 @@ func (cj *coordJournal) append(kind uint8, v any) error {
 	}
 	cj.mu.Lock()
 	defer cj.mu.Unlock()
-	return cj.j.Append(kind, payload)
+	if err := cj.j.Append(kind, payload); err != nil {
+		return err
+	}
+	if cj.hub != nil {
+		cj.hub.publish(checkpoint.Record{Kind: kind, Payload: payload})
+	}
+	return nil
+}
+
+// epoch journals a fencing-token bump.
+func (cj *coordJournal) epoch(e uint64) error {
+	if cj == nil {
+		return nil
+	}
+	return cj.append(ckKindEpoch, ckEpoch{Epoch: e})
 }
 
 // queryPath is where job id's spilled query lives.
@@ -231,6 +376,42 @@ func (cj *coordJournal) finished(j *coordJob, state, errMsg string, at time.Time
 		Error: errMsg,
 		AtNS:  at.UnixNano(),
 	})
+}
+
+// The shipped-artifact store holds pipeline-journal segments workers
+// PUT for their running jobs (shipped/<coord job id>/seg-*.wal). On
+// failover the replacement worker GETs them back and resumes
+// mid-pipeline instead of recomputing.
+
+func (cj *coordJournal) shippedDir(id string) string {
+	return filepath.Join(cj.dir, "shipped", id)
+}
+
+// saveShipped stores one shipped segment atomically. The name has been
+// validated (checkpoint.IsSegmentName) by the caller.
+func (cj *coordJournal) saveShipped(id, name string, data []byte) error {
+	dir := cj.shippedDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeFileAtomicCluster(filepath.Join(dir, name), data)
+}
+
+func (cj *coordJournal) listShipped(id string) ([]checkpoint.SegmentInfo, error) {
+	return checkpoint.ListSegments(cj.shippedDir(id))
+}
+
+func (cj *coordJournal) loadShipped(id, name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(cj.shippedDir(id), name))
+}
+
+// removeShipped drops a job's shipped segments — called when the job
+// reaches a terminal state and the pipeline journal has no further use.
+func (cj *coordJournal) removeShipped(id string) {
+	if cj == nil {
+		return
+	}
+	os.RemoveAll(cj.shippedDir(id)) //nolint:errcheck // best effort cleanup
 }
 
 func (cj *coordJournal) close() {

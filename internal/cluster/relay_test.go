@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"darwinwga/internal/maf"
+)
+
+// spliceMAF is a two-block document with the standard trailer; the
+// offsets below carve it at every edge the failover splice can land on.
+const spliceHeader = "##maf version=1 scoring=darwin-wga\n\n"
+const spliceBlock1 = "a score=42\ns tgt.chr1 0 4 + 100 ACGT\ns q.chr2 2 4 - 80 AC-GT\n\n"
+const spliceBlock2 = "a score=7\ns tgt.chr1 8 4 + 100 TTTT\ns q.chr2 9 4 + 80 TTTT\n\n"
+
+var spliceDoc = spliceHeader + spliceBlock1 + spliceBlock2 + maf.Trailer + "\n"
+
+// trickleReader returns at most a few bytes per Read so splice offsets
+// land mid-chunk, mid-line, and mid-trailer rather than on Read
+// boundaries.
+type trickleReader struct {
+	s   string
+	pos int
+}
+
+func (r *trickleReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.s) {
+		return 0, io.EOF
+	}
+	n := 3
+	if n > len(r.s)-r.pos {
+		n = len(r.s) - r.pos
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, r.s[r.pos:r.pos+n])
+	r.pos += n
+	return n, nil
+}
+
+// TestRelayMAFSpliceOffsets: relayMAF must resume a failover stream at
+// exactly the byte offset already sent — from byte zero, at a block
+// boundary, mid-block, inside the ##eof trailer, and at end-of-stream —
+// because the client sees one continuous MAF across worker deaths.
+func TestRelayMAFSpliceOffsets(t *testing.T) {
+	doc := spliceDoc
+	cases := []struct {
+		name string
+		skip int
+	}{
+		{"byte zero (fresh stream)", 0},
+		{"header boundary", len(spliceHeader)},
+		{"mid first block", len(spliceHeader) + 11},
+		{"block boundary", len(spliceHeader) + len(spliceBlock1)},
+		{"inside the ##eof trailer", len(doc) - 4},
+		{"exact end of stream", len(doc)},
+	}
+	c := &Coordinator{} // relayMAF reads nothing from the coordinator
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			resp := &http.Response{Body: io.NopCloser(&trickleReader{s: doc})}
+			sent, err := c.relayMAF(rec, http.NewResponseController(rec), resp, tc.skip)
+			if err != nil {
+				t.Fatalf("relayMAF: %v", err)
+			}
+			if sent != len(doc) {
+				t.Errorf("sent = %d, want %d (total stream offset)", sent, len(doc))
+			}
+			if got, want := rec.Body.String(), doc[tc.skip:]; got != want {
+				t.Errorf("spliced bytes = %q, want %q", got, want)
+			}
+		})
+	}
+
+	// A second-assignment stream that dies mid-read reports how far it
+	// got so the next splice picks up from there.
+	t.Run("short second stream keeps the offset", func(t *testing.T) {
+		rec := httptest.NewRecorder()
+		short := doc[:len(spliceHeader)+len(spliceBlock1)] // worker died before block 2
+		resp := &http.Response{Body: io.NopCloser(strings.NewReader(short))}
+		sent, err := c.relayMAF(rec, http.NewResponseController(rec), resp, len(spliceHeader))
+		if err != nil {
+			t.Fatalf("relayMAF: %v", err)
+		}
+		if sent != len(short) {
+			t.Errorf("sent = %d, want %d", sent, len(short))
+		}
+		if got := rec.Body.String(); got != spliceBlock1 {
+			t.Errorf("partial splice = %q, want just block 1", got)
+		}
+	})
+}

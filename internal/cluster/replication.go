@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"darwinwga/internal/checkpoint"
+	"darwinwga/internal/core"
+	"darwinwga/internal/faultinject"
+)
+
+// Journal shipping: a warm standby tails the leader's routing WAL over
+// a chunked HTTP stream (GET /cluster/v1/replicate?after=N) and applies
+// every record into its own WAL, so at promotion time its journal — and
+// therefore its recovered routing state — matches the leader's up to
+// the last shipped record.
+//
+// The stream is newline-delimited JSON. The first frame is a hello
+// carrying the leader's epoch and total record count (a total below the
+// follower's position means the leader's journal was compacted or
+// replaced: the follower wipes and resyncs from zero). Record frames
+// carry (index, kind, payload); submitted records additionally carry
+// the spilled query FASTA so the standby can preserve the
+// spill-before-journal invariant on its own disk. Keepalive frames flow
+// when the log is idle; frame silence longer than the standby's
+// promotion window is the leader-loss signal.
+
+// repFrame is one line of the replication stream.
+type repFrame struct {
+	Hello bool   `json:"hello,omitempty"`
+	KA    bool   `json:"ka,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	Total uint64 `json:"total,omitempty"`
+
+	Index   uint64 `json:"index,omitempty"` // 1-based record position
+	Kind    uint8  `json:"kind,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+	Query   []byte `json:"query,omitempty"` // submitted records: spilled FASTA
+}
+
+// replicationHub is the leader's in-memory copy of the routing WAL's
+// record sequence, seeded from the journal at startup and appended to
+// under the journal's own lock (so hub order is WAL order). Streams
+// read from it by index.
+type replicationHub struct {
+	mu      sync.Mutex
+	recs    []checkpoint.Record
+	changed chan struct{}
+}
+
+func newReplicationHub(seed []checkpoint.Record) *replicationHub {
+	recs := make([]checkpoint.Record, len(seed))
+	copy(recs, seed)
+	return &replicationHub{recs: recs, changed: make(chan struct{})}
+}
+
+func (h *replicationHub) publish(rec checkpoint.Record) {
+	h.mu.Lock()
+	h.recs = append(h.recs, rec)
+	close(h.changed)
+	h.changed = make(chan struct{})
+	h.mu.Unlock()
+}
+
+// since returns the records after position `after` (a record count), the
+// current total, and a channel closed on the next publish.
+func (h *replicationHub) since(after uint64) ([]checkpoint.Record, uint64, <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := uint64(len(h.recs))
+	if after >= total {
+		return nil, total, h.changed
+	}
+	out := make([]checkpoint.Record, total-after)
+	copy(out, h.recs[after:])
+	return out, total, h.changed
+}
+
+func (h *replicationHub) total() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return uint64(len(h.recs))
+}
+
+// serveReplicate streams the routing WAL to one follower.
+func (c *Coordinator) serveReplicate(w http.ResponseWriter, r *http.Request) {
+	if c.hub == nil {
+		cWriteError(w, http.StatusServiceUnavailable, "replication requires -journal-dir")
+		return
+	}
+	var after uint64
+	if s := r.URL.Query().Get("after"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			cWriteError(w, http.StatusBadRequest, "bad after offset %q", s)
+			return
+		}
+		after = v
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		cWriteError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(repFrame{Hello: true, Epoch: c.epoch, Total: c.hub.total()}); err != nil {
+		return
+	}
+	fl.Flush()
+	keepalive := c.cfg.LeaseTTL / 3
+	for {
+		recs, total, changed := c.hub.since(after)
+		for i, rec := range recs {
+			f := repFrame{Index: after + uint64(i) + 1, Kind: rec.Kind, Payload: rec.Payload}
+			if rec.Kind == ckKindSubmitted {
+				var sub ckSubmitted
+				if err := json.Unmarshal(rec.Payload, &sub); err == nil {
+					if q, err := c.wal.loadQuery(sub.ID); err == nil {
+						f.Query = []byte(q)
+					}
+				}
+			}
+			if err := enc.Encode(f); err != nil {
+				return
+			}
+		}
+		if len(recs) > 0 {
+			fl.Flush()
+			after = total
+			continue
+		}
+		select {
+		case <-changed:
+		case <-c.cfg.Clock.After(keepalive):
+			if err := enc.Encode(repFrame{KA: true, Epoch: c.epoch}); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-c.ctx.Done():
+			return
+		}
+	}
+}
+
+// StandbyConfig parameterizes a warm standby.
+type StandbyConfig struct {
+	// LeaderURL is the base URL of the coordinator to replicate.
+	LeaderURL string
+	// JournalDir is where the shipped journal lands. Required — a
+	// standby exists to hold a durable copy.
+	JournalDir string
+	// PromoteAfter is how long the replication stream may go silent
+	// (no record, no keepalive, no reconnect) before the standby
+	// declares the leader dead and promotes (default: the coordinator
+	// config's lease TTL, after defaults).
+	PromoteAfter time.Duration
+	// Coordinator is the configuration the standby promotes with;
+	// JournalDir is overridden with the standby's own.
+	Coordinator Config
+	// Transport reaches the leader (default http.DefaultTransport).
+	Transport http.RoundTripper
+	// Clock drives reconnect backoff and the promotion window.
+	Clock faultinject.Clock
+	// Log receives operational messages.
+	Log *slog.Logger
+}
+
+// Standby tails a leader's routing WAL into a local journal and
+// promotes itself to a full Coordinator when the leader goes silent.
+// Its Handler serves 503 (pointing at the leader) until promotion, then
+// delegates to the promoted coordinator — so a standby can sit behind
+// the same address before and after failover.
+type Standby struct {
+	cfg    StandbyConfig
+	client *http.Client
+	log    *slog.Logger
+
+	j       *checkpoint.Journal
+	dir     string
+	records uint64
+
+	mu        sync.Mutex
+	lastFrame time.Time
+	epoch     uint64 // last epoch seen from the leader
+	coord     *Coordinator
+
+	promotedCh chan struct{}
+}
+
+// NewStandby opens (creating if needed) the standby's local journal.
+func NewStandby(cfg StandbyConfig) (*Standby, error) {
+	if cfg.JournalDir == "" {
+		return nil, errors.New("cluster: standby requires JournalDir")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = faultinject.RealClock()
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = http.DefaultTransport
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.PromoteAfter <= 0 {
+		cfg.PromoteAfter = cfg.Coordinator.withDefaults().LeaseTTL
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.JournalDir, "queries"), 0o755); err != nil {
+		return nil, err
+	}
+	j, recs, err := checkpoint.Open(filepath.Join(cfg.JournalDir, "wal"), checkpoint.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening standby journal: %w", err)
+	}
+	s := &Standby{
+		cfg:        cfg,
+		client:     &http.Client{Transport: cfg.Transport},
+		log:        cfg.Log,
+		j:          j,
+		dir:        cfg.JournalDir,
+		records:    uint64(len(recs)),
+		lastFrame:  cfg.Clock.Now(),
+		promotedCh: make(chan struct{}),
+	}
+	return s, nil
+}
+
+// Records returns how many WAL records the standby holds.
+func (s *Standby) Records() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// Promoted returns the promoted coordinator, or nil before promotion.
+func (s *Standby) Promoted() *Coordinator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coord
+}
+
+// PromotedCh is closed at promotion.
+func (s *Standby) PromotedCh() <-chan struct{} { return s.promotedCh }
+
+// Handler serves 503 + the leader's address until promotion, then the
+// promoted coordinator's full API.
+func (s *Standby) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c := s.Promoted(); c != nil {
+			c.Handler().ServeHTTP(w, r)
+			return
+		}
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"ok":true,"role":"standby","leader":%q,"records":%d}`+"\n",
+				s.cfg.LeaderURL, s.Records())
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		cWriteError(w, http.StatusServiceUnavailable, "standby for %s: not leader", s.cfg.LeaderURL)
+	})
+}
+
+// Run tails the leader until promotion (returns nil) or ctx ends. The
+// promotion decision is frame silence: records, keepalives, and even
+// failed reconnect attempts that reach the leader all count as life;
+// only PromoteAfter without any of them promotes.
+func (s *Standby) Run(ctx context.Context) error {
+	retry := core.RetryPolicy{MaxAttempts: 0, BaseDelay: 250 * time.Millisecond, MaxDelay: 2 * time.Second}
+	attempt := 0
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if s.silentFor() >= s.cfg.PromoteAfter {
+			return s.promote()
+		}
+		err := s.tailOnce(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			attempt++
+			s.log.Warn("replication stream lost", "leader", s.cfg.LeaderURL, "err", err, "attempt", attempt)
+		} else {
+			attempt = 0
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.cfg.Clock.After(retry.Backoff(attempt+1, hash64(s.cfg.LeaderURL))):
+		}
+	}
+}
+
+func (s *Standby) silentFor() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Clock.Now().Sub(s.lastFrame)
+}
+
+func (s *Standby) stampFrame(epoch uint64) {
+	s.mu.Lock()
+	s.lastFrame = s.cfg.Clock.Now()
+	if epoch > s.epoch {
+		s.epoch = epoch
+	}
+	s.mu.Unlock()
+}
+
+// tailOnce opens one replication stream and consumes it until it breaks
+// or the watchdog cancels it for silence.
+func (s *Standby) tailOnce(ctx context.Context) error {
+	reqCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Watchdog: a stream that stops delivering frames (half-open TCP
+	// after a leader SIGKILL, a partition) must not hold tailOnce open
+	// past the promotion window.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		tick := s.cfg.PromoteAfter / 4
+		if tick <= 0 {
+			tick = time.Second
+		}
+		for {
+			select {
+			case <-watchdogDone:
+				return
+			case <-reqCtx.Done():
+				return
+			case <-s.cfg.Clock.After(tick):
+				if s.silentFor() >= s.cfg.PromoteAfter {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet,
+		s.cfg.LeaderURL+"/cluster/v1/replicate?after="+strconv.FormatUint(s.Records(), 10), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()              //nolint:errcheck
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("leader replied %d", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 128<<20)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f repFrame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return fmt.Errorf("bad replication frame: %w", err)
+		}
+		s.stampFrame(f.Epoch)
+		switch {
+		case f.Hello:
+			if !first {
+				return errors.New("hello frame mid-stream")
+			}
+			if f.Total < s.Records() {
+				// The leader's journal shrank past our position — it was
+				// compacted or replaced. Resync from zero.
+				s.log.Warn("leader journal behind local copy; resyncing",
+					"leader_total", f.Total, "local", s.Records())
+				if err := s.resetJournal(); err != nil {
+					return err
+				}
+				return nil // reconnect with after=0
+			}
+		case f.KA:
+			// Liveness only; already stamped.
+		default:
+			if err := s.applyRecord(f); err != nil {
+				return err
+			}
+		}
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return errors.New("replication stream closed")
+}
+
+// applyRecord appends one shipped record to the local WAL, spilling the
+// query first for submitted records — the same spill-before-journal
+// order the leader used.
+func (s *Standby) applyRecord(f repFrame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.Index != s.records+1 {
+		return fmt.Errorf("replication gap: got index %d, have %d records", f.Index, s.records)
+	}
+	if f.Kind == ckKindSubmitted && len(f.Query) > 0 {
+		var sub ckSubmitted
+		if err := json.Unmarshal(f.Payload, &sub); err != nil {
+			return fmt.Errorf("shipped submitted record: %w", err)
+		}
+		if err := writeFileAtomicCluster(filepath.Join(s.dir, "queries", sub.ID+".fa"), f.Query); err != nil {
+			return fmt.Errorf("spilling shipped query: %w", err)
+		}
+	}
+	if err := s.j.Append(f.Kind, f.Payload); err != nil {
+		return err
+	}
+	s.records++
+	return nil
+}
+
+// resetJournal wipes the local WAL so the next connect resyncs from 0.
+func (s *Standby) resetJournal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.j.Close(); err != nil {
+		return err
+	}
+	walDir := filepath.Join(s.dir, "wal")
+	if err := checkpoint.Remove(walDir); err != nil {
+		return err
+	}
+	j, recs, err := checkpoint.Open(walDir, checkpoint.Options{})
+	if err != nil {
+		return err
+	}
+	if len(recs) != 0 {
+		j.Close() //nolint:errcheck
+		return fmt.Errorf("journal not empty after reset: %d records", len(recs))
+	}
+	s.j = j
+	s.records = 0
+	return nil
+}
+
+// promote closes the replica journal and constructs a full Coordinator
+// over it. Coordinator.New bumps the epoch past everything journaled —
+// including the old leader's — which is what fences the old leader out.
+func (s *Standby) promote() error {
+	s.mu.Lock()
+	if err := s.j.Close(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	cfg := s.cfg.Coordinator
+	cfg.JournalDir = s.dir
+	records, lastEpoch := s.records, s.epoch
+	s.mu.Unlock()
+
+	coord, err := New(cfg)
+	if err != nil {
+		return fmt.Errorf("cluster: standby promotion: %w", err)
+	}
+	s.log.Info("standby promoted to leader",
+		"records", records, "old_epoch", lastEpoch, "epoch", coord.Epoch())
+	s.mu.Lock()
+	s.coord = coord
+	s.mu.Unlock()
+	close(s.promotedCh)
+	return nil
+}
+
+// Shutdown stops the standby (or its promoted coordinator).
+func (s *Standby) Shutdown(ctx context.Context) error {
+	if c := s.Promoted(); c != nil {
+		return c.Shutdown(ctx)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Close()
+}

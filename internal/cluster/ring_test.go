@@ -218,12 +218,12 @@ func TestWorkerBreakerLifecycle(t *testing.T) {
 // back after a reopen.
 func TestCoordJournalRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	cj, recovered, err := openCoordJournal(dir)
+	cj, state, err := openCoordJournal(dir, 0)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
-	if len(recovered) != 0 {
-		t.Fatalf("fresh journal recovered %d", len(recovered))
+	if len(state.recovered) != 0 {
+		t.Fatalf("fresh journal recovered %d", len(state.recovered))
 	}
 	j1 := &coordJob{ID: "cj-1", Target: "tgt", Fingerprint: "fp", Client: "alice",
 		QueryName: "q", Created: time.Unix(100, 0)}
@@ -247,11 +247,12 @@ func TestCoordJournalRoundTrip(t *testing.T) {
 	}
 	cj.close()
 
-	cj2, recs, err := openCoordJournal(dir)
+	cj2, state2, err := openCoordJournal(dir, 0)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
 	defer cj2.close()
+	recs := state2.recovered
 	if len(recs) != 2 {
 		t.Fatalf("recovered %d jobs, want 2", len(recs))
 	}

@@ -397,6 +397,12 @@ func (t Timings) Total() time.Duration { return t.Seeding + t.Filtering + t.Exte
 type Result struct {
 	HSPs     []HSP
 	Workload Workload
+	// Replayed counts the subset of Workload that was restored from a
+	// checkpoint journal (Config.CheckpointDir) rather than recomputed.
+	// A fresh run leaves it zero; a resumed run's actually-computed work
+	// is Workload minus Replayed. Failover machinery uses it to assert
+	// resume-not-recompute.
+	Replayed Workload
 	Timings  Timings
 	// Truncated is non-empty when the pipeline stopped early; the
 	// result is then a valid prefix of the full computation.

@@ -247,6 +247,7 @@ func (a *Aligner) alignStrand(r *run, query []byte, strand byte, res *Result) er
 		// recomputing.
 		passed = s.anchors
 		addWorkload(&res.Workload, s.workload)
+		addWorkload(&res.Replayed, s.workload)
 		r.candidates.Add(s.workload.Candidates)
 		r.filterTiles.Add(s.workload.FilterTiles)
 		if s.truncated != "" {
@@ -464,10 +465,13 @@ func (a *Aligner) runExtension(r *run, query []byte, strand byte, passed []passe
 func replayAnchor(r *run, strand byte, rec *ckptAnchorRec, absorb *absorber, res *Result, cellsDone *int64) {
 	res.Workload.ExtensionTiles += rec.Tiles
 	res.Workload.ExtensionCells += rec.Cells
+	res.Replayed.ExtensionTiles += rec.Tiles
+	res.Replayed.ExtensionCells += rec.Cells
 	*cellsDone += rec.Cells
 	switch {
 	case rec.Absorbed:
 		res.Workload.Absorbed++
+		res.Replayed.Absorbed++
 	case rec.Failed:
 		r.degrade(&StageError{Stage: StageExtension, Shard: rec.Index, Err: errReplayedShardFailure})
 	case rec.HSP != nil:

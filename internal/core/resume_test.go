@@ -89,6 +89,20 @@ func TestResumeMidExtension(t *testing.T) {
 	resumed := mustAlign(t, p.TargetSeq(), p.QuerySeq(), resumeConfig(dir))
 	wantSameOutcome(t, resumed, clean)
 	checkWorkloadInvariants(t, resumed)
+
+	// Replayed accounting: the fresh run restored nothing; the resumed
+	// run restored a non-empty strict subset of its workload — the
+	// resume-not-recompute evidence failover tests key on.
+	if clean.Replayed != (Workload{}) {
+		t.Errorf("fresh run Replayed = %+v, want zero", clean.Replayed)
+	}
+	if resumed.Replayed == (Workload{}) {
+		t.Error("resumed run Replayed is zero, want restored work accounted")
+	}
+	if resumed.Replayed.ExtensionCells <= 0 || resumed.Replayed.ExtensionCells >= resumed.Workload.ExtensionCells {
+		t.Errorf("resumed Replayed.ExtensionCells = %d, want in (0, %d): interruption landed mid-extension",
+			resumed.Replayed.ExtensionCells, resumed.Workload.ExtensionCells)
+	}
 }
 
 // TestResumeCompletedRun reruns over the journal of a finished run: the
@@ -105,6 +119,9 @@ func TestResumeCompletedRun(t *testing.T) {
 	wantSameOutcome(t, second, first)
 	if n := visits.Load(); n != 0 {
 		t.Errorf("replaying a completed journal ran %d stage visits, want 0", n)
+	}
+	if second.Replayed != second.Workload {
+		t.Errorf("full replay: Replayed %+v != Workload %+v", second.Replayed, second.Workload)
 	}
 }
 

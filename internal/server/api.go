@@ -34,6 +34,9 @@ type submitRequest struct {
 	MaxFilterTiles    int64 `json:"max_filter_tiles,omitempty"`
 	MaxExtensionCells int64 `json:"max_extension_cells,omitempty"`
 	DeadlineMS        int64 `json:"deadline_ms,omitempty"`
+	// JournalShip is set by a dispatching coordinator: the artifact-store
+	// URL this job's pipeline-journal segments ship to (and resume from).
+	JournalShip string `json:"journal_ship,omitempty"`
 }
 
 // jobStatus is the GET /v1/jobs/{id} response.
@@ -52,6 +55,11 @@ type jobStatus struct {
 	Truncated string         `json:"truncated,omitempty"`
 	Error     string         `json:"error,omitempty"`
 	Workload  *core.Workload `json:"workload,omitempty"`
+	// Replayed is the slice of Workload that was restored from a
+	// checkpoint journal rather than recomputed — nonzero exactly when
+	// the job resumed (in place or from shipped segments after a
+	// failover). Workload − Replayed is what this run actually computed.
+	Replayed  *core.Workload `json:"replayed,omitempty"`
 	Stats     *jobStats      `json:"stats,omitempty"`
 	StatusURL string         `json:"status_url"`
 	MAFURL    string         `json:"maf_url"`
@@ -251,6 +259,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		MaxFilterTiles:     req.MaxFilterTiles,
 		MaxExtensionCells:  req.MaxExtensionCells,
 		Deadline:           time.Duration(req.DeadlineMS) * time.Millisecond,
+		JournalShip:        req.JournalShip,
 	}
 	job, err := s.jobs.Submit(params, query, clientID(r, req.Client))
 	switch {
@@ -312,6 +321,10 @@ func (s *Server) statusOf(j *Job) jobStatus {
 	if j.state.terminal() {
 		wl := j.workload
 		st.Workload = &wl
+		if j.replayed != (core.Workload{}) {
+			rp := j.replayed
+			st.Replayed = &rp
+		}
 	}
 	if !j.started.IsZero() {
 		stats := &jobStats{

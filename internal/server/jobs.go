@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -87,6 +88,13 @@ type JobParams struct {
 	// the server's MaxDeadline, and defaults to it when zero. It is
 	// journaled separately (as milliseconds) by the job store.
 	Deadline time.Duration `json:"-"`
+	// JournalShip is a coordinator artifact-store base URL. When set
+	// (and the server runs with a checkpoint root), the job's pipeline
+	// WAL segments are shipped there while it runs, and — after a
+	// worker failover — downloaded back so a replacement worker resumes
+	// mid-pipeline instead of recomputing. Absent from old journals, so
+	// recovery of pre-shipping records is unaffected.
+	JournalShip string `json:"journal_ship,omitempty"`
 }
 
 // Job is one alignment request moving through the manager. The spool
@@ -125,6 +133,7 @@ type Job struct {
 	finished  time.Time
 	truncated core.TruncationReason
 	workload  core.Workload
+	replayed  core.Workload
 	errMsg    string
 	query     *genome.Assembly // released once the job reaches a terminal state
 }
@@ -232,6 +241,7 @@ func (j *Job) finish(state JobState, res *core.Result, errMsg string, now time.T
 	if res != nil {
 		j.truncated = res.Truncated
 		j.workload = res.Workload
+		j.replayed = res.Replayed
 	}
 	j.query = nil
 }
@@ -307,6 +317,8 @@ type Manager struct {
 	maxDeadline    time.Duration
 	retain         int
 	checkpointRoot string
+	shipInterval   time.Duration
+	shipClient     *http.Client
 	log            *slog.Logger
 
 	store        *jobStore
@@ -371,6 +383,8 @@ func newManager(reg *Registry, metrics *obs.Registry, cfg Config, store *jobStor
 		maxDeadline:     cfg.MaxDeadline,
 		retain:          cfg.RetainJobs,
 		checkpointRoot:  cfg.CheckpointRoot,
+		shipInterval:    cfg.ShipInterval,
+		shipClient:      &http.Client{Timeout: 30 * time.Second},
 		log:             cfg.Log,
 		store:           store,
 		brk:             brk,
@@ -938,8 +952,18 @@ func (m *Manager) runAttempt(j *Job) bool {
 	}
 
 	cfg := m.jobConfig(j.Params)
+	restored := false
 	if m.checkpointRoot != "" {
 		cfg.CheckpointDir = filepath.Join(m.checkpointRoot, j.ID)
+		if j.Params.JournalShip != "" {
+			// A replacement worker after a failover has no local journal
+			// for this job: pull the crashed worker's shipped segments so
+			// the pipeline resumes instead of recomputing. A worker that
+			// restarted in place keeps its own (at-least-as-fresh) copy.
+			restored = m.restoreShipped(j, cfg.CheckpointDir)
+			stop := m.startShipper(j, cfg.CheckpointDir)
+			defer stop()
+		}
 	}
 	// Fan pipeline telemetry out to the server-wide registry, the job's
 	// own aggregate (the status endpoint's "stats" block), and the
@@ -973,6 +997,19 @@ func (m *Manager) runAttempt(j *Job) bool {
 	}
 
 	res, alignErr := aligner.AlignContext(j.runCtx(), qBases)
+	if alignErr != nil && restored && errors.Is(alignErr, core.ErrCheckpointMismatch) {
+		// The shipped journal belongs to a different run shape — resume
+		// is impossible. Recompute from scratch rather than fail the job;
+		// mismatch is detected before any block streams, so the spool is
+		// still empty.
+		m.log.Warn("shipped checkpoint journal does not match; recomputing",
+			"job_id", j.ID, "error", alignErr)
+		if err := checkpoint.Remove(cfg.CheckpointDir); err != nil {
+			m.finalize(j, JobFailed, nil, fmt.Sprintf("resetting mismatched checkpoint: %v", err))
+			return true
+		}
+		res, alignErr = aligner.AlignContext(j.runCtx(), qBases)
+	}
 	if alignErr != nil && j.stalled.Load() && !j.cancelRequested.Load() {
 		// The watchdog cancelled this attempt. Retry if the budget
 		// allows; otherwise the stall is the job's terminal failure,

@@ -6,7 +6,9 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darwinwga/internal/core"
@@ -103,6 +105,11 @@ type Config struct {
 	// server's handler. Off by default: the profiling endpoints expose
 	// internals and cost CPU while profiling, so they are opt-in.
 	EnablePprof bool
+	// ShipInterval is how often a running job's checkpoint-journal
+	// segments are shipped to its coordinator's artifact store, for
+	// jobs submitted with a journal_ship URL (default 2s). Requires
+	// CheckpointRoot.
+	ShipInterval time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -182,6 +189,9 @@ func (c Config) withDefaults() Config {
 	case c.IdleTimeout < 0:
 		c.IdleTimeout = 0
 	}
+	if c.ShipInterval <= 0 {
+		c.ShipInterval = 2 * time.Second
+	}
 	if c.Clock == nil {
 		c.Clock = faultinject.RealClock()
 	}
@@ -203,10 +213,31 @@ type Server struct {
 	started time.Time
 	log     *slog.Logger
 
+	// clusterEpoch is the high-water fencing epoch observed from any
+	// coordinator (via the agent's lease responses or request headers).
+	// Requests carrying a lower epoch are rejected 409 — the worker-side
+	// half of fenced leader election.
+	clusterEpoch    atomic.Uint64
+	staleEpochRejects *obs.Counter
+
 	mu       sync.Mutex
 	httpSrv  *http.Server
 	listener net.Listener
 }
+
+// ObserveClusterEpoch raises the worker's high-water cluster epoch.
+// Lower values are ignored: epochs only move forward.
+func (s *Server) ObserveClusterEpoch(e uint64) {
+	for {
+		cur := s.clusterEpoch.Load()
+		if e <= cur || s.clusterEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// ClusterEpoch returns the highest cluster epoch this worker has seen.
+func (s *Server) ClusterEpoch() uint64 { return s.clusterEpoch.Load() }
 
 // New builds a server, replays the job journal (when JournalDir is
 // set), and starts its job workers — recovered unfinished jobs are
@@ -233,10 +264,43 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 		log:     cfg.Log,
 	}
+	s.staleEpochRejects = metrics.Counter("darwinwga_cluster_stale_epoch_rejections_total",
+		"requests rejected for carrying a stale cluster epoch")
 	s.registerGauges()
-	s.handler = s.buildHandler()
+	s.handler = s.epochGate(s.buildHandler())
 	s.jobs.start(cfg.JobWorkers)
 	return s, nil
+}
+
+// ClusterEpochHeader is the request header a coordinator stamps its
+// fencing epoch into. The cluster package re-exports it; it lives here
+// because the worker server enforces it.
+const ClusterEpochHeader = "X-Darwinwga-Cluster-Epoch"
+
+// epochGate rejects requests from fenced (stale-epoch) coordinators.
+// Requests without the header — standalone clients, health checks — are
+// never gated. The response echoes the worker's current epoch in the
+// same header so the stale coordinator can tell why it was refused.
+func (s *Server) epochGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get(ClusterEpochHeader); v != "" {
+			e, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad %s header %q", ClusterEpochHeader, v)
+				return
+			}
+			if cur := s.clusterEpoch.Load(); e < cur {
+				s.staleEpochRejects.Inc()
+				s.log.Warn("rejecting request from fenced coordinator",
+					"request_epoch", e, "cluster_epoch", cur, "path", r.URL.Path)
+				w.Header().Set(ClusterEpochHeader, strconv.FormatUint(cur, 10))
+				writeError(w, http.StatusConflict, "stale cluster epoch %d (current %d)", e, cur)
+				return
+			}
+			s.ObserveClusterEpoch(e)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // registerGauges adds the scrape-time gauges: queue occupancy, per-state
