@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-resume test-serve test-obs test-chaos test-cluster test-fuzz bench bench-diff lint ci
+.PHONY: all build vet test test-race test-resume test-serve test-obs test-chaos test-cluster test-index test-fuzz bench bench-diff lint ci
 
 all: build
 
@@ -89,12 +89,28 @@ test-cluster:
 	$(GO) test -race -timeout 15m ./internal/cluster/ ./internal/faultinject/
 	$(GO) test -timeout 20m -run 'TestClusterFailoverE2E|TestHALeaderFailoverE2E|TestHAWorkerFailoverResumesFromShippedE2E' ./cmd/darwin-wga/
 
+# Index lifecycle suite: the serialized-index store under the race
+# detector (format round-trip, corruption rejection typed-error tests,
+# the checked-in golden fixture), the capacity-accounted index memory
+# estimator, and the server-side lifecycle — LRU eviction against the
+# index budget, pinning, transparent reload, serialized-index startup
+# loads, and the fingerprint-keyed result cache (repeat submissions
+# served byte-identical with "cached": true). Then the subprocess e2e:
+# `index build` two targets, `serve -index-dir` must load (not rebuild)
+# them, a repeated submission must be a cache hit, a 1 MiB budget must
+# force eviction, and the evicted target must reload from its file.
+test-index:
+	$(GO) test -race -timeout 10m ./internal/indexstore/
+	$(GO) test -race -timeout 10m -run 'TestMemoryBytes' ./internal/seed/
+	$(GO) test -race -timeout 15m -run 'TestIndex|TestResultCache|TestTargetsExpose' ./internal/server/
+	$(GO) test -timeout 15m -run 'TestIndexLifecycleE2E' ./cmd/darwin-wga/
+
 # Benchmark trajectory: one point per PR. Runs the pipeline kernel
 # benchmarks (filter tiles, GACT-X extension, seeding, index build,
 # reference Smith-Waterman) and records them as BENCH_pipeline.json
 # via cmd/bench2json, so the perf history is diffable across PRs.
 # Non-gating in CI: a slow shared runner must not fail the build.
-BENCH_PATTERN := ^(BenchmarkBSWFilterTile|BenchmarkUngappedFilterTile|BenchmarkGACTXExtension|BenchmarkSeedIndexBuild|BenchmarkDSoftSeeding|BenchmarkSmithWaterman)$$
+BENCH_PATTERN := ^(BenchmarkBSWFilterTile|BenchmarkUngappedFilterTile|BenchmarkGACTXExtension|BenchmarkSeedIndexBuild|BenchmarkIndexBuild|BenchmarkIndexLoad|BenchmarkDSoftSeeding|BenchmarkSmithWaterman)$$
 BENCH_OUT ?= BENCH_pipeline.json
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -timeout 30m . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
@@ -129,5 +145,6 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadFASTA -fuzztime 10s ./internal/genome/
 	$(GO) test -run '^$$' -fuzz FuzzReadMAF -fuzztime 10s ./internal/maf/
 	$(GO) test -run '^$$' -fuzz FuzzWALRecover -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzIndexLoad -fuzztime 10s ./internal/indexstore/
 
-ci: build vet test test-race test-resume test-serve test-obs test-chaos test-cluster test-fuzz
+ci: build vet test test-race test-resume test-serve test-obs test-chaos test-cluster test-index test-fuzz

@@ -16,6 +16,7 @@ package darwinwga_test
 import (
 	"io"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"darwinwga"
@@ -25,6 +26,7 @@ import (
 	"darwinwga/internal/evolve"
 	"darwinwga/internal/experiments"
 	"darwinwga/internal/gact"
+	"darwinwga/internal/indexstore"
 	"darwinwga/internal/seed"
 )
 
@@ -115,6 +117,43 @@ func BenchmarkSeedIndexBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := seed.BuildIndex(target, shape, seed.IndexOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(target))*float64(b.N)/b.Elapsed().Seconds(), "bp/s")
+}
+
+// BenchmarkIndexBuild and BenchmarkIndexLoad are the index-lifecycle
+// pair: the same 500 kb target's D-SOFT index built from bases versus
+// deserialized from its indexstore file. The ratio is the startup
+// speedup `serve -index-dir` buys per target.
+func BenchmarkIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	target := randSeq(rng, 500_000)
+	shape := seed.DefaultShape()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := seed.BuildIndex(target, shape, seed.IndexOptions{MaxFreq: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(target))*float64(b.N)/b.Elapsed().Seconds(), "bp/s")
+}
+
+func BenchmarkIndexLoad(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	target := randSeq(rng, 500_000)
+	ix, err := seed.BuildIndex(target, seed.DefaultShape(), seed.IndexOptions{MaxFreq: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.dwx")
+	if err := indexstore.Write(path, ix, indexstore.FingerprintBases(target)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := indexstore.Load(path); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,8 @@
 //	darwin-wga -target target.fa -query query.fa [-out out.maf] [flags]
 //	darwin-wga -pair ce11-cb4 -scale 0.004 [-out out.maf] [flags]
 //	darwin-wga serve -register dm6=dm6.fa [-addr host:port] [flags]
+//	darwin-wga index build -target dm6.fa -out idx/dm6.dwx [flags]
+//	darwin-wga index inspect|verify -in idx/dm6.dwx [flags]
 //	darwin-wga version
 //
 // The second form synthesizes one of the paper's evaluation species
@@ -102,6 +104,8 @@ func cliMain(args []string) int {
 		switch args[0] {
 		case "serve":
 			return serveMain(args[1:])
+		case "index":
+			return indexMain(args[1:])
 		case "version":
 			printVersion(os.Stdout)
 			return 0
@@ -109,7 +113,7 @@ func cliMain(args []string) int {
 			// Explicit spelling of the default one-shot mode.
 			return alignMain(args[1:])
 		default:
-			fmt.Fprintf(os.Stderr, "darwin-wga: unknown command %q (want align, serve, or version)\n", args[0])
+			fmt.Fprintf(os.Stderr, "darwin-wga: unknown command %q (want align, index, serve, or version)\n", args[0])
 			return 2
 		}
 	}
@@ -238,6 +242,10 @@ func serveMain(args []string) int {
 		brkThresh   = fs.Int("breaker-threshold", 5, "consecutive job failures tripping a target's circuit breaker (0 = breaker off)")
 		brkCooldown = fs.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker rejects before probing")
 		memHighMB   = fs.Int64("mem-highwater-mb", 0, "reject submissions that would push the heap past this many MiB (0 = off)")
+		indexDir    = fs.String("index-dir", "", "directory of serialized target indexes (<name>.dwx, written by darwin-wga index build); matching files load near-instantly instead of rebuilding")
+		indexBudMB  = fs.Int64("index-budget-mb", 0, "evict least-recently-used idle target indexes past this many MiB resident (0 = half of -mem-highwater-mb, -1 = eviction off)")
+		resCacheMB  = fs.Int64("result-cache-mb", 64, "cache finished MAF results up to this many MiB, serving repeated identical submissions without a pipeline run (0 = off)")
+		seedPattern = fs.String("seed-pattern", "", "spaced-seed pattern shaping every target index (default: the pipeline default; must match any serialized indexes)")
 		workers     = fs.Int("workers", 0, "pipeline worker goroutines per job (0 = GOMAXPROCS)")
 		enablePprof = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the API handler")
 		logFormat   = fs.String("log-format", "text", "operational log format: text or json")
@@ -289,6 +297,16 @@ func serveMain(args []string) int {
 
 	pipeline := darwinwga.DefaultConfig()
 	pipeline.Workers = *workers
+	if *seedPattern != "" {
+		pipeline.SeedPattern = *seedPattern
+	}
+	// -index-budget-mb follows the CLI's "0 = default, negative = off"
+	// convention; the library uses the same encoding, so only the MiB
+	// scaling needs mapping.
+	indexBudget := *indexBudMB << 20
+	if *indexBudMB < 0 {
+		indexBudget = -1
+	}
 	// On the CLI "0" reads as "off"; the library uses 0 for "default"
 	// and negatives for "off", so map explicitly.
 	for _, z := range []*int{stallRetry, brkThresh} {
@@ -322,6 +340,9 @@ func serveMain(args []string) int {
 		BreakerThreshold:     *brkThresh,
 		BreakerCooldown:      *brkCooldown,
 		MemoryHighWater:      *memHighMB << 20,
+		IndexDir:             *indexDir,
+		IndexBudget:          indexBudget,
+		ResultCacheBytes:     *resCacheMB << 20,
 		ShipInterval:         *shipEvery,
 		Log:                  logger,
 		EnablePprof:          *enablePprof,

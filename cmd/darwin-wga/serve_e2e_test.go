@@ -87,12 +87,16 @@ func TestServeE2E(t *testing.T) {
 	}
 
 	// Spawn the server on an ephemeral port; small queue so the later
-	// burst saturates it deterministically.
+	// burst saturates it deterministically. The result cache is off:
+	// the burst re-submits an already-completed job, and cache hits
+	// would bypass the queue this test is trying to saturate (the
+	// cached path has its own e2e in index_e2e_test.go).
 	cmd := exec.Command(os.Args[0],
 		"serve", "-addr", "127.0.0.1:0",
 		"-register", fixtures[0].targetName+"="+fixtures[0].targetPath,
 		"-register", fixtures[1].targetName+"="+fixtures[1].targetPath,
 		"-job-workers", "4", "-queue", "8", "-max-inflight", "-1",
+		"-result-cache-mb", "0",
 		"-drain-grace", "2m",
 	)
 	cmd.Env = append(os.Environ(), "DARWINWGA_E2E_CHILD=1")

@@ -253,6 +253,11 @@ func (a *Agent) register(ctx context.Context) (time.Duration, error) {
 	type targetEntry struct {
 		Name        string `json:"name"`
 		Fingerprint string `json:"fingerprint"`
+		// Serialized advertises that this worker holds the target as a
+		// serialized index file, so its post-eviction (or post-restart)
+		// reloads are near-instant loads rather than index rebuilds —
+		// placement-relevant capacity information for the coordinator.
+		Serialized bool `json:"serialized_index,omitempty"`
 	}
 	body := struct {
 		WorkerID string        `json:"worker_id"`
@@ -260,7 +265,11 @@ func (a *Agent) register(ctx context.Context) (time.Duration, error) {
 		Targets  []targetEntry `json:"targets"`
 	}{WorkerID: a.cfg.WorkerID, Addr: a.cfg.Advertise}
 	for _, t := range a.cfg.Server.Registry().List() {
-		body.Targets = append(body.Targets, targetEntry{Name: t.Name, Fingerprint: t.Fingerprint})
+		body.Targets = append(body.Targets, targetEntry{
+			Name:        t.Name,
+			Fingerprint: t.Fingerprint,
+			Serialized:  t.SerializedIndex(),
+		})
 	}
 	payload, err := json.Marshal(body)
 	if err != nil {

@@ -64,6 +64,7 @@ type registerBody struct {
 	Targets  []struct {
 		Name        string `json:"name"`
 		Fingerprint string `json:"fingerprint"`
+		Serialized  bool   `json:"serialized_index"`
 	} `json:"targets"`
 }
 
@@ -403,6 +404,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	targets := make(map[string]string, len(req.Targets))
+	serialized := make(map[string]bool, len(req.Targets))
 	for _, t := range req.Targets {
 		if t.Name == "" {
 			cWriteError(w, http.StatusBadRequest, "target with empty name")
@@ -414,8 +416,11 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 				"fingerprint", t.Fingerprint, "cluster_fingerprint", known)
 		}
 		targets[t.Name] = t.Fingerprint
+		if t.Serialized {
+			serialized[t.Name] = true
+		}
 	}
-	fresh := c.ms.register(req.WorkerID, strings.TrimSuffix(req.Addr, "/"), targets)
+	fresh := c.ms.register(req.WorkerID, strings.TrimSuffix(req.Addr, "/"), targets, serialized)
 	c.brk.forget(req.WorkerID)
 	c.c.registrations.Inc()
 	if fresh {
@@ -533,12 +538,15 @@ func (c *Coordinator) handleShippedPut(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	type entry struct {
-		ID           string    `json:"id"`
-		Addr         string    `json:"addr"`
-		Targets      []string  `json:"targets"`
-		Breaker      string    `json:"breaker"`
-		RegisteredAt time.Time `json:"registered_at"`
-		ExpiresAt    time.Time `json:"expires_at"`
+		ID      string   `json:"id"`
+		Addr    string   `json:"addr"`
+		Targets []string `json:"targets"`
+		// SerializedTargets are the targets this worker holds as
+		// serialized index files (near-instant reloads).
+		SerializedTargets []string  `json:"serialized_targets,omitempty"`
+		Breaker           string    `json:"breaker"`
+		RegisteredAt      time.Time `json:"registered_at"`
+		ExpiresAt         time.Time `json:"expires_at"`
 	}
 	members := c.ms.list()
 	out := make([]entry, 0, len(members))
@@ -548,10 +556,16 @@ func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 			names = append(names, name)
 		}
 		sort.Strings(names)
+		var serialized []string
+		for name := range m.Serialized {
+			serialized = append(serialized, name)
+		}
+		sort.Strings(serialized)
 		out = append(out, entry{
 			ID: m.ID, Addr: m.Addr, Targets: names,
-			Breaker:      c.brk.state(m.ID),
-			RegisteredAt: m.RegisteredAt, ExpiresAt: m.ExpiresAt,
+			SerializedTargets: serialized,
+			Breaker:           c.brk.state(m.ID),
+			RegisteredAt:      m.RegisteredAt, ExpiresAt: m.ExpiresAt,
 		})
 	}
 	cWriteJSON(w, http.StatusOK, map[string]any{"workers": out})

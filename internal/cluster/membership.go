@@ -14,7 +14,10 @@ type Member struct {
 	Addr string // base URL, e.g. "http://127.0.0.1:9001"
 	// Targets maps target name -> content fingerprint for every index
 	// this worker holds.
-	Targets      map[string]string
+	Targets map[string]string
+	// Serialized marks the targets this worker holds as serialized index
+	// files (reloads are loads, not rebuilds).
+	Serialized   map[string]bool
 	RegisteredAt time.Time
 	ExpiresAt    time.Time
 }
@@ -25,6 +28,10 @@ func (m *Member) clone() *Member {
 	c.Targets = make(map[string]string, len(m.Targets))
 	for k, v := range m.Targets {
 		c.Targets[k] = v
+	}
+	c.Serialized = make(map[string]bool, len(m.Serialized))
+	for k, v := range m.Serialized {
+		c.Serialized[k] = v
 	}
 	return &c
 }
@@ -84,9 +91,10 @@ func (ms *membership) rebuildLocked() {
 }
 
 // register adds or refreshes a worker. Re-registering an existing ID
-// replaces its address and target set (the worker restarted). Returns
-// whether the worker was new.
-func (ms *membership) register(id, addr string, targets map[string]string) bool {
+// replaces its address and target set (the worker restarted). serialized
+// marks which of those targets the worker holds as serialized index
+// files; nil means none. Returns whether the worker was new.
+func (ms *membership) register(id, addr string, targets map[string]string, serialized map[string]bool) bool {
 	now := ms.clock.Now()
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
@@ -95,12 +103,18 @@ func (ms *membership) register(id, addr string, targets map[string]string) bool 
 		ID:           id,
 		Addr:         addr,
 		Targets:      make(map[string]string, len(targets)),
+		Serialized:   make(map[string]bool, len(serialized)),
 		RegisteredAt: now,
 		ExpiresAt:    now.Add(ms.ttl),
 	}
 	for name, fp := range targets {
 		m.Targets[name] = fp
 		ms.knownTargets[name] = fp
+	}
+	for name, ok := range serialized {
+		if _, holds := m.Targets[name]; holds && ok {
+			m.Serialized[name] = true
+		}
 	}
 	ms.members[id] = m
 	ms.rebuildLocked()

@@ -82,7 +82,7 @@ func TestMembershipLeaseLifecycle(t *testing.T) {
 	clock := faultinject.NewManualClock(time.Unix(0, 0))
 	ms := newMembership(clock, 10*time.Second)
 
-	if fresh := ms.register("w1", "http://a", map[string]string{"tgt": "fp1"}); !fresh {
+	if fresh := ms.register("w1", "http://a", map[string]string{"tgt": "fp1"}, nil); !fresh {
 		t.Fatal("first register not fresh")
 	}
 	if _, ok := ms.alive("w1"); !ok {
@@ -131,7 +131,7 @@ func TestMembershipChangeBroadcast(t *testing.T) {
 		t.Fatal("changed before any change")
 	default:
 	}
-	ms.register("w1", "http://a", nil)
+	ms.register("w1", "http://a", nil, nil)
 	select {
 	case <-ch:
 	default:
@@ -144,9 +144,9 @@ func TestMembershipChangeBroadcast(t *testing.T) {
 func TestMembershipReplicasFor(t *testing.T) {
 	clock := faultinject.NewManualClock(time.Unix(0, 0))
 	ms := newMembership(clock, time.Minute)
-	ms.register("w1", "http://a", map[string]string{"tgt": "fp"})
-	ms.register("w2", "http://b", map[string]string{"tgt": "fp"})
-	ms.register("w3", "http://c", map[string]string{"other": "fp2"})
+	ms.register("w1", "http://a", map[string]string{"tgt": "fp"}, nil)
+	ms.register("w2", "http://b", map[string]string{"tgt": "fp"}, nil)
+	ms.register("w3", "http://c", map[string]string{"other": "fp2"}, nil)
 
 	got := ms.replicasFor("tgt", 2)
 	if len(got) != 2 {

@@ -325,6 +325,13 @@ func (c *Config) fingerprint() uint64 {
 	return h.Sum64()
 }
 
+// Fingerprint exposes the output-shaping configuration hash to the
+// serving layer, which keys its result cache on (target fp, query fp,
+// config fp). Two configs with equal Fingerprints produce identical
+// alignment sets for the same inputs (modulo deadline truncation, which
+// the caller must exclude separately).
+func (c *Config) Fingerprint() uint64 { return c.fingerprint() }
+
 // hashBytes fingerprints an input sequence (FNV-1a 64).
 func hashBytes(b []byte) uint64 {
 	h := fnv.New64a()

@@ -46,8 +46,41 @@ func NewAligner(target []byte, cfg Config) (*Aligner, error) {
 	return &Aligner{cfg: cfg, sc: cfg.scoring(), target: target, index: ix, shape: shape}, nil
 }
 
+// NewAlignerWithIndex builds an Aligner around an index constructed
+// elsewhere (typically deserialized by internal/indexstore), skipping
+// the index build entirely. The index must have been built over target
+// under the same seed shape and frequency mask cfg describes; those
+// invariants are validated here because a mismatched index silently
+// produces wrong seeds, not errors.
+func NewAlignerWithIndex(target []byte, cfg Config, ix *seed.Index) (*Aligner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ix == nil {
+		return nil, fmt.Errorf("core: NewAlignerWithIndex needs a non-nil index")
+	}
+	shape := ix.Shape()
+	if shape.Pattern != cfg.SeedPattern {
+		return nil, fmt.Errorf("core: index built with seed pattern %q, config wants %q",
+			shape.Pattern, cfg.SeedPattern)
+	}
+	if ix.MaxFreq() != cfg.SeedMaxFreq {
+		return nil, fmt.Errorf("core: index built with max-freq %d, config wants %d",
+			ix.MaxFreq(), cfg.SeedMaxFreq)
+	}
+	if ix.TargetLen() != len(target) {
+		return nil, fmt.Errorf("core: index covers %d bases, target has %d",
+			ix.TargetLen(), len(target))
+	}
+	return &Aligner{cfg: cfg, sc: cfg.scoring(), target: target, index: ix, shape: shape}, nil
+}
+
 // Config returns the aligner's configuration.
 func (a *Aligner) Config() Config { return a.cfg }
+
+// Index returns the aligner's prebuilt seed index (for serialization by
+// the index lifecycle layer). The index is immutable.
+func (a *Aligner) Index() *seed.Index { return a.index }
 
 // Target returns the indexed target sequence.
 func (a *Aligner) Target() []byte { return a.target }

@@ -78,8 +78,14 @@ type Seeder struct {
 	params Params
 }
 
-// NewSeeder creates a seeder.
+// NewSeeder creates a seeder. The index must be non-nil: with the index
+// lifecycle (eviction + reload from serialized files) in play, a nil
+// index here means a caller skipped Registry.Acquire, and failing fast
+// with a typed error beats a panic deep inside Collect.
 func NewSeeder(ix *seed.Index, params Params) (*Seeder, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("dsoft: nil target index")
+	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}

@@ -37,6 +37,9 @@ func TestParamsValidate(t *testing.T) {
 	if _, err := NewSeeder(nil, bad); err == nil {
 		t.Error("NewSeeder accepted invalid params")
 	}
+	if _, err := NewSeeder(nil, DefaultParams()); err == nil {
+		t.Error("NewSeeder accepted a nil index")
+	}
 }
 
 func TestSelfAlignmentProducesDiagonalAnchors(t *testing.T) {

@@ -122,7 +122,63 @@ func (ix *Index) Stats() (buckets, filled, totalPositions, maskedBuckets int) {
 	return
 }
 
-// MemoryBytes estimates the index's resident size.
+// MemoryBytes estimates the index's resident size. It counts slice
+// capacity, not length: the backing arrays are what the heap holds, and
+// eviction decisions made from this number must reflect real footprint.
 func (ix *Index) MemoryBytes() int {
-	return 4*len(ix.starts) + 4*len(ix.positions)
+	return 4*cap(ix.starts) + 4*cap(ix.positions)
+}
+
+// MaxFreq returns the frequency-masking threshold the index was built
+// with (0 = no masking).
+func (ix *Index) MaxFreq() int { return ix.maxFreq }
+
+// RawParts exposes the bucket-start and position tables for
+// serialization. The returned slices alias the index's internal arrays
+// and must not be mutated.
+func (ix *Index) RawParts() (starts, positions []uint32) {
+	return ix.starts, ix.positions
+}
+
+// IndexFromParts reassembles an Index from previously serialized
+// tables, validating the structural invariants BuildIndex guarantees:
+// starts has exactly TableSize+1 entries, begins at 0, is monotonically
+// non-decreasing, and its final entry equals len(positions). The slices
+// are adopted, not copied.
+func IndexFromParts(shape *Shape, targetLen int, starts, positions []uint32, opts IndexOptions) (*Index, error) {
+	size, err := shape.TableSize()
+	if err != nil {
+		return nil, err
+	}
+	if len(starts) != size+1 {
+		return nil, fmt.Errorf("seed: starts table has %d entries, want %d for shape %q",
+			len(starts), size+1, shape.Pattern)
+	}
+	if starts[0] != 0 {
+		return nil, fmt.Errorf("seed: starts table begins at %d, want 0", starts[0])
+	}
+	for k := 1; k < len(starts); k++ {
+		if starts[k] < starts[k-1] {
+			return nil, fmt.Errorf("seed: starts table decreases at bucket %d", k-1)
+		}
+	}
+	if int(starts[len(starts)-1]) != len(positions) {
+		return nil, fmt.Errorf("seed: starts table ends at %d but %d positions given",
+			starts[len(starts)-1], len(positions))
+	}
+	if targetLen < 0 {
+		return nil, fmt.Errorf("seed: negative target length %d", targetLen)
+	}
+	for _, p := range positions {
+		if int(p) >= targetLen {
+			return nil, fmt.Errorf("seed: position %d beyond target length %d", p, targetLen)
+		}
+	}
+	return &Index{
+		shape:     shape,
+		starts:    starts,
+		positions: positions,
+		maxFreq:   opts.MaxFreq,
+		targetLen: targetLen,
+	}, nil
 }

@@ -41,17 +41,20 @@ type submitRequest struct {
 
 // jobStatus is the GET /v1/jobs/{id} response.
 type jobStatus struct {
-	ID        string         `json:"id"`
-	Target    string         `json:"target"`
-	QueryName string         `json:"query_name,omitempty"`
-	Client    string         `json:"client,omitempty"`
-	State     JobState       `json:"state"`
-	Created   time.Time      `json:"created"`
-	Started   *time.Time     `json:"started,omitempty"`
-	Finished  *time.Time     `json:"finished,omitempty"`
-	HSPs      int64          `json:"hsps"`
-	MAFBytes  int            `json:"maf_bytes"`
-	Attempts  int            `json:"attempts,omitempty"`
+	ID        string     `json:"id"`
+	Target    string     `json:"target"`
+	QueryName string     `json:"query_name,omitempty"`
+	Client    string     `json:"client,omitempty"`
+	State     JobState   `json:"state"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	HSPs      int64      `json:"hsps"`
+	MAFBytes  int        `json:"maf_bytes"`
+	Attempts  int        `json:"attempts,omitempty"`
+	// Cached is true when the job's MAF was served from the result
+	// cache (no pipeline run).
+	Cached    bool           `json:"cached,omitempty"`
 	Truncated string         `json:"truncated,omitempty"`
 	Error     string         `json:"error,omitempty"`
 	Workload  *core.Workload `json:"workload,omitempty"`
@@ -74,13 +77,43 @@ type jobStats struct {
 	Stages      obs.AggregateSnapshot `json:"stages"`
 }
 
-// targetInfo is one entry of GET /v1/targets.
+// targetInfo is one entry of GET /v1/targets. The lifecycle fields
+// (fingerprint, resident, serialized_index) let operators see index
+// cache state directly, without scraping /metrics.
 type targetInfo struct {
-	Name         string    `json:"name"`
-	Seqs         int       `json:"seqs"`
-	Bases        int       `json:"bases"`
-	IndexBytes   int       `json:"index_bytes"`
-	RegisteredAt time.Time `json:"registered_at"`
+	Name  string `json:"name"`
+	Seqs  int    `json:"seqs"`
+	Bases int    `json:"bases"`
+	// IndexBytes is the index footprint from its most recent load,
+	// reported even while evicted (it is the cost of the next reload).
+	IndexBytes int `json:"index_bytes"`
+	// IndexMemoryBytes mirrors IndexBytes under the name the index
+	// lifecycle docs use.
+	IndexMemoryBytes int    `json:"indexMemoryBytes"`
+	Fingerprint      string `json:"fingerprint"`
+	// Resident is true while the index is in memory, false after LRU
+	// eviction (the next job against the target reloads it).
+	Resident bool `json:"resident"`
+	// SerializedIndex is true when the target is backed by an on-disk
+	// index file, so reloads are file loads rather than rebuilds.
+	SerializedIndex bool      `json:"serialized_index"`
+	RegisteredAt    time.Time `json:"registered_at"`
+}
+
+// targetInfoOf snapshots one registry target for JSON.
+func targetInfoOf(t *Target) targetInfo {
+	ib := t.IndexBytes()
+	return targetInfo{
+		Name:             t.Name,
+		Seqs:             t.NumSeqs,
+		Bases:            len(t.Bases),
+		IndexBytes:       ib,
+		IndexMemoryBytes: ib,
+		Fingerprint:      t.Fingerprint,
+		Resident:         t.Resident(),
+		SerializedIndex:  t.SerializedIndex(),
+		RegisteredAt:     t.RegisteredAt,
+	}
 }
 
 // registerRequest is the POST /v1/targets body. Exactly one of FASTA
@@ -304,6 +337,7 @@ func (s *Server) statusOf(j *Job) jobStatus {
 		Client:    j.Client,
 		State:     j.state,
 		Created:   j.created,
+		Cached:    j.cached,
 		Truncated: string(j.truncated),
 		Error:     j.errMsg,
 		StatusURL: "/v1/jobs/" + j.ID,
@@ -409,10 +443,7 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 	list := s.reg.List()
 	out := make([]targetInfo, len(list))
 	for i, t := range list {
-		out[i] = targetInfo{
-			Name: t.Name, Seqs: t.NumSeqs, Bases: len(t.Bases),
-			IndexBytes: t.IndexBytes, RegisteredAt: t.RegisteredAt,
-		}
+		out[i] = targetInfoOf(t)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"targets": out})
 }
@@ -465,10 +496,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobs.TargetRegistered(t.Name)
-	writeJSON(w, http.StatusCreated, targetInfo{
-		Name: t.Name, Seqs: t.NumSeqs, Bases: len(t.Bases),
-		IndexBytes: t.IndexBytes, RegisteredAt: t.RegisteredAt,
-	})
+	writeJSON(w, http.StatusCreated, targetInfoOf(t))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

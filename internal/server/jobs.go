@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"net/http"
 	"os"
@@ -135,7 +136,20 @@ type Job struct {
 	workload  core.Workload
 	replayed  core.Workload
 	errMsg    string
+	cached    bool             // served directly from the result cache
 	query     *genome.Assembly // released once the job reaches a terminal state
+
+	// cacheKey is the job's result-cache key, set once at submission
+	// when the cache is enabled (nil otherwise) and immutable after.
+	cacheKey *resultKey
+}
+
+// Cached reports whether the job's MAF was served from the result
+// cache instead of a pipeline run.
+func (j *Job) Cached() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cached
 }
 
 // State returns the job's current lifecycle state.
@@ -330,6 +344,9 @@ type Manager struct {
 	stallBackoff time.Duration
 	memHighWater int64
 	memUsage     func() int64
+	// rcache serves repeated identical submissions their finished MAF
+	// without a pipeline run (nil-safe; disabled unless configured).
+	rcache *resultCache
 
 	// pipe reports every job's pipeline events into the server metrics
 	// registry; queueWait/runSeconds are the job-lifecycle latency
@@ -395,6 +412,7 @@ func newManager(reg *Registry, metrics *obs.Registry, cfg Config, store *jobStor
 		stallBackoff:    cfg.StallRetryDelay,
 		memHighWater:    cfg.MemoryHighWater,
 		memUsage:        heapInUse,
+		rcache:          newResultCache(cfg.ResultCacheBytes),
 		pipe:            obs.NewPipelineMetrics(metrics),
 		queueWait:       metrics.Histogram("darwinwga_jobs_queue_wait_seconds", "time jobs spend queued before a worker picks them up", obs.ExpBuckets(0.001, 4, 12)),
 		runSeconds:      metrics.Histogram("darwinwga_jobs_run_seconds", "wall-clock of job execution on a worker", obs.ExpBuckets(0.001, 4, 12)),
@@ -405,6 +423,11 @@ func newManager(reg *Registry, metrics *obs.Registry, cfg Config, store *jobStor
 		perClient:       make(map[string]int),
 		pendingRecovery: make(map[string][]*Job),
 		counters:        newCounters(metrics),
+	}
+	m.rcache.metrics = resultCacheMetrics{
+		hits:      metrics.Counter("darwinwga_result_cache_hits_total", "submissions served their finished MAF from the result cache"),
+		misses:    metrics.Counter("darwinwga_result_cache_misses_total", "cache-enabled submissions that had to run the pipeline"),
+		evictions: metrics.Counter("darwinwga_result_cache_evictions_total", "cached MAF artifacts evicted to stay within the byte budget"),
 	}
 	m.recover(recovered)
 	return m
@@ -660,8 +683,25 @@ func estimateJobBytes(queryBases int) int64 {
 // Admission is journaled before it is acknowledged: a job the client
 // saw accepted survives a crash.
 func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string) (*Job, error) {
-	if _, ok := m.reg.Get(params.Target); !ok {
+	tgt, ok := m.reg.Get(params.Target)
+	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTarget, params.Target)
+	}
+	// Result-cache lookup before any load shedding: a hit consumes no
+	// queue slot, no pipeline memory, and no breaker probe, so the only
+	// admission gate it needs is drain (checked in submitCached).
+	var ckey *resultKey
+	if m.rcache.enabled() {
+		cfg := m.jobConfig(params)
+		k := resultKey{
+			target: tgt.Fingerprint,
+			query:  queryFingerprint(query),
+			config: cfg.Fingerprint(),
+		}
+		ckey = &k
+		if data, hsps, hit := m.rcache.get(k); hit {
+			return m.submitCached(params, query, client, data, hsps)
+		}
 	}
 	if m.memHighWater > 0 {
 		footprint := estimateJobBytes(query.TotalLen())
@@ -688,6 +728,7 @@ func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string
 		state:     JobQueued,
 		created:   m.clock.Now(),
 		query:     query,
+		cacheKey:  ckey,
 	}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.progress.Store(j.created.UnixNano())
@@ -744,6 +785,81 @@ func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string
 		"target", params.Target, "query", j.QueryName, "query_bases", query.TotalLen())
 	m.evictLocked()
 	return j, nil
+}
+
+// submitCached admits a job whose finished MAF is already in the
+// result cache. The job is journaled and accounted exactly like an
+// admitted job (durable admission, per-client accounting, retention),
+// but it finishes immediately with the cached artifact — the queue, the
+// worker pool, the memory watermark, and the breaker are never
+// involved. Recovery replays it like any other terminal job.
+func (m *Manager) submitCached(params JobParams, query *genome.Assembly, client string, mafData []byte, hsps int) (*Job, error) {
+	j := &Job{
+		ID:        newJobID(),
+		Client:    client,
+		Params:    params,
+		QueryName: query.Name,
+		spool:     newSpool(),
+		agg:       &obs.Aggregate{},
+		state:     JobQueued,
+		created:   m.clock.Now(),
+		query:     query,
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.progress.Store(j.created.UnixNano())
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.RejectedDraining.Inc()
+		m.log.Warn("job rejected", "reason", "draining", "client", client)
+		return nil, ErrDraining
+	}
+	if m.store != nil {
+		if _, err := m.store.saveQuery(j.ID, query); err != nil {
+			m.mu.Unlock()
+			m.log.Error("job rejected", "reason", "journal", "client", client, "error", err)
+			return nil, fmt.Errorf("server: persisting query: %w", err)
+		}
+		if err := m.store.submitted(j); err != nil {
+			m.store.removeArtifacts(j.ID)
+			m.mu.Unlock()
+			m.log.Error("job rejected", "reason", "journal", "client", client, "error", err)
+			return nil, err
+		}
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.perClient[client]++
+	m.Accepted.Inc()
+	m.mu.Unlock()
+
+	j.spool.Write(mafData) //nolint:errcheck // in-memory spool cannot fail
+	j.hsps.Store(int64(hsps))
+	j.mu.Lock()
+	j.cached = true
+	j.started = j.created
+	j.mu.Unlock()
+	m.log.Info("job served from result cache", "job_id", j.ID, "client", client,
+		"target", params.Target, "query", j.QueryName, "maf_bytes", len(mafData))
+	m.finalize(j, JobDone, nil, "")
+	return j, nil
+}
+
+// queryFingerprint hashes a query assembly's identity — its name, the
+// per-sequence names, and the bases — because all three shape the MAF
+// artifact. Same FNV-64a hex form as target fingerprints.
+func queryFingerprint(asm *genome.Assembly) string {
+	h := fnv.New64a()
+	h.Write([]byte(asm.Name)) //nolint:errcheck // fnv never errors
+	h.Write([]byte{0})        //nolint:errcheck
+	for _, s := range asm.Seqs {
+		h.Write([]byte(s.Name)) //nolint:errcheck
+		h.Write([]byte{0})      //nolint:errcheck
+		h.Write(s.Bases)        //nolint:errcheck
+		h.Write([]byte{0})      //nolint:errcheck
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Get looks a job up by ID.
@@ -921,14 +1037,23 @@ func (m *Manager) prepareRetry(j *Job) bool {
 // when the job reached a terminal state (already finalized) and false
 // when the watchdog stalled the attempt and a retry is allowed.
 func (m *Manager) runAttempt(j *Job) bool {
-	tgt, ok := m.reg.Get(j.Params.Target)
-	if !ok {
+	if _, ok := m.reg.Get(j.Params.Target); !ok {
 		// Registration is validated at submit and targets are never
 		// removed; reachable only for recovered jobs whose target was
 		// not re-registered after restart.
 		m.finalize(j, JobFailed, nil, fmt.Sprintf("target %q is not registered", j.Params.Target))
 		return true
 	}
+	// Acquire pins the target's index for the duration of the attempt:
+	// an evicted index is reloaded here (from its serialized file when
+	// one exists), and the pin guarantees the LRU sweeper cannot drop it
+	// out from under the pipeline.
+	tgt, shared, releaseIndex, err := m.reg.Acquire(j.Params.Target)
+	if err != nil {
+		m.finalize(j, JobFailed, nil, fmt.Sprintf("loading index for target %q: %v", j.Params.Target, err))
+		return true
+	}
+	defer releaseIndex()
 	query := j.queryRef()
 	if query == nil {
 		m.finalize(j, JobFailed, nil, "job lost its query")
@@ -990,7 +1115,7 @@ func (m *Manager) runAttempt(j *Job) bool {
 		j.hsps.Add(1)
 		m.HSPsStreamed.Add(1)
 	}
-	aligner, err := tgt.Aligner.WithConfig(cfg)
+	aligner, err := shared.WithConfig(cfg)
 	if err != nil {
 		m.finalize(j, JobFailed, nil, err.Error())
 		return true
@@ -1066,11 +1191,20 @@ func (m *Manager) finalize(j *Job, state JobState, res *core.Result, msg string)
 			m.log.Warn("removing job pipeline checkpoint", "job_id", j.ID, "error", err)
 		}
 	}
+	// A complete, untruncated success is the deterministic answer for
+	// this (target, query, config) triple: publish it to the result
+	// cache so an identical resubmission skips the pipeline. Truncated
+	// results are excluded — a deadline- or budget-limited MAF is not
+	// the job's canonical output.
+	if state == JobDone && j.cacheKey != nil && !j.Cached() &&
+		res != nil && res.Truncated == "" {
+		m.rcache.put(*j.cacheKey, sp.contents(), int(j.hsps.Load()))
+	}
 	switch state {
 	case JobDone:
 		m.Completed.Inc()
 		m.log.Info("job done", "job_id", j.ID, "client", j.Client,
-			"hsps", j.hsps.Load(), "attempts", j.attemptNum())
+			"hsps", j.hsps.Load(), "attempts", j.attemptNum(), "cached", j.Cached())
 	case JobCancelled:
 		m.Cancelled.Inc()
 		m.log.Info("job cancelled", "job_id", j.ID, "client", j.Client, "error", msg)

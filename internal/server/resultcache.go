@@ -1,0 +1,133 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"darwinwga/internal/obs"
+)
+
+// resultKey identifies one deterministic pipeline outcome: same target
+// content, same query content, same output-shaping configuration. The
+// three components reuse the fingerprints the checkpoint layer resumes
+// under — a key collision would require an FNV collision on inputs the
+// WAL already trusts for byte-identical resume.
+type resultKey struct {
+	target string // target content fingerprint (hex)
+	query  string // query content fingerprint (hex, includes seq names)
+	config uint64 // core.Config.Fingerprint()
+}
+
+type cacheEntry struct {
+	key  resultKey
+	maf  []byte
+	hsps int
+}
+
+// resultCacheMetrics is nil-safe obs wiring for the cache.
+type resultCacheMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+// resultCache is a bounded byte-budget LRU over finished MAF artifacts.
+// Repeated submissions of an identical job are served the artifact
+// directly, skipping the pipeline entirely. Only complete, untruncated
+// results are inserted (the caller enforces this: a deadline-truncated
+// MAF is not the job's deterministic answer).
+type resultCache struct {
+	mu      sync.Mutex
+	max     int64 // byte budget; <= 0 means the cache is disabled
+	bytes   int64
+	ll      *list.List // front = most recently used
+	entries map[resultKey]*list.Element
+	metrics resultCacheMetrics
+}
+
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{
+		max:     maxBytes,
+		ll:      list.New(),
+		entries: make(map[resultKey]*list.Element),
+	}
+}
+
+// enabled reports whether the cache accepts entries at all.
+func (c *resultCache) enabled() bool { return c != nil && c.max > 0 }
+
+// get returns the cached MAF artifact and HSP count for key, marking it
+// most recently used. The returned slice is shared and must not be
+// mutated.
+func (c *resultCache) get(key resultKey) ([]byte, int, bool) {
+	if !c.enabled() {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		if c.metrics.misses != nil {
+			c.metrics.misses.Inc()
+		}
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(el)
+	if c.metrics.hits != nil {
+		c.metrics.hits.Inc()
+	}
+	e := el.Value.(*cacheEntry)
+	return e.maf, e.hsps, true
+}
+
+// put inserts (or refreshes) key's artifact, evicting least-recently
+// used entries to stay within the byte budget. Artifacts larger than
+// the whole budget are not cached.
+func (c *resultCache) put(key resultKey, mafData []byte, hsps int) {
+	if !c.enabled() || int64(len(mafData)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Deterministic pipeline: a re-insert carries the same bytes.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, maf: mafData, hsps: hsps})
+	c.entries[key] = el
+	c.bytes += int64(len(mafData))
+	for c.bytes > c.max {
+		back := c.ll.Back()
+		if back == nil || back == el {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.maf))
+		if c.metrics.evictions != nil {
+			c.metrics.evictions.Inc()
+		}
+	}
+}
+
+// bytesUsed returns the current cached artifact bytes.
+func (c *resultCache) bytesUsed() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// count returns the number of cached artifacts.
+func (c *resultCache) count() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func rcKey(i int) resultKey {
+	return resultKey{target: "t", query: fmt.Sprintf("q%03d", i), config: 7}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(100)
+	art := func(i int) []byte { return bytes.Repeat([]byte{byte('a' + i)}, 40) }
+
+	c.put(rcKey(0), art(0), 1)
+	c.put(rcKey(1), art(1), 2)
+	if c.count() != 2 || c.bytesUsed() != 80 {
+		t.Fatalf("count=%d bytes=%d, want 2/80", c.count(), c.bytesUsed())
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if _, _, ok := c.get(rcKey(0)); !ok {
+		t.Fatalf("get(0) missed")
+	}
+	c.put(rcKey(2), art(2), 3)
+	if c.count() != 2 || c.bytesUsed() != 80 {
+		t.Fatalf("after eviction: count=%d bytes=%d, want 2/80", c.count(), c.bytesUsed())
+	}
+	if _, _, ok := c.get(rcKey(1)); ok {
+		t.Fatalf("LRU entry 1 survived eviction")
+	}
+	maf, hsps, ok := c.get(rcKey(0))
+	if !ok || hsps != 1 || !bytes.Equal(maf, art(0)) {
+		t.Fatalf("recently-used entry 0 lost or corrupted (ok=%v hsps=%d)", ok, hsps)
+	}
+	if _, _, ok := c.get(rcKey(2)); !ok {
+		t.Fatalf("newest entry 2 missing")
+	}
+}
+
+func TestResultCacheOversizeAndDisabled(t *testing.T) {
+	c := newResultCache(10)
+	c.put(rcKey(0), make([]byte, 11), 1)
+	if c.count() != 0 {
+		t.Fatalf("artifact larger than the whole budget was cached")
+	}
+
+	var nilCache *resultCache
+	if nilCache.enabled() {
+		t.Fatalf("nil cache reports enabled")
+	}
+	nilCache.put(rcKey(0), []byte("x"), 1) // must not panic
+	if _, _, ok := nilCache.get(rcKey(0)); ok {
+		t.Fatalf("nil cache returned a hit")
+	}
+	if nilCache.bytesUsed() != 0 || nilCache.count() != 0 {
+		t.Fatalf("nil cache reports non-zero usage")
+	}
+
+	disabled := newResultCache(0)
+	disabled.put(rcKey(1), []byte("y"), 1)
+	if _, _, ok := disabled.get(rcKey(1)); ok {
+		t.Fatalf("disabled cache returned a hit")
+	}
+}
+
+func TestResultCacheKeyComponents(t *testing.T) {
+	c := newResultCache(1 << 20)
+	base := resultKey{target: "tfp", query: "qfp", config: 1}
+	c.put(base, []byte("maf"), 1)
+	for _, k := range []resultKey{
+		{target: "tfp2", query: "qfp", config: 1},
+		{target: "tfp", query: "qfp2", config: 1},
+		{target: "tfp", query: "qfp", config: 2},
+	} {
+		if _, _, ok := c.get(k); ok {
+			t.Fatalf("key %+v hit despite differing from %+v", k, base)
+		}
+	}
+	if _, _, ok := c.get(base); !ok {
+		t.Fatalf("exact key missed")
+	}
+}

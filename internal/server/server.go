@@ -86,6 +86,24 @@ type Config struct {
 	// footprint would push the heap past this many bytes: oversize jobs
 	// get 413, transient pressure gets 429. 0 = disabled.
 	MemoryHighWater int64
+	// IndexDir, when set, is scanned for serialized D-SOFT index files
+	// (<IndexDir>/<target name>.dwx, written by `darwin-wga index
+	// build`): a target whose file matches its content fingerprint and
+	// the Pipeline seed parameters is loaded near-instantly instead of
+	// rebuilt, and reloads after eviction come from the file too.
+	IndexDir string
+	// IndexBudget caps the aggregate resident bytes of target indexes;
+	// past it, the least-recently-used idle (unpinned) indexes are
+	// evicted and transparently reloaded on next use. 0 derives the
+	// budget from MemoryHighWater (half of it) so eviction engages
+	// against the same watermark admission control uses; negative
+	// disables eviction.
+	IndexBudget int64
+	// ResultCacheBytes bounds the finished-MAF result cache, keyed by
+	// (target fingerprint, query fingerprint, config fingerprint);
+	// repeated identical submissions are served the artifact without a
+	// pipeline run. 0 = disabled.
+	ResultCacheBytes int64
 	// ReadHeaderTimeout/ReadTimeout/IdleTimeout harden the HTTP server
 	// against slow-client resource pinning (defaults 10s / 5m / 2m;
 	// negative = disabled). The write timeout stays unset because MAF
@@ -192,6 +210,15 @@ func (c Config) withDefaults() Config {
 	if c.ShipInterval <= 0 {
 		c.ShipInterval = 2 * time.Second
 	}
+	switch {
+	case c.IndexBudget == 0 && c.MemoryHighWater > 0:
+		c.IndexBudget = c.MemoryHighWater / 2
+	case c.IndexBudget < 0:
+		c.IndexBudget = 0 // eviction disabled
+	}
+	if c.ResultCacheBytes < 0 {
+		c.ResultCacheBytes = 0
+	}
 	if c.Clock == nil {
 		c.Clock = faultinject.RealClock()
 	}
@@ -217,7 +244,7 @@ type Server struct {
 	// coordinator (via the agent's lease responses or request headers).
 	// Requests carrying a lower epoch are rejected 409 — the worker-side
 	// half of fenced leader election.
-	clusterEpoch    atomic.Uint64
+	clusterEpoch      atomic.Uint64
 	staleEpochRejects *obs.Counter
 
 	mu       sync.Mutex
@@ -246,6 +273,15 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := NewRegistry()
 	metrics := obs.NewRegistry()
+	reg.indexDir = cfg.IndexDir
+	reg.budget = cfg.IndexBudget
+	reg.log = cfg.Log
+	reg.metrics = indexMetrics{
+		loadsFile:   metrics.Counter(`darwinwga_index_loads_total{source="file"}`, "target index loads by source"),
+		loadsBuild:  metrics.Counter(`darwinwga_index_loads_total{source="build"}`, "target index loads by source"),
+		loadSeconds: metrics.Histogram("darwinwga_index_load_seconds", "wall-clock of target index loads (file) and builds", obs.ExpBuckets(0.0001, 4, 12)),
+		evictions:   metrics.Counter("darwinwga_index_evictions_total", "idle target indexes evicted against the index budget"),
+	}
 	var store *jobStore
 	var recovered []recoveredJob
 	if cfg.JournalDir != "" {
@@ -321,6 +357,14 @@ func (s *Server) registerGauges() {
 			}
 			return 0
 		})
+	s.metrics.GaugeFunc("darwinwga_index_resident_bytes", "aggregate footprint of resident target indexes",
+		func() float64 { return float64(s.reg.ResidentIndexBytes()) })
+	s.metrics.GaugeFunc("darwinwga_index_resident_targets", "targets whose index is currently in memory",
+		func() float64 { return float64(s.reg.ResidentTargets()) })
+	s.metrics.GaugeFunc("darwinwga_result_cache_bytes", "bytes of finished MAF artifacts held by the result cache",
+		func() float64 { return float64(s.jobs.rcache.bytesUsed()) })
+	s.metrics.GaugeFunc("darwinwga_result_cache_entries", "finished MAF artifacts held by the result cache",
+		func() float64 { return float64(s.jobs.rcache.count()) })
 	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled} {
 		st := st
 		s.metrics.GaugeFunc(`darwinwga_jobs_state{state="`+string(st)+`"}`, "retained jobs by lifecycle state",
@@ -343,8 +387,13 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 func (s *Server) RegisterTarget(name string, asm *genome.Assembly) (*Target, error) {
 	t, err := s.reg.Register(name, asm, s.cfg.Pipeline)
 	if err == nil {
+		source := "build"
+		if t.IndexFromFile() {
+			source = "file"
+		}
 		s.log.Info("registered target", "target", t.Name,
-			"seqs", t.NumSeqs, "bases", len(t.Bases), "index_bytes", t.IndexBytes)
+			"seqs", t.NumSeqs, "bases", len(t.Bases),
+			"index_bytes", t.IndexBytes(), "index_source", source)
 		s.jobs.TargetRegistered(t.Name)
 	}
 	return t, err

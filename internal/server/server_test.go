@@ -115,6 +115,7 @@ type jobStatus struct {
 	State     string           `json:"state"`
 	HSPs      int64            `json:"hsps"`
 	MAFBytes  int              `json:"maf_bytes"`
+	Cached    bool             `json:"cached"`
 	Truncated string           `json:"truncated"`
 	Error     string           `json:"error"`
 	Workload  *json.RawMessage `json:"workload"`
