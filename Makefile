@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-resume test-serve test-obs test-chaos test-cluster test-index test-fuzz bench bench-diff lint ci
+.PHONY: all build vet test test-race test-resume test-serve test-obs test-obs-cluster test-chaos test-cluster test-index test-fuzz bench bench-diff lint ci
 
 all: build
 
@@ -53,6 +53,22 @@ test-obs:
 	$(GO) test -timeout 10m -run 'TestTileHook' ./internal/gact/
 	$(GO) test -timeout 15m -run 'TestMetricsEndpoint|TestJobStatsBlock|TestVarzCompatibility|TestPprofGating' ./internal/server/
 	$(GO) test -timeout 15m -run 'TestTraceAndProfileFlagsE2E|TestServeObservabilityE2E' ./cmd/darwin-wga/
+
+# Cluster observability suite: the flight-recorder ring / capped-tracer
+# / federation-snapshot unit tests with the zero-alloc disabled-path
+# guards, the worker-side trace + flight-record endpoints and the
+# Prometheus text-format lint over a fully instrumented server, the
+# coordinator-side merged-trace-across-failover, fleet-federation,
+# replication-lag, and ship-lag tests on a manual clock, and the
+# subprocess failover e2e that SIGKILLs a worker mid-job and requires
+# the merged trace to span both workers under one trace id. All under
+# the race detector where processes are in-process; every line carries
+# an explicit -timeout.
+test-obs-cluster:
+	$(GO) test -race -timeout 10m ./internal/obs/
+	$(GO) test -race -timeout 15m -run 'TestJobTrace|TestJobEvents|TestLatencyHistograms|TestMetricsPrometheusLint' ./internal/server/
+	$(GO) test -race -timeout 15m -run 'TestClusterTraceMergeAcrossFailover|TestClusterMetricsFederation|TestReplicationHubFollowerLags|TestStandbyReplicationLagMetrics|TestShipLagMetric' ./internal/cluster/
+	$(GO) test -timeout 20m -run 'TestClusterFailoverE2E|TestHALeaderFailoverE2E' ./cmd/darwin-wga/
 
 # Chaos suite: crash-only serving under the race detector — the
 # durable job store (journal round-trip, torn tails, restart recovery
@@ -147,4 +163,4 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWALRecover -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzIndexLoad -fuzztime 10s ./internal/indexstore/
 
-ci: build vet test test-race test-resume test-serve test-obs test-chaos test-cluster test-index test-fuzz
+ci: build vet test test-race test-resume test-serve test-obs test-obs-cluster test-chaos test-cluster test-index test-fuzz

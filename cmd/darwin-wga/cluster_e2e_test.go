@@ -134,6 +134,10 @@ func TestClusterFailoverE2E(t *testing.T) {
 	if assigned == w1Base {
 		survivorBase = w2Base
 	}
+	// Before the kill, poll the coordinator's merged trace until the
+	// first worker's spans have been drained coordinator-side — that is
+	// what must survive the SIGKILL.
+	traceID := awaitTraceSpans(t, coordBase, st1.ID, 30*time.Second)
 	if err := victim.Process.Kill(); err != nil {
 		t.Fatal(err)
 	}
@@ -155,6 +159,64 @@ func TestClusterFailoverE2E(t *testing.T) {
 	if !bytes.Equal(got1, ref) {
 		t.Errorf("failover MAF (%d bytes) differs from one-shot reference (%d bytes); survivor %s log:\n%s",
 			len(got1), len(ref), survivorBase, workerLogs[survivorBase].String())
+	}
+
+	// The merged trace spans both workers under the one trace id minted
+	// at admission, with the replayed (post-failover) portion attributed.
+	doc := fetchMergedTrace(t, coordBase, st1.ID)
+	if doc.OtherData.TraceID == "" || doc.OtherData.TraceID != traceID {
+		t.Errorf("trace id changed across failover: %q then %q", traceID, doc.OtherData.TraceID)
+	}
+	pids := map[int]bool{}
+	originals, replays, replaySuffix := 0, 0, false
+	for _, e := range doc.TraceEvents {
+		switch e.Name {
+		case "process_name":
+			if name, _ := e.Args["name"].(string); strings.Contains(name, "[failover replay]") {
+				replaySuffix = true
+			}
+			continue
+		case "replayed", "spans-dropped":
+			continue
+		}
+		pids[e.Pid] = true
+		if e.Args["replayed"] == true {
+			replays++
+		} else {
+			originals++
+		}
+	}
+	if len(pids) < 2 {
+		t.Errorf("merged trace covers %d processes, want 2 (one per worker); coordinator log:\n%s",
+			len(pids), coordLog.String())
+	}
+	if originals == 0 || replays == 0 {
+		t.Errorf("merged trace has %d original and %d replayed spans; want both nonzero", originals, replays)
+	}
+	if !replaySuffix {
+		t.Error("no process_name metadata marks the failover replay")
+	}
+
+	// The flight record reads as the job's full lifecycle, failover
+	// included.
+	flightTypes := fetchFlightTypes(t, coordBase, st1.ID)
+	for _, typ := range []string{"admitted", "dispatched", "failover", "finished"} {
+		if !flightTypes[typ] {
+			t.Errorf("flight record missing %q (got %v)", typ, flightTypes)
+		}
+	}
+
+	// Fleet federation: the survivor's heartbeat snapshots surface as
+	// per-worker series on the coordinator.
+	awaitClusterSeries(t, coordBase, "darwinwga_cluster_worker_queue_depth{worker=", 30*time.Second)
+
+	// The serve startup line identifies the build (satellite: version in
+	// the log, build_info on the scrape).
+	if !strings.Contains(workerLogs[survivorBase].String(), "version=") {
+		t.Errorf("survivor startup log has no version field:\n%s", workerLogs[survivorBase].String())
+	}
+	if !scrapeContains(t, survivorBase+"/metrics", "darwinwga_build_info{version=") {
+		t.Error("survivor /metrics has no darwinwga_build_info gauge")
 	}
 
 	// ---- Phase 2: coordinator crash + restart ------------------------
@@ -312,6 +374,125 @@ func fetchMAF(t *testing.T, base, id string) []byte {
 		t.Fatalf("GET maf for %s: HTTP %d (%s)", id, resp.StatusCode, data)
 	}
 	return data
+}
+
+// tracedDoc is the decode shape of the coordinator's merged trace.
+type tracedDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	OtherData struct {
+		TraceID string `json:"trace_id"`
+		JobID   string `json:"job_id"`
+	} `json:"otherData"`
+}
+
+func fetchMergedTrace(t *testing.T, base, id string) tracedDoc {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace for %s: HTTP %d (%s)", id, resp.StatusCode, data)
+	}
+	var doc tracedDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("decoding merged trace: %v (%s)", err, data)
+	}
+	return doc
+}
+
+// awaitTraceSpans polls the coordinator's merged trace until at least
+// one pipeline span has been drained from the assigned worker, and
+// returns the trace id. Each poll actively pulls the live worker's span
+// buffer, so this both waits for and forces the drain.
+func awaitTraceSpans(t *testing.T, base, id string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		doc := fetchMergedTrace(t, base, id)
+		for _, e := range doc.TraceEvents {
+			switch e.Name {
+			case "process_name", "replayed", "spans-dropped":
+			default:
+				return doc.OtherData.TraceID
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s: no spans drained from its worker", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// fetchFlightTypes returns the set of event types in the job's merged
+// flight record.
+func fetchFlightTypes(t *testing.T, base, id string) map[string]bool {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events for %s: HTTP %d (%s)", id, resp.StatusCode, data)
+	}
+	var doc struct {
+		Events []struct {
+			Type string `json:"type"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("decoding flight record: %v (%s)", err, data)
+	}
+	types := map[string]bool{}
+	for _, ev := range doc.Events {
+		types[ev.Type] = true
+	}
+	return types
+}
+
+// awaitClusterSeries polls GET /metrics/cluster until a line with the
+// given prefix appears (heartbeat snapshots arrive asynchronously).
+func awaitClusterSeries(t *testing.T, base, prefix string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if scrapeContains(t, base+"/metrics/cluster", prefix) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics/cluster never served a %q series", prefix)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func scrapeContains(t *testing.T, url, want string) bool {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Contains(string(data), want)
 }
 
 // clusterRecoveredPositive reports whether the coordinator's metrics

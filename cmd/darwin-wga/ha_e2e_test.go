@@ -151,6 +151,14 @@ func TestHALeaderFailoverE2E(t *testing.T) {
 	}
 	awaitAssignment(t, leaderBase, st.ID, 30*time.Second)
 
+	// Observability while both sides live: the leader federates the
+	// standby's replication position as a lag gauge on /metrics/cluster,
+	// and the standby serves its own replication gauges pre-promotion.
+	awaitClusterSeries(t, leaderBase, "darwinwga_standby_replication_lag_frames{standby=", 30*time.Second)
+	if !scrapeContains(t, standbyBase+"/metrics", "darwinwga_standby_records") {
+		t.Error("standby /metrics has no replication gauges pre-promotion")
+	}
+
 	if err := leaderCmd.Process.Kill(); err != nil {
 		t.Fatal(err)
 	}

@@ -67,6 +67,7 @@ import (
 	"darwinwga/internal/checkpoint"
 	"darwinwga/internal/cluster"
 	"darwinwga/internal/faultinject"
+	"darwinwga/internal/obs"
 	"darwinwga/internal/stats"
 )
 
@@ -246,6 +247,7 @@ func serveMain(args []string) int {
 		indexBudMB  = fs.Int64("index-budget-mb", 0, "evict least-recently-used idle target indexes past this many MiB resident (0 = half of -mem-highwater-mb, -1 = eviction off)")
 		resCacheMB  = fs.Int64("result-cache-mb", 64, "cache finished MAF results up to this many MiB, serving repeated identical submissions without a pipeline run (0 = off)")
 		seedPattern = fs.String("seed-pattern", "", "spaced-seed pattern shaping every target index (default: the pipeline default; must match any serialized indexes)")
+		traceCap    = fs.Int("trace-events", 4096, "span-buffer events retained per job for GET /v1/jobs/{id}/trace (-1 = tracing off)")
 		workers     = fs.Int("workers", 0, "pipeline worker goroutines per job (0 = GOMAXPROCS)")
 		enablePprof = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the API handler")
 		logFormat   = fs.String("log-format", "text", "operational log format: text or json")
@@ -343,6 +345,7 @@ func serveMain(args []string) int {
 		IndexDir:             *indexDir,
 		IndexBudget:          indexBudget,
 		ResultCacheBytes:     *resCacheMB << 20,
+		TraceEventCap:        *traceCap,
 		ShipInterval:         *shipEvery,
 		Log:                  logger,
 		EnablePprof:          *enablePprof,
@@ -486,6 +489,8 @@ func coordinatorMain(opts coordinatorOptions) int {
 	// Same load-bearing line as the server roles: with -addr :0 this is
 	// how callers discover the bound port.
 	fmt.Fprintf(os.Stderr, "darwin-wga serve: listening on %s\n", ln.Addr())
+	opts.log.Info("serving", "addr", ln.Addr().String(), "role", "coordinator",
+		"version", obs.BuildVersion())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -531,6 +536,8 @@ func standbyMain(opts coordinatorOptions) int {
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "darwin-wga serve: listening on %s\n", ln.Addr())
+	opts.log.Info("serving", "addr", ln.Addr().String(), "role", "standby",
+		"version", obs.BuildVersion())
 	opts.log.Info("standby replicating", "leader", opts.standbyOf)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -15,6 +15,7 @@ import (
 
 	"darwinwga/internal/core"
 	"darwinwga/internal/faultinject"
+	"darwinwga/internal/obs"
 	"darwinwga/internal/server"
 )
 
@@ -316,9 +317,18 @@ func (a *Agent) observeLease(epoch uint64, coordinators []string) {
 	a.mergeCoordinators(coordinators)
 }
 
-// heartbeat renews the lease once, returning the HTTP status.
+// heartbeat renews the lease once, returning the HTTP status. Each
+// renewal piggybacks the worker's compact metrics snapshot — queue
+// depth, breaker states, cache residency and effectiveness — which is
+// the entire fleet-federation transport: no extra scrape endpoint, no
+// extra connection, just a few dozen bytes on a request that already
+// flows at ttl/3.
 func (a *Agent) heartbeat(ctx context.Context) (int, error) {
-	payload, err := json.Marshal(map[string]string{"worker_id": a.cfg.WorkerID})
+	snap := a.cfg.Server.Snapshot()
+	payload, err := json.Marshal(struct {
+		WorkerID string              `json:"worker_id"`
+		Snapshot *obs.WorkerSnapshot `json:"snapshot,omitempty"`
+	}{WorkerID: a.cfg.WorkerID, Snapshot: &snap})
 	if err != nil {
 		return 0, err
 	}

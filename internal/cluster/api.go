@@ -15,6 +15,7 @@ import (
 
 	"darwinwga/internal/checkpoint"
 	"darwinwga/internal/genome"
+	"darwinwga/internal/obs"
 )
 
 // clusterSubmit is the coordinator's POST /v1/jobs body: the worker
@@ -26,6 +27,10 @@ type clusterSubmit struct {
 	QueryPath  string `json:"query_path,omitempty"` // rejected; here to diagnose
 	QueryName  string `json:"query_name,omitempty"`
 	Client     string `json:"client,omitempty"`
+	// TraceID lets a client thread its own distributed trace id through
+	// the job; the X-Darwinwga-Trace header wins over the body, and an
+	// absent id is minted at admission.
+	TraceID string `json:"trace_id,omitempty"`
 
 	Ungapped          bool  `json:"ungapped,omitempty"`
 	ForwardOnly       bool  `json:"forward_only,omitempty"`
@@ -53,8 +58,11 @@ type clusterJobStatus struct {
 	Parked      bool         `json:"parked,omitempty"`
 	Assignments []assignment `json:"assignments,omitempty"`
 	Worker      *assignment  `json:"worker,omitempty"`
+	TraceID     string       `json:"trace_id,omitempty"`
 	StatusURL   string       `json:"status_url"`
 	MAFURL      string       `json:"maf_url"`
+	TraceURL    string       `json:"trace_url"`
+	EventsURL   string       `json:"events_url"`
 }
 
 // registerBody is POST /cluster/v1/register.
@@ -68,9 +76,12 @@ type registerBody struct {
 	} `json:"targets"`
 }
 
-// heartbeatBody is POST /cluster/v1/heartbeat.
+// heartbeatBody is POST /cluster/v1/heartbeat. Snapshot is the
+// worker's piggybacked metrics snapshot (optional; agents predating
+// federation omit it).
 type heartbeatBody struct {
-	WorkerID string `json:"worker_id"`
+	WorkerID string              `json:"worker_id"`
+	Snapshot *obs.WorkerSnapshot `json:"snapshot,omitempty"`
 }
 
 func (c *Coordinator) buildHandler() http.Handler {
@@ -78,6 +89,8 @@ func (c *Coordinator) buildHandler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/maf", c.handleMAF)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", c.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
 	mux.HandleFunc("GET /v1/targets", c.handleTargets)
 	mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
@@ -90,6 +103,7 @@ func (c *Coordinator) buildHandler() http.Handler {
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /readyz", c.handleReadyz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /metrics/cluster", c.handleClusterMetrics)
 	return mux
 }
 
@@ -178,7 +192,11 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			client = r.RemoteAddr
 		}
 	}
-	j, err := c.submit(req.Target, fp, client, queryName, buf.String(), spec)
+	traceID := req.TraceID
+	if h := r.Header.Get(TraceHeader); h != "" {
+		traceID = h
+	}
+	j, err := c.submit(req.Target, fp, client, queryName, traceID, buf.String(), spec)
 	if err != nil {
 		cWriteError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -213,8 +231,11 @@ func (c *Coordinator) statusOf(j *coordJob) clusterJobStatus {
 		Created:    j.Created,
 		Dispatches: len(j.assignments),
 		Parked:     j.parked,
+		TraceID:    j.TraceID,
 		StatusURL:  "/v1/jobs/" + j.ID,
 		MAFURL:     "/v1/jobs/" + j.ID + "/maf",
+		TraceURL:   "/v1/jobs/" + j.ID + "/trace",
+		EventsURL:  "/v1/jobs/" + j.ID + "/events",
 	}
 	if !j.finishedAt.IsZero() {
 		t := j.finishedAt
@@ -446,7 +467,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		cWriteError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	if !c.ms.heartbeat(req.WorkerID) {
+	if !c.ms.heartbeat(req.WorkerID, req.Snapshot) {
 		// Unknown lease: the worker must re-register (coordinator
 		// restarted, or the lease expired).
 		cWriteError(w, http.StatusNotFound, "unknown worker %q: re-register", req.WorkerID)
@@ -533,6 +554,7 @@ func (c *Coordinator) handleShippedPut(w http.ResponseWriter, r *http.Request) {
 		cWriteError(w, http.StatusInternalServerError, "storing segment: %v", err)
 		return
 	}
+	c.stampShip(id)
 	w.WriteHeader(http.StatusNoContent)
 }
 

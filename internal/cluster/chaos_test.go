@@ -15,12 +15,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"darwinwga/internal/faultinject"
+	"darwinwga/internal/obs"
 )
 
 const (
@@ -42,6 +44,14 @@ type fakeWorker struct {
 	nextID   int
 	submits  int
 	shipURLs []string // journal_ship from each accepted dispatch, in order
+	traceIDs []string // X-Darwinwga-Trace header from each dispatch
+
+	// Scripted observability surfaces: the span buffer served at
+	// GET /v1/jobs/{id}/trace (honoring ?after) and the flight ring
+	// served at GET /v1/jobs/{id}/events, shared by all the worker's
+	// jobs.
+	spans  []obs.Event
+	flight []obs.FlightEvent
 }
 
 func newFakeWorker(t *testing.T) *fakeWorker {
@@ -65,6 +75,7 @@ func newFakeWorkerWrapped(t *testing.T, wrap func(http.Handler) http.Handler) *f
 		w.nextID++
 		w.submits++
 		w.shipURLs = append(w.shipURLs, sub.JournalShip)
+		w.traceIDs = append(w.traceIDs, r.Header.Get(TraceHeader))
 		id := fmt.Sprintf("wj-%d", w.nextID)
 		w.jobs[id] = "running"
 		w.mu.Unlock()
@@ -94,6 +105,34 @@ func newFakeWorkerWrapped(t *testing.T, wrap func(http.Handler) http.Handler) *f
 		}
 		rw.Write([]byte(testMAF)) //nolint:errcheck
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(rw http.ResponseWriter, r *http.Request) {
+		w.mu.Lock()
+		_, ok := w.jobs[r.PathValue("id")]
+		evs := append([]obs.Event(nil), w.spans...)
+		w.mu.Unlock()
+		if !ok {
+			rw.WriteHeader(http.StatusNotFound)
+			return
+		}
+		after, _ := strconv.Atoi(r.URL.Query().Get("after"))
+		if after < 0 || after > len(evs) {
+			after = len(evs)
+		}
+		json.NewEncoder(rw).Encode(obs.TraceExport{ //nolint:errcheck
+			JobID: r.PathValue("id"), Total: len(evs), Events: evs[after:],
+		})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(rw http.ResponseWriter, r *http.Request) {
+		w.mu.Lock()
+		_, ok := w.jobs[r.PathValue("id")]
+		evs := append([]obs.FlightEvent(nil), w.flight...)
+		w.mu.Unlock()
+		if !ok {
+			rw.WriteHeader(http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(rw).Encode(map[string]any{"events": evs}) //nolint:errcheck
+	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(rw http.ResponseWriter, r *http.Request) {
 		w.mu.Lock()
 		if _, ok := w.jobs[r.PathValue("id")]; ok {
@@ -109,6 +148,30 @@ func newFakeWorkerWrapped(t *testing.T, wrap func(http.Handler) http.Handler) *f
 	w.srv = httptest.NewServer(h)
 	t.Cleanup(w.srv.Close)
 	return w
+}
+
+// setSpans scripts the span buffer the worker serves.
+func (w *fakeWorker) setSpans(evs []obs.Event) {
+	w.mu.Lock()
+	w.spans = append([]obs.Event(nil), evs...)
+	w.mu.Unlock()
+}
+
+// setFlight scripts the worker's flight-recorder ring.
+func (w *fakeWorker) setFlight(evs []obs.FlightEvent) {
+	w.mu.Lock()
+	w.flight = append([]obs.FlightEvent(nil), evs...)
+	w.mu.Unlock()
+}
+
+// lastTraceID returns the trace header of the most recent dispatch.
+func (w *fakeWorker) lastTraceID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.traceIDs) == 0 {
+		return ""
+	}
+	return w.traceIDs[len(w.traceIDs)-1]
 }
 
 // lastShipURL returns the journal_ship of the most recent dispatch.

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"darwinwga/internal/obs"
 	"darwinwga/internal/server"
 )
 
@@ -19,6 +20,10 @@ import (
 // (standalone clients) are not fenced.
 const EpochHeader = server.ClusterEpochHeader
 
+// TraceHeader propagates the distributed trace id on coordinator→worker
+// dispatches (and is honored on client→coordinator submissions).
+const TraceHeader = server.TraceHeader
+
 // workerSubmit is the body dispatched to a worker's POST /v1/jobs — the
 // server's submitRequest shape with the query inlined from the
 // coordinator's spill.
@@ -27,6 +32,9 @@ type workerSubmit struct {
 	QueryFASTA string `json:"query_fasta"`
 	QueryName  string `json:"query_name,omitempty"`
 	Client     string `json:"client,omitempty"`
+	// TraceID propagates the cluster-wide distributed trace id so every
+	// attempt's spans — on whichever worker — tag into one trace.
+	TraceID string `json:"trace_id,omitempty"`
 	// JournalShip is the coordinator artifact-store base URL the worker
 	// ships this job's pipeline-journal segments to (and downloads them
 	// from when resuming after a failover).
@@ -93,7 +101,8 @@ func (c *Coordinator) doRequest(req *http.Request, cancelCh <-chan struct{}) (*h
 			// Stop dispatching — the new leader owns these jobs.
 			if c.fenced.CompareAndSwap(false, true) {
 				c.log.Error("fenced: worker rejected stale epoch; ceasing dispatch",
-					"epoch", c.epoch, "worker_epoch", r.resp.Header.Get(EpochHeader))
+					"worker", req.URL.Host, "epoch", c.epoch,
+					"worker_epoch", r.resp.Header.Get(EpochHeader))
 			}
 		}
 		r.resp.Body = &cancelOnClose{ReadCloser: r.resp.Body, cancel: cancel}
@@ -131,6 +140,7 @@ func (c *Coordinator) dispatchTo(j *coordJob, m *Member) (string, error) {
 		QueryFASTA:        j.queryFASTA,
 		QueryName:         j.QueryName,
 		Client:            "coord/" + j.Client,
+		TraceID:           j.TraceID,
 		JournalShip:       c.shipURLFor(j.ID),
 		Ungapped:          j.Spec.Ungapped,
 		ForwardOnly:       j.Spec.ForwardOnly,
@@ -161,6 +171,7 @@ func (c *Coordinator) dispatchTo(j *coordJob, m *Member) (string, error) {
 			return "", rerr
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(TraceHeader, j.TraceID)
 		resp, rerr := c.doRequest(req, j.cancelCh)
 		if rerr != nil {
 			c.brk.failure(m.ID)
@@ -196,6 +207,58 @@ func (c *Coordinator) dispatchTo(j *coordJob, m *Member) (string, error) {
 		return "", fmt.Errorf("cluster: worker %s rejected dispatch: HTTP %d", m.ID, code)
 	}
 	return "", lastErr
+}
+
+// workerTrace fetches the incremental span buffer an assignment's
+// worker holds for its job — events past cursor `after`, plus the
+// worker's identity and drop count. Best-effort by contract: callers
+// treat every error as "no new spans this poll".
+func (c *Coordinator) workerTrace(j *coordJob, a assignment, after int) (*obs.TraceExport, error) {
+	req, err := http.NewRequest(http.MethodGet,
+		a.WorkerAddr+"/v1/jobs/"+a.WorkerJobID+"/trace?after="+strconv.Itoa(after), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.doRequest(req, j.cancelCh)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		drainClose(resp)
+		return nil, fmt.Errorf("cluster: worker %s: trace HTTP %d", a.WorkerID, resp.StatusCode)
+	}
+	var ex obs.TraceExport
+	if err := json.NewDecoder(resp.Body).Decode(&ex); err != nil {
+		return nil, fmt.Errorf("cluster: decoding worker trace: %w", err)
+	}
+	return &ex, nil
+}
+
+// workerEvents fetches an assignment's worker-side flight-recorder
+// events, for merging into the coordinator's GET /v1/jobs/{id}/events.
+func (c *Coordinator) workerEvents(j *coordJob, a assignment) ([]obs.FlightEvent, error) {
+	req, err := http.NewRequest(http.MethodGet,
+		a.WorkerAddr+"/v1/jobs/"+a.WorkerJobID+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.doRequest(req, j.cancelCh)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		drainClose(resp)
+		return nil, fmt.Errorf("cluster: worker %s: events HTTP %d", a.WorkerID, resp.StatusCode)
+	}
+	var body struct {
+		Events []obs.FlightEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("cluster: decoding worker events: %w", err)
+	}
+	return body.Events, nil
 }
 
 // workerJobStatus polls one assignment's status on its worker.

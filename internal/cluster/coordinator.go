@@ -63,6 +63,7 @@ type coordJob struct {
 	Fingerprint string
 	Client      string
 	QueryName   string
+	TraceID     string
 	Spec        jobSpec
 	Created     time.Time
 
@@ -70,6 +71,18 @@ type coordJob struct {
 	// journal it is backed by the spilled queries/<id>.fa; without one
 	// it lives only here.
 	queryFASTA string
+
+	// flight is the coordinator-side half of the job's flight recorder:
+	// routing lifecycle events (admitted, dispatched, failover, …) land
+	// here; the worker records its own half.
+	flight *obs.FlightRecorder
+
+	// spans accumulates the trace buffers polled from every worker the
+	// job has run on, keyed by assignment. Polling while the job runs —
+	// not fetching once at the end — is what keeps a SIGKILLed worker's
+	// spans: whatever the last poll captured survives the worker.
+	spanMu sync.Mutex
+	spans  []*workerSpans
 
 	mu          sync.Mutex
 	state       string
@@ -81,6 +94,58 @@ type coordJob struct {
 	cancelOnce sync.Once
 	cancelCh   chan struct{} // closed by Cancel
 	doneCh     chan struct{} // closed on terminal state
+}
+
+// workerSpans is one assignment's collected trace buffer: the events
+// fetched so far (cursor = len(Events) at the worker's numbering) plus
+// the identity needed to label them in the merged trace.
+type workerSpans struct {
+	WorkerID    string
+	WorkerJobID string
+	Dropped     int64
+	Replayed    bool // a later attempt: re-executed workload after failover
+	Events      []obs.Event
+}
+
+// spanSink returns (creating on first use) the span buffer for one
+// assignment, and marks buffers after the first as replayed work.
+func (j *coordJob) spanSink(a assignment) *workerSpans {
+	j.spanMu.Lock()
+	defer j.spanMu.Unlock()
+	for _, ws := range j.spans {
+		if ws.WorkerID == a.WorkerID && ws.WorkerJobID == a.WorkerJobID {
+			return ws
+		}
+	}
+	ws := &workerSpans{WorkerID: a.WorkerID, WorkerJobID: a.WorkerJobID, Replayed: len(j.spans) > 0}
+	j.spans = append(j.spans, ws)
+	return ws
+}
+
+// absorbSpans folds one trace delta from a worker into the job's
+// per-assignment buffer. The worker's cursor contract (Export(after))
+// makes this append-only: ex.Events starts exactly where the previous
+// poll left off.
+func (j *coordJob) absorbSpans(ws *workerSpans, ex obs.TraceExport) {
+	j.spanMu.Lock()
+	ws.Events = append(ws.Events, ex.Events...)
+	if ex.Dropped > ws.Dropped {
+		ws.Dropped = ex.Dropped
+	}
+	j.spanMu.Unlock()
+}
+
+// spanSnapshot returns a copy of the collected buffers for merging.
+func (j *coordJob) spanSnapshot() []workerSpans {
+	j.spanMu.Lock()
+	defer j.spanMu.Unlock()
+	out := make([]workerSpans, 0, len(j.spans))
+	for _, ws := range j.spans {
+		c := *ws
+		c.Events = append([]obs.Event(nil), ws.Events...)
+		out = append(out, c)
+	}
+	return out
 }
 
 func (j *coordJob) snapshotState() (state, errMsg string) {
@@ -252,6 +317,12 @@ type Coordinator struct {
 	jobs  map[string]*coordJob
 	order []string // submission order, for retention
 
+	// shipMu guards shipAt: the last time each active job's worker PUT a
+	// pipeline-journal segment, feeding the checkpoint-shipping lag
+	// gauges on /metrics/cluster.
+	shipMu sync.Mutex
+	shipAt map[string]time.Time
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -297,6 +368,7 @@ func New(cfg Config) (*Coordinator, error) {
 		log:     cfg.Log,
 		started: time.Now(),
 		jobs:    make(map[string]*coordJob),
+		shipAt:  make(map[string]time.Time),
 		ctx:     ctx,
 		cancel:  cancel,
 	}
@@ -335,6 +407,7 @@ func New(cfg Config) (*Coordinator, error) {
 
 func (c *Coordinator) registerMetrics() {
 	reg := c.metrics
+	obs.RegisterBuildInfo(reg)
 	c.c = counters{
 		routed:         reg.Counter("darwinwga_cluster_jobs_routed_total", "jobs dispatched to a worker"),
 		failovers:      reg.Counter("darwinwga_cluster_failovers_total", "jobs re-dispatched after losing their worker"),
@@ -418,6 +491,32 @@ func newCoordJobID() string {
 	return "cj-" + hex.EncodeToString(b[:])
 }
 
+// newTraceID returns a fresh cluster-wide trace id, minted at admission
+// when the client did not supply one.
+func newTraceID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("cluster: crypto/rand failed: %v", err))
+	}
+	return "tr-" + hex.EncodeToString(b[:])
+}
+
+// coordFlightRingCap bounds each job's coordinator-side flight ring.
+const coordFlightRingCap = 64
+
+// recordFlight appends one lifecycle event to the job's coordinator
+// flight ring. Nil-safe through the recorder itself.
+func (c *Coordinator) recordFlight(j *coordJob, typ, worker, detail string) {
+	j.flight.Record(obs.FlightEvent{
+		At:     c.cfg.Clock.Now(),
+		Type:   typ,
+		Source: "coordinator",
+		Job:    j.ID,
+		Worker: worker,
+		Detail: detail,
+	})
+}
+
 // sweeper expires leases on a clock-driven cadence. Dead workers wake
 // parked runners through the membership broadcast; watch loops notice
 // on their next poll tick.
@@ -454,11 +553,19 @@ func (c *Coordinator) recover(recs []recoveredRouting) {
 			Fingerprint: r.sub.Fingerprint,
 			Client:      r.sub.Client,
 			QueryName:   r.sub.QueryName,
+			TraceID:     r.sub.TraceID,
 			Spec:        r.sub.Spec,
 			Created:     time.Unix(0, r.sub.CreatedNS),
+			flight:      obs.NewFlightRecorder(coordFlightRingCap),
 			cancelCh:    make(chan struct{}),
 			doneCh:      make(chan struct{}),
 		}
+		if j.TraceID == "" {
+			// Journals written before trace propagation: keep the job
+			// traceable under its own id.
+			j.TraceID = j.ID
+		}
+		c.recordFlight(j, obs.FlightAdmitted, "", "recovered from routing journal")
 		for _, a := range r.assigns {
 			j.assignments = append(j.assignments, assignment{
 				WorkerID:    a.WorkerID,
@@ -511,21 +618,28 @@ func (c *Coordinator) recover(recs []recoveredRouting) {
 
 // Submit accepts a parsed job, journals it, and starts its runner. The
 // caller (the HTTP layer) has already validated the query and checked
-// replica availability for the fast-path rejection.
-func (c *Coordinator) submit(target, fingerprint, client, queryName, fasta string, spec jobSpec) (*coordJob, error) {
+// replica availability for the fast-path rejection. traceID is the
+// client-supplied distributed trace id; empty mints one at admission.
+func (c *Coordinator) submit(target, fingerprint, client, queryName, traceID, fasta string, spec jobSpec) (*coordJob, error) {
+	if traceID == "" {
+		traceID = newTraceID()
+	}
 	j := &coordJob{
 		ID:          newCoordJobID(),
 		Target:      target,
 		Fingerprint: fingerprint,
 		Client:      client,
 		QueryName:   queryName,
+		TraceID:     traceID,
 		Spec:        spec,
 		Created:     c.cfg.Clock.Now(),
 		queryFASTA:  fasta,
+		flight:      obs.NewFlightRecorder(coordFlightRingCap),
 		state:       StateQueued,
 		cancelCh:    make(chan struct{}),
 		doneCh:      make(chan struct{}),
 	}
+	c.recordFlight(j, obs.FlightAdmitted, "", "target "+target)
 	if c.wal != nil {
 		// Spill-before-journal: the submitted record must imply a
 		// readable query artifact.
@@ -605,11 +719,17 @@ func (c *Coordinator) finalize(j *coordJob, state, errMsg string) {
 	j.parked = false
 	j.mu.Unlock()
 	if err := c.wal.finished(j, state, errMsg, now); err != nil {
-		c.log.Error("journaling terminal state failed", "job", j.ID, "err", err)
+		c.log.Error("journaling terminal state failed", "job_id", j.ID, "err", err)
 	}
 	c.wal.removeShipped(j.ID)
+	c.clearShipStamp(j.ID)
+	detail := state
+	if errMsg != "" {
+		detail += ": " + errMsg
+	}
+	c.recordFlight(j, obs.FlightFinished, "", detail)
 	close(j.doneCh)
-	c.log.Info("job finished", "job", j.ID, "state", state, "err", errMsg,
+	c.log.Info("job finished", "job_id", j.ID, "state", state, "err", errMsg,
 		"dispatches", j.dispatchCount())
 }
 
@@ -640,7 +760,8 @@ func (c *Coordinator) runJob(j *coordJob, tryReattach bool) {
 				if st, err := c.workerJobStatus(j, a); err == nil && st.ID == a.WorkerJobID {
 					c.c.recovReattach.Inc()
 					c.log.Info("reattached to worker after restart",
-						"job", j.ID, "worker", a.WorkerID, "worker_job", a.WorkerJobID)
+						"job_id", j.ID, "worker", a.WorkerID, "worker_job", a.WorkerJobID)
+					c.recordFlight(j, obs.FlightDispatched, a.WorkerID, "reattached after coordinator restart")
 					j.mu.Lock()
 					j.state = StateRunning
 					j.mu.Unlock()
@@ -648,7 +769,7 @@ func (c *Coordinator) runJob(j *coordJob, tryReattach bool) {
 				} else {
 					c.c.recovRedisp.Inc()
 					c.log.Warn("recovered assignment unreachable; re-dispatching",
-						"job", j.ID, "worker", a.WorkerID, "err", err)
+						"job_id", j.ID, "worker", a.WorkerID, "err", err)
 					ok = false
 				}
 			}
@@ -684,7 +805,9 @@ func (c *Coordinator) runJob(j *coordJob, tryReattach bool) {
 		case watchLost:
 			c.c.failovers.Inc()
 			c.log.Warn("worker lost mid-job; failing over",
-				"job", j.ID, "worker", a.WorkerID, "dispatches", j.dispatchCount())
+				"job_id", j.ID, "worker", a.WorkerID, "dispatches", j.dispatchCount())
+			c.recordFlight(j, obs.FlightFailover, a.WorkerID,
+				fmt.Sprintf("worker lost after %d dispatches; re-routing", j.dispatchCount()))
 			// Loop: pick the next surviving replica. The deterministic
 			// pipeline makes the re-run byte-identical.
 		}
@@ -703,7 +826,8 @@ func (c *Coordinator) park(j *coordJob) bool {
 		j.parked = false
 		j.mu.Unlock()
 	}()
-	c.log.Info("job parked: no live replica", "job", j.ID, "target", j.Target)
+	c.log.Info("job parked: no live replica", "job_id", j.ID, "target", j.Target)
+	c.recordFlight(j, obs.FlightParked, "", "no live replica for target "+j.Target)
 	select {
 	case <-c.ms.changedCh():
 		return true
@@ -727,6 +851,8 @@ func (c *Coordinator) dispatch(j *coordJob) (assignment, bool) {
 		// A newer leader owns the cluster; dispatching would split-brain.
 		// The job parks here and completes under the new leader, which
 		// replicated the same journal.
+		c.recordFlight(j, obs.FlightEpochFence, "",
+			fmt.Sprintf("coordinator fenced at epoch %d; not dispatching", c.epoch))
 		return assignment{}, false
 	}
 	replicas := c.ms.replicasFor(j.Target, c.cfg.ReplicationFactor)
@@ -754,7 +880,7 @@ func (c *Coordinator) dispatch(j *coordJob) (assignment, bool) {
 		}
 		wid, err := c.dispatchTo(j, m)
 		if err != nil {
-			c.log.Warn("dispatch failed", "job", j.ID, "worker", m.ID, "err", err)
+			c.log.Warn("dispatch failed", "job_id", j.ID, "worker", m.ID, "err", err)
 			continue
 		}
 		a := assignment{WorkerID: m.ID, WorkerAddr: m.Addr, WorkerJobID: wid, At: c.cfg.Clock.Now()}
@@ -763,11 +889,12 @@ func (c *Coordinator) dispatch(j *coordJob) (assignment, bool) {
 		j.state = StateRunning
 		j.mu.Unlock()
 		if err := c.wal.assigned(j, a); err != nil {
-			c.log.Error("journaling assignment failed", "job", j.ID, "err", err)
+			c.log.Error("journaling assignment failed", "job_id", j.ID, "err", err)
 		}
 		c.c.routed.Inc()
-		c.log.Info("job routed", "job", j.ID, "worker", m.ID, "worker_job", wid,
+		c.log.Info("job routed", "job_id", j.ID, "worker", m.ID, "worker_job", wid,
 			"attempt", j.dispatchCount())
+		c.recordFlight(j, obs.FlightDispatched, m.ID, "worker job "+wid)
 		return a, true
 	}
 	return assignment{}, false
@@ -786,8 +913,15 @@ const (
 // (watchDone: the worker's verdict is the job's verdict) or the worker
 // is lost — lease expired, or status polls failing past the retry
 // budget (watchLost: fail over).
+//
+// Each status poll also drains the worker's trace buffer into the
+// job's span collection (cursor-incremental, so the transfer is only
+// what's new). That continuous drain is the failover-trace guarantee:
+// when a worker is SIGKILLed mid-job, every span captured up to the
+// last poll is already coordinator-side.
 func (c *Coordinator) watch(j *coordJob, a assignment) watchOutcome {
 	failures := 0
+	sink := j.spanSink(a)
 	for {
 		select {
 		case <-j.cancelCh:
@@ -797,7 +931,8 @@ func (c *Coordinator) watch(j *coordJob, a assignment) watchOutcome {
 		case <-c.cfg.Clock.After(c.cfg.PollInterval):
 		}
 		if _, live := c.ms.alive(a.WorkerID); !live {
-			c.log.Warn("worker lease gone while watching", "job", j.ID, "worker", a.WorkerID)
+			c.log.Warn("worker lease gone while watching", "job_id", j.ID, "worker", a.WorkerID)
+			c.recordFlight(j, obs.FlightLeaseExpired, a.WorkerID, "lease expired mid-watch")
 			return watchLost
 		}
 		st, err := c.workerJobStatus(j, a)
@@ -820,11 +955,54 @@ func (c *Coordinator) watch(j *coordJob, a assignment) watchOutcome {
 		}
 		failures = 0
 		c.brk.success(a.WorkerID)
+		c.pollSpans(j, a, sink)
 		if terminalState(string(st.State)) {
 			c.finalize(j, string(st.State), st.Error)
 			return watchDone
 		}
 	}
+}
+
+// pollSpans fetches one incremental trace delta from the assignment's
+// worker into the job's span buffer. Best-effort: a failed fetch costs
+// nothing but the spans that poll would have captured.
+func (c *Coordinator) pollSpans(j *coordJob, a assignment, sink *workerSpans) {
+	j.spanMu.Lock()
+	after := len(sink.Events)
+	j.spanMu.Unlock()
+	ex, err := c.workerTrace(j, a, after)
+	if err != nil || ex == nil {
+		return
+	}
+	j.absorbSpans(sink, *ex)
+}
+
+// stampShip records that a worker just shipped a checkpoint segment
+// for job id, resetting its shipping-lag clock.
+func (c *Coordinator) stampShip(id string) {
+	c.shipMu.Lock()
+	c.shipAt[id] = c.cfg.Clock.Now()
+	c.shipMu.Unlock()
+}
+
+// clearShipStamp forgets a terminal job's shipping clock.
+func (c *Coordinator) clearShipStamp(id string) {
+	c.shipMu.Lock()
+	delete(c.shipAt, id)
+	c.shipMu.Unlock()
+}
+
+// shipLags snapshots per-job checkpoint-shipping lag (now minus last
+// segment PUT) for every job still being shipped.
+func (c *Coordinator) shipLags() map[string]time.Duration {
+	now := c.cfg.Clock.Now()
+	c.shipMu.Lock()
+	defer c.shipMu.Unlock()
+	out := make(map[string]time.Duration, len(c.shipAt))
+	for id, at := range c.shipAt {
+		out[id] = now.Sub(at)
+	}
+	return out
 }
 
 // forwardCancel forwards a cancellation to the job's current worker.

@@ -55,6 +55,7 @@ type ckSubmitted struct {
 	Fingerprint string  `json:"fingerprint,omitempty"`
 	Client      string  `json:"client,omitempty"`
 	QueryName   string  `json:"query_name,omitempty"`
+	TraceID     string  `json:"trace_id,omitempty"`
 	Spec        jobSpec `json:"spec"`
 	CreatedNS   int64   `json:"created_ns"`
 }
@@ -348,6 +349,7 @@ func (cj *coordJournal) submitted(j *coordJob) error {
 		Fingerprint: j.Fingerprint,
 		Client:      j.Client,
 		QueryName:   j.QueryName,
+		TraceID:     j.TraceID,
 		Spec:        j.Spec,
 		CreatedNS:   j.Created.UnixNano(),
 	})

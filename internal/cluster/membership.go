@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"darwinwga/internal/faultinject"
+	"darwinwga/internal/obs"
 )
 
 // Member is one registered worker as the coordinator sees it.
@@ -20,6 +21,12 @@ type Member struct {
 	Serialized   map[string]bool
 	RegisteredAt time.Time
 	ExpiresAt    time.Time
+	// Snapshot is the worker's last heartbeat-piggybacked metrics
+	// snapshot (nil until the first heartbeat that carried one), and
+	// SnapshotAt is when it landed — the federation feed behind
+	// GET /metrics/cluster.
+	Snapshot   *obs.WorkerSnapshot
+	SnapshotAt time.Time
 }
 
 // clone returns a snapshot safe to hand outside the lock.
@@ -32,6 +39,10 @@ func (m *Member) clone() *Member {
 	c.Serialized = make(map[string]bool, len(m.Serialized))
 	for k, v := range m.Serialized {
 		c.Serialized[k] = v
+	}
+	if m.Snapshot != nil {
+		snap := *m.Snapshot
+		c.Snapshot = &snap
 	}
 	return &c
 }
@@ -122,17 +133,24 @@ func (ms *membership) register(id, addr string, targets map[string]string, seria
 	return !existed
 }
 
-// heartbeat renews a worker's lease. False means the coordinator does
-// not know this worker (it expired, or the coordinator restarted) and
-// the worker must re-register.
-func (ms *membership) heartbeat(id string) bool {
+// heartbeat renews a worker's lease and stores the metrics snapshot the
+// worker piggybacked on the renewal (nil leaves the previous snapshot in
+// place, so a heartbeat from an old agent doesn't blank the series).
+// False means the coordinator does not know this worker (it expired, or
+// the coordinator restarted) and the worker must re-register.
+func (ms *membership) heartbeat(id string, snap *obs.WorkerSnapshot) bool {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	m, ok := ms.members[id]
 	if !ok {
 		return false
 	}
-	m.ExpiresAt = ms.clock.Now().Add(ms.ttl)
+	now := ms.clock.Now()
+	m.ExpiresAt = now.Add(ms.ttl)
+	if snap != nil {
+		m.Snapshot = snap
+		m.SnapshotAt = now
+	}
 	return true
 }
 

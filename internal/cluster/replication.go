@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -18,6 +19,7 @@ import (
 	"darwinwga/internal/checkpoint"
 	"darwinwga/internal/core"
 	"darwinwga/internal/faultinject"
+	"darwinwga/internal/obs"
 )
 
 // Journal shipping: a warm standby tails the leader's routing WAL over
@@ -52,25 +54,97 @@ type repFrame struct {
 // replicationHub is the leader's in-memory copy of the routing WAL's
 // record sequence, seeded from the journal at startup and appended to
 // under the journal's own lock (so hub order is WAL order). Streams
-// read from it by index.
+// read from it by index. The hub also tracks each follower's shipped
+// position — records and payload bytes — which is what the
+// replication-lag gauges on /metrics/cluster are computed from.
 type replicationHub struct {
 	mu      sync.Mutex
 	recs    []checkpoint.Record
+	cum     []uint64 // cum[i] = payload bytes of recs[:i+1]
 	changed chan struct{}
+	// followers maps a follower id (the ?follower= the standby sends, or
+	// its remote address) to the last position its stream acknowledged by
+	// consuming it. Entries persist after disconnect on purpose: a dead
+	// standby's lag keeps growing, which is exactly the alert signal.
+	followers map[string]followerPos
+}
+
+// followerPos is how far one follower's stream has shipped.
+type followerPos struct {
+	frames uint64
+	bytes  uint64
+}
+
+// replLag is one follower's distance behind the leader.
+type replLag struct {
+	frames uint64
+	bytes  uint64
 }
 
 func newReplicationHub(seed []checkpoint.Record) *replicationHub {
 	recs := make([]checkpoint.Record, len(seed))
 	copy(recs, seed)
-	return &replicationHub{recs: recs, changed: make(chan struct{})}
+	h := &replicationHub{recs: recs, changed: make(chan struct{}), followers: make(map[string]followerPos)}
+	h.cum = make([]uint64, len(recs))
+	var sum uint64
+	for i, rec := range recs {
+		sum += uint64(len(rec.Payload))
+		h.cum[i] = sum
+	}
+	return h
 }
 
 func (h *replicationHub) publish(rec checkpoint.Record) {
 	h.mu.Lock()
 	h.recs = append(h.recs, rec)
+	var prev uint64
+	if n := len(h.cum); n > 0 {
+		prev = h.cum[n-1]
+	}
+	h.cum = append(h.cum, prev+uint64(len(rec.Payload)))
 	close(h.changed)
 	h.changed = make(chan struct{})
 	h.mu.Unlock()
+}
+
+// bytesAtLocked returns the cumulative payload bytes of the first n
+// records. Requires h.mu.
+func (h *replicationHub) bytesAtLocked(n uint64) uint64 {
+	if n == 0 || len(h.cum) == 0 {
+		return 0
+	}
+	if n > uint64(len(h.cum)) {
+		n = uint64(len(h.cum))
+	}
+	return h.cum[n-1]
+}
+
+// observeFollower records that follower id's stream has shipped the
+// first pos records.
+func (h *replicationHub) observeFollower(id string, pos uint64) {
+	h.mu.Lock()
+	h.followers[id] = followerPos{frames: pos, bytes: h.bytesAtLocked(pos)}
+	h.mu.Unlock()
+}
+
+// followerLags snapshots every known follower's lag behind the hub.
+func (h *replicationHub) followerLags() map[string]replLag {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := uint64(len(h.recs))
+	totalBytes := h.bytesAtLocked(total)
+	out := make(map[string]replLag, len(h.followers))
+	for id, p := range h.followers {
+		lag := replLag{}
+		if p.frames < total {
+			lag.frames = total - p.frames
+		}
+		if p.bytes < totalBytes {
+			lag.bytes = totalBytes - p.bytes
+		}
+		out[id] = lag
+	}
+	return out
 }
 
 // since returns the records after position `after` (a record count), the
@@ -108,6 +182,13 @@ func (c *Coordinator) serveReplicate(w http.ResponseWriter, r *http.Request) {
 		}
 		after = v
 	}
+	// The follower's stable identity keys its replication-lag series; a
+	// standby that reconnects under the same id resumes the same series
+	// rather than leaving a stale one per ephemeral port.
+	follower := r.URL.Query().Get("follower")
+	if follower == "" {
+		follower = r.RemoteAddr
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		cWriteError(w, http.StatusInternalServerError, "streaming unsupported")
@@ -120,6 +201,7 @@ func (c *Coordinator) serveReplicate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fl.Flush()
+	c.hub.observeFollower(follower, after)
 	keepalive := c.cfg.LeaseTTL / 3
 	for {
 		recs, total, changed := c.hub.since(after)
@@ -140,12 +222,15 @@ func (c *Coordinator) serveReplicate(w http.ResponseWriter, r *http.Request) {
 		if len(recs) > 0 {
 			fl.Flush()
 			after = total
+			c.hub.observeFollower(follower, after)
 			continue
 		}
 		select {
 		case <-changed:
 		case <-c.cfg.Clock.After(keepalive):
-			if err := enc.Encode(repFrame{KA: true, Epoch: c.epoch}); err != nil {
+			// Keepalives carry the current total so an idle follower can
+			// keep its own lag gauge honest without a record flowing.
+			if err := enc.Encode(repFrame{KA: true, Epoch: c.epoch, Total: c.hub.total()}); err != nil {
 				return
 			}
 			fl.Flush()
@@ -186,18 +271,20 @@ type StandbyConfig struct {
 // delegates to the promoted coordinator — so a standby can sit behind
 // the same address before and after failover.
 type Standby struct {
-	cfg    StandbyConfig
-	client *http.Client
-	log    *slog.Logger
+	cfg     StandbyConfig
+	client  *http.Client
+	log     *slog.Logger
+	metrics *obs.Registry
 
 	j       *checkpoint.Journal
 	dir     string
 	records uint64
 
-	mu        sync.Mutex
-	lastFrame time.Time
-	epoch     uint64 // last epoch seen from the leader
-	coord     *Coordinator
+	mu          sync.Mutex
+	lastFrame   time.Time
+	epoch       uint64 // last epoch seen from the leader
+	leaderTotal uint64 // leader's record count, from hello/keepalive frames
+	coord       *Coordinator
 
 	promotedCh chan struct{}
 }
@@ -230,13 +317,40 @@ func NewStandby(cfg StandbyConfig) (*Standby, error) {
 		cfg:        cfg,
 		client:     &http.Client{Transport: cfg.Transport},
 		log:        cfg.Log,
+		metrics:    obs.NewRegistry(),
 		j:          j,
 		dir:        cfg.JournalDir,
 		records:    uint64(len(recs)),
 		lastFrame:  cfg.Clock.Now(),
 		promotedCh: make(chan struct{}),
 	}
+	obs.RegisterBuildInfo(s.metrics)
+	s.metrics.GaugeFunc("darwinwga_standby_records", "journal records the standby holds",
+		func() float64 { return float64(s.Records()) })
+	s.metrics.GaugeFunc("darwinwga_standby_replication_lag_frames",
+		"journal records the standby is behind the leader's last-announced total",
+		func() float64 { return float64(s.LagFrames()) })
+	s.metrics.GaugeFunc("darwinwga_standby_silence_seconds",
+		"seconds since the last replication frame from the leader",
+		func() float64 { return s.silentFor().Seconds() })
 	return s, nil
+}
+
+// LagFrames is how many records the standby is behind the leader's
+// last-announced journal total (hello and keepalive frames carry it).
+func (s *Standby) LagFrames() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.leaderTotal <= s.records {
+		return 0
+	}
+	return s.leaderTotal - s.records
+}
+
+// followerID is the stable identity the standby announces on its
+// replication stream, keying its lag series on the leader.
+func (s *Standby) followerID() string {
+	return "standby:" + filepath.Base(s.dir)
 }
 
 // Records returns how many WAL records the standby holds.
@@ -266,8 +380,13 @@ func (s *Standby) Handler() http.Handler {
 		}
 		if r.URL.Path == "/healthz" {
 			w.Header().Set("Content-Type", "application/json")
-			fmt.Fprintf(w, `{"ok":true,"role":"standby","leader":%q,"records":%d}`+"\n",
-				s.cfg.LeaderURL, s.Records())
+			fmt.Fprintf(w, `{"ok":true,"role":"standby","leader":%q,"records":%d,"lag_frames":%d}`+"\n",
+				s.cfg.LeaderURL, s.Records(), s.LagFrames())
+			return
+		}
+		if r.URL.Path == "/metrics" || r.URL.Path == "/metrics/cluster" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			s.metrics.WritePrometheus(w) //nolint:errcheck // response committed
 			return
 		}
 		w.Header().Set("Retry-After", "1")
@@ -313,11 +432,14 @@ func (s *Standby) silentFor() time.Duration {
 	return s.cfg.Clock.Now().Sub(s.lastFrame)
 }
 
-func (s *Standby) stampFrame(epoch uint64) {
+func (s *Standby) stampFrame(epoch, leaderTotal uint64) {
 	s.mu.Lock()
 	s.lastFrame = s.cfg.Clock.Now()
 	if epoch > s.epoch {
 		s.epoch = epoch
+	}
+	if leaderTotal > s.leaderTotal {
+		s.leaderTotal = leaderTotal
 	}
 	s.mu.Unlock()
 }
@@ -353,7 +475,8 @@ func (s *Standby) tailOnce(ctx context.Context) error {
 	}()
 
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet,
-		s.cfg.LeaderURL+"/cluster/v1/replicate?after="+strconv.FormatUint(s.Records(), 10), nil)
+		s.cfg.LeaderURL+"/cluster/v1/replicate?after="+strconv.FormatUint(s.Records(), 10)+
+			"&follower="+url.QueryEscape(s.followerID()), nil)
 	if err != nil {
 		return err
 	}
@@ -381,7 +504,13 @@ func (s *Standby) tailOnce(ctx context.Context) error {
 		if err := json.Unmarshal(line, &f); err != nil {
 			return fmt.Errorf("bad replication frame: %w", err)
 		}
-		s.stampFrame(f.Epoch)
+		// A record at index N proves the leader holds at least N records,
+		// even though only hello/keepalive frames carry an explicit total.
+		leaderTotal := f.Total
+		if f.Index > leaderTotal {
+			leaderTotal = f.Index
+		}
+		s.stampFrame(f.Epoch, leaderTotal)
 		switch {
 		case f.Hello:
 			if !first {

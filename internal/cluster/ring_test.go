@@ -94,7 +94,7 @@ func TestMembershipLeaseLifecycle(t *testing.T) {
 
 	// Renew at t=8s: lease now runs to t=18s.
 	clock.Advance(8 * time.Second)
-	if !ms.heartbeat("w1") {
+	if !ms.heartbeat("w1", nil) {
 		t.Fatal("heartbeat rejected for live worker")
 	}
 	if dead := ms.sweep(clock.Now()); len(dead) != 0 {
@@ -107,7 +107,7 @@ func TestMembershipLeaseLifecycle(t *testing.T) {
 	if len(dead) != 1 || dead[0] != "w1" {
 		t.Fatalf("sweep = %v, want [w1]", dead)
 	}
-	if ms.heartbeat("w1") {
+	if ms.heartbeat("w1", nil) {
 		t.Fatal("heartbeat accepted for expired worker; must force re-register")
 	}
 	// The target stays known after the holder dies — that is what turns

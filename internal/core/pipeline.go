@@ -146,6 +146,11 @@ func (a *Aligner) AlignContext(ctx context.Context, query []byte) (*Result, erro
 	defer r.stopTimer()
 	res := &Result{}
 	if r.rec != nil {
+		if a.cfg.TraceID != "" {
+			if ti, ok := r.rec.(obs.TraceIdentifier); ok {
+				ti.Identify(a.cfg.TraceID, a.cfg.JobID)
+			}
+		}
 		t0 := time.Now()
 		r.rec.AlignBegin(len(query))
 		defer func() { r.rec.AlignEnd(len(res.HSPs), time.Since(t0)) }()

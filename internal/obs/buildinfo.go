@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// BuildVersion returns the module version baked into the binary, or
+// "(devel)" for a non-module build — the same string the CLI's
+// `version` subcommand prints.
+func BuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "(devel)"
+}
+
+// RegisterBuildInfo publishes the conventional build-info gauge
+//
+//	darwinwga_build_info{version="...",go_version="..."} 1
+//
+// on reg, so every scrape identifies the binary it came from, and
+// returns the version string for startup log lines. Label values are
+// escaped per the Prometheus text format.
+func RegisterBuildInfo(reg *Registry) string {
+	v := BuildVersion()
+	name := `darwinwga_build_info{version="` + escapeLabel(v) +
+		`",go_version="` + escapeLabel(runtime.Version()) + `"}`
+	reg.Gauge(name, "build metadata; always 1").Set(1)
+	return v
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote,
+// newline).
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

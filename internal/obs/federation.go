@@ -1,0 +1,34 @@
+package obs
+
+// WorkerSnapshot is the compact metrics snapshot a worker piggybacks
+// on its heartbeat renewals — the federation contract between
+// internal/server (which produces it from its registry-backed state)
+// and internal/cluster (which labels it per worker on
+// GET /metrics/cluster). Everything in it is a point-in-time value the
+// worker can read without locking its serving path.
+type WorkerSnapshot struct {
+	// QueueDepth and Running describe the job manager's load.
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+	// BreakersOpen counts per-target circuit breakers currently open.
+	BreakersOpen int `json:"breakers_open"`
+	// Index-cache residency: bytes and targets resident, and lifetime
+	// evictions.
+	IndexResidentBytes   int64 `json:"index_resident_bytes"`
+	IndexResidentTargets int   `json:"index_resident_targets"`
+	IndexEvictions       int64 `json:"index_evictions"`
+	// Result-cache effectiveness: lifetime hits/misses and current size.
+	ResultCacheHits   int64 `json:"result_cache_hits"`
+	ResultCacheMisses int64 `json:"result_cache_misses"`
+	ResultCacheBytes  int64 `json:"result_cache_bytes"`
+}
+
+// HitRatio returns result-cache hits / lookups, or 0 when the cache
+// has never been consulted.
+func (s WorkerSnapshot) HitRatio() float64 {
+	total := s.ResultCacheHits + s.ResultCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ResultCacheHits) / float64(total)
+}

@@ -38,14 +38,49 @@ type Event struct {
 // diagnostic runs (the CLI's -trace flag), not for always-on serving.
 type Tracer struct {
 	zero time.Time
+	cap  int // 0 = unbounded (the one-shot CLI contract)
 
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	dropped int64
+	traceID string
+	jobID   string
 }
 
 // NewTracer returns an empty tracer; timestamps are relative to now.
 func NewTracer() *Tracer {
 	return &Tracer{zero: time.Now()}
+}
+
+// NewTracerCapped returns a tracer that retains at most capEvents
+// events and counts the rest as dropped — the always-on serving mode,
+// where an unbounded span buffer per job would be a memory leak.
+// capEvents <= 0 means unbounded.
+func NewTracerCapped(capEvents int) *Tracer {
+	return &Tracer{zero: time.Now(), cap: capEvents}
+}
+
+// Identify tags this tracer with the cluster-wide trace id and the
+// serving-layer job id. The ids ride on the root align span's args and
+// on the export envelope; the per-tile hot path is unaffected.
+func (t *Tracer) Identify(traceID, jobID string) {
+	t.mu.Lock()
+	t.traceID, t.jobID = traceID, jobID
+	t.mu.Unlock()
+}
+
+// Identity returns the ids set by Identify.
+func (t *Tracer) Identity() (traceID, jobID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID, t.jobID
+}
+
+// Dropped returns how many events the cap discarded.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // micros converts an absolute time to trace microseconds.
@@ -55,6 +90,11 @@ func (t *Tracer) micros(at time.Time) float64 {
 
 func (t *Tracer) append(e Event) {
 	t.mu.Lock()
+	if t.cap > 0 && len(t.events) >= t.cap {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
 	t.events = append(t.events, e)
 	t.mu.Unlock()
 }
@@ -79,9 +119,21 @@ func (t *Tracer) complete(name string, tid int, start time.Time, dur time.Durati
 	})
 }
 
-// AlignBegin implements Recorder.
+// AlignBegin implements Recorder. When Identify has been called, the
+// root span carries the trace/job identity in its args — the map is
+// allocated here regardless, so the tagging is free.
 func (t *Tracer) AlignBegin(qLen int) {
-	t.begin("align", 0, map[string]any{"query_len": qLen})
+	args := map[string]any{"query_len": qLen}
+	t.mu.Lock()
+	traceID, jobID := t.traceID, t.jobID
+	t.mu.Unlock()
+	if traceID != "" {
+		args["trace_id"] = traceID
+	}
+	if jobID != "" {
+		args["job_id"] = jobID
+	}
+	t.begin("align", 0, args)
 }
 
 // AlignEnd implements Recorder.
@@ -161,6 +213,34 @@ func (t *Tracer) Events() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]Event(nil), t.events...)
+}
+
+// TraceExport is the span-buffer envelope a worker serves at
+// GET /v1/jobs/{id}/trace: the job's identity, the full buffer length
+// (the caller's next cursor), and the events past the requested
+// cursor. The coordinator polls this incrementally while the job runs,
+// which is what lets it keep a dead worker's spans after a failover.
+type TraceExport struct {
+	TraceID string  `json:"trace_id,omitempty"`
+	JobID   string  `json:"job_id,omitempty"`
+	Total   int     `json:"total"`
+	Dropped int64   `json:"dropped,omitempty"`
+	Events  []Event `json:"events"`
+}
+
+// Export snapshots the events past cursor `after` (0 = everything)
+// together with the tracer's identity.
+func (t *Tracer) Export(after int) TraceExport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ex := TraceExport{TraceID: t.traceID, JobID: t.jobID, Total: len(t.events), Dropped: t.dropped}
+	if after < 0 {
+		after = 0
+	}
+	if after < len(t.events) {
+		ex.Events = append([]Event(nil), t.events[after:]...)
+	}
+	return ex
 }
 
 // Write writes the trace as Chrome trace_event JSON (the object

@@ -37,6 +37,9 @@ type submitRequest struct {
 	// JournalShip is set by a dispatching coordinator: the artifact-store
 	// URL this job's pipeline-journal segments ship to (and resume from).
 	JournalShip string `json:"journal_ship,omitempty"`
+	// TraceID carries the distributed trace id; the X-Darwinwga-Trace
+	// header carries the same value and wins when both are set.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // jobStatus is the GET /v1/jobs/{id} response.
@@ -64,8 +67,13 @@ type jobStatus struct {
 	// failover). Workload − Replayed is what this run actually computed.
 	Replayed  *core.Workload `json:"replayed,omitempty"`
 	Stats     *jobStats      `json:"stats,omitempty"`
-	StatusURL string         `json:"status_url"`
-	MAFURL    string         `json:"maf_url"`
+	// TraceID is the job's distributed trace id; its spans are at
+	// TraceURL and its lifecycle events at EventsURL.
+	TraceID   string `json:"trace_id,omitempty"`
+	StatusURL string `json:"status_url"`
+	MAFURL    string `json:"maf_url"`
+	TraceURL  string `json:"trace_url"`
+	EventsURL string `json:"events_url"`
 }
 
 // jobStats is the per-job telemetry block: queue/run wall-clock and the
@@ -130,6 +138,8 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/maf", s.handleMAF)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("POST /v1/targets", s.handleRegister)
@@ -293,6 +303,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		MaxExtensionCells:  req.MaxExtensionCells,
 		Deadline:           time.Duration(req.DeadlineMS) * time.Millisecond,
 		JournalShip:        req.JournalShip,
+		TraceID:            req.TraceID,
+	}
+	if h := r.Header.Get(TraceHeader); h != "" {
+		params.TraceID = h
 	}
 	job, err := s.jobs.Submit(params, query, clientID(r, req.Client))
 	switch {
@@ -340,8 +354,11 @@ func (s *Server) statusOf(j *Job) jobStatus {
 		Cached:    j.cached,
 		Truncated: string(j.truncated),
 		Error:     j.errMsg,
+		TraceID:   j.Params.TraceID,
 		StatusURL: "/v1/jobs/" + j.ID,
 		MAFURL:    "/v1/jobs/" + j.ID + "/maf",
+		TraceURL:  "/v1/jobs/" + j.ID + "/trace",
+		EventsURL: "/v1/jobs/" + j.ID + "/events",
 	}
 	st.Attempts = j.attempt
 	if !j.started.IsZero() {
@@ -437,6 +454,70 @@ func (s *Server) handleMAF(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleJobTrace serves the job's collected pipeline spans. The default
+// response is the incremental obs.TraceExport envelope — ?after=N
+// returns only events past the cursor, which is how a coordinator polls
+// span deltas while the job runs (and keeps them if this worker dies).
+// ?format=chrome renders the buffer as a standalone Chrome trace
+// instead, loadable directly in Perfetto.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if j.tracer == nil {
+		// Tracing disabled (or a pre-tracing job shell): an empty export
+		// still identifies the job, so pollers need no special case.
+		writeJSON(w, http.StatusOK, obs.TraceExport{
+			TraceID: j.Params.TraceID, JobID: j.ID, Events: []obs.Event{},
+		})
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		j.tracer.Write(w) //nolint:errcheck // response already committed
+		return
+	}
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad after cursor %q", v)
+			return
+		}
+		after = n
+	}
+	ex := j.tracer.Export(after)
+	if ex.Events == nil {
+		ex.Events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, ex)
+}
+
+// handleJobEvents serves the job's flight-recorder ring: the structured
+// lifecycle log (admitted, started, stall retries, failover restores,
+// breaker trips, ...) that explains what happened to a job without
+// grepping server logs. Total counts events ever recorded, so a reader
+// can tell when the bounded ring has shed history.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	evs := j.flight.Events()
+	if evs == nil {
+		evs = []obs.FlightEvent{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job_id":   j.ID,
+		"trace_id": j.Params.TraceID,
+		"total":    j.flight.Total(),
+		"events":   evs,
+	})
 }
 
 func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {

@@ -162,10 +162,12 @@ func (b *breaker) releaseProbe(target string) {
 
 // record feeds one terminal job state back: done closes (or keeps
 // closed) the breaker, failed counts toward tripping it, cancelled is
-// neutral but releases a probe slot.
-func (b *breaker) record(target string, state JobState) {
+// neutral but releases a probe slot. It reports whether this exact
+// outcome tripped the breaker open, so the caller can log and record
+// the trip against the job that caused it.
+func (b *breaker) record(target string, state JobState) (tripped bool) {
 	if b == nil {
-		return
+		return false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -184,6 +186,7 @@ func (b *breaker) record(target string, state JobState) {
 			tb.openedAt = b.clock.Now()
 			tb.probing = false
 			b.trips.Inc()
+			tripped = true
 		case breakerClosed:
 			tb.fails++
 			if tb.fails >= b.threshold {
@@ -191,11 +194,13 @@ func (b *breaker) record(target string, state JobState) {
 				tb.openedAt = b.clock.Now()
 				tb.fails = 0
 				b.trips.Inc()
+				tripped = true
 			}
 		}
 	case JobCancelled:
 		tb.probing = false
 	}
+	return tripped
 }
 
 // states snapshots every target's effective breaker state, for /readyz.
@@ -210,6 +215,23 @@ func (b *breaker) states() map[string]string {
 		out[name] = b.currentLocked(tb).String()
 	}
 	return out
+}
+
+// openCount reports how many targets' breakers are fully open, for the
+// heartbeat-piggybacked worker snapshot.
+func (b *breaker) openCount() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, tb := range b.targets {
+		if b.currentLocked(tb) == breakerOpen {
+			n++
+		}
+	}
+	return n
 }
 
 // openFor reports whether target is currently rejecting (fully open;

@@ -96,6 +96,13 @@ type JobParams struct {
 	// mid-pipeline instead of recomputing. Absent from old journals, so
 	// recovery of pre-shipping records is unaffected.
 	JournalShip string `json:"journal_ship,omitempty"`
+	// TraceID is the distributed trace id assigned at admission — by the
+	// dispatching coordinator for cluster jobs, defaulting to the job id
+	// for direct submissions. It tags the job's pipeline spans and
+	// flight events and rides the job journal; it never enters a config
+	// fingerprint, so identical work under different trace ids still
+	// shares the result cache.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Job is one alignment request moving through the manager. The spool
@@ -121,6 +128,22 @@ type Job struct {
 	// cancelRequested distinguishes a client/drain cancellation from a
 	// watchdog one: the watchdog retries, the client wins.
 	cancelRequested atomic.Bool
+	// firstBlockSeen latches the first streamed MAF block so the
+	// first-block latency histogram fires once per job, not once per
+	// stall-retry attempt (hsps resets on retry; this does not).
+	firstBlockSeen atomic.Bool
+
+	// flight is the job's bounded lifecycle-event ring (admitted,
+	// retries, failover restores, ...), served at
+	// GET /v1/jobs/{id}/events and dumped by the stall watchdog. Nil
+	// only for jobs built outside Submit/recovery (nil is free).
+	flight *obs.FlightRecorder
+	// tracer collects the job's pipeline spans (capped; nil when the
+	// server runs with tracing disabled), served at
+	// GET /v1/jobs/{id}/trace. One tracer spans every attempt, so a
+	// retried job's trace shows both attempts. Immutable after
+	// construction.
+	tracer *obs.Tracer
 
 	mu        sync.Mutex
 	spool     *spool
@@ -350,10 +373,16 @@ type Manager struct {
 
 	// pipe reports every job's pipeline events into the server metrics
 	// registry; queueWait/runSeconds are the job-lifecycle latency
-	// histograms.
+	// histograms. firstBlock measures submit→first-streamed-MAF-block,
+	// e2e submit→##eof (completed jobs only); both are anchored at
+	// j.created so queue wait is included — the latency a client sees.
 	pipe       *obs.PipelineMetrics
 	queueWait  *obs.Histogram
 	runSeconds *obs.Histogram
+	firstBlock *obs.Histogram
+	e2e        *obs.Histogram
+	// traceCap is the per-job span-buffer bound (0 = tracing disabled).
+	traceCap int
 
 	queue      chan *Job
 	queueLimit int // admission sheds here; cap(queue) adds recovery slots
@@ -416,6 +445,9 @@ func newManager(reg *Registry, metrics *obs.Registry, cfg Config, store *jobStor
 		pipe:            obs.NewPipelineMetrics(metrics),
 		queueWait:       metrics.Histogram("darwinwga_jobs_queue_wait_seconds", "time jobs spend queued before a worker picks them up", obs.ExpBuckets(0.001, 4, 12)),
 		runSeconds:      metrics.Histogram("darwinwga_jobs_run_seconds", "wall-clock of job execution on a worker", obs.ExpBuckets(0.001, 4, 12)),
+		firstBlock:      metrics.Histogram("darwinwga_job_first_block_seconds", "submit-to-first-streamed-MAF-block latency", obs.ExpBuckets(0.001, 4, 12)),
+		e2e:             metrics.Histogram("darwinwga_job_e2e_seconds", "submit-to-##eof latency of completed jobs", obs.ExpBuckets(0.001, 4, 12)),
+		traceCap:        cfg.TraceEventCap,
 		queue:           make(chan *Job, cfg.QueueDepth+nonTerminal),
 		queueLimit:      cfg.QueueDepth,
 		drainCh:         make(chan struct{}),
@@ -533,6 +565,7 @@ func (m *Manager) recoverTerminal(r *recoveredJob) {
 		return
 	}
 	j := newRecoveredJob(r)
+	m.initObservability(j)
 	j.state = state
 	j.finished = time.Unix(0, r.fin.FinishedNS)
 	j.errMsg = r.fin.Error
@@ -559,6 +592,7 @@ func (m *Manager) recoverTerminal(r *recoveredJob) {
 // silently dropped: the client polling it learns what happened.
 func (m *Manager) recoverQueued(r *recoveredJob) {
 	j := newRecoveredJob(r)
+	m.initObservability(j)
 	query, err := m.store.loadQuery(r)
 	if err != nil {
 		j.state = JobFailed
@@ -650,6 +684,26 @@ func (m *Manager) start(n int) {
 	}
 }
 
+// flightRingCap bounds each job's flight-recorder ring: enough for a
+// full lifecycle with retries and failovers, small enough to be free.
+const flightRingCap = 64
+
+// initObservability attaches the job's flight ring and (when enabled)
+// its capped span tracer, and defaults the trace id to the job id so
+// every job is traceable even without a coordinator. Called once at
+// construction, before the job is journaled, so the trace id
+// round-trips recovery.
+func (m *Manager) initObservability(j *Job) {
+	if j.Params.TraceID == "" {
+		j.Params.TraceID = j.ID
+	}
+	j.flight = obs.NewFlightRecorder(flightRingCap)
+	if m.traceCap > 0 {
+		j.tracer = obs.NewTracerCapped(m.traceCap)
+		j.tracer.Identify(j.Params.TraceID, j.ID)
+	}
+}
+
 // newJobID returns a random RFC-4122-shaped v4 UUID.
 func newJobID() string {
 	var b [16]byte
@@ -732,6 +786,7 @@ func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string
 	}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.progress.Store(j.created.UnixNano())
+	m.initObservability(j)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -781,6 +836,8 @@ func (m *Manager) Submit(params JobParams, query *genome.Assembly, client string
 	m.order = append(m.order, j.ID)
 	m.perClient[client]++
 	m.Accepted.Inc()
+	j.flight.Record(obs.FlightEvent{At: j.created, Type: obs.FlightAdmitted, Source: "worker",
+		Job: j.ID, Detail: "target " + params.Target})
 	m.log.Info("job queued", "job_id", j.ID, "client", client,
 		"target", params.Target, "query", j.QueryName, "query_bases", query.TotalLen())
 	m.evictLocked()
@@ -807,6 +864,7 @@ func (m *Manager) submitCached(params JobParams, query *genome.Assembly, client 
 	}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.progress.Store(j.created.UnixNano())
+	m.initObservability(j)
 
 	m.mu.Lock()
 	if m.draining {
@@ -840,6 +898,10 @@ func (m *Manager) submitCached(params JobParams, query *genome.Assembly, client 
 	j.cached = true
 	j.started = j.created
 	j.mu.Unlock()
+	j.flight.Record(obs.FlightEvent{At: j.created, Type: obs.FlightAdmitted, Source: "worker",
+		Job: j.ID, Detail: "target " + params.Target})
+	j.flight.Record(obs.FlightEvent{At: j.created, Type: obs.FlightCacheHit, Source: "worker",
+		Job: j.ID, Detail: fmt.Sprintf("%d cached MAF bytes", len(mafData))})
 	m.log.Info("job served from result cache", "job_id", j.ID, "client", client,
 		"target", params.Target, "query", j.QueryName, "maf_bytes", len(mafData))
 	m.finalize(j, JobDone, nil, "")
@@ -1000,6 +1062,8 @@ func (m *Manager) runJob(j *Job) {
 		}
 		m.log.Info("job running", "job_id", j.ID, "client", j.Client,
 			"target", j.Params.Target, "attempt", j.attemptNum())
+		j.flight.Record(obs.FlightEvent{At: m.clock.Now(), Type: obs.FlightStarted, Source: "worker",
+			Job: j.ID, Detail: fmt.Sprintf("attempt %d", j.attemptNum())})
 		if m.runAttempt(j) {
 			return
 		}
@@ -1016,6 +1080,8 @@ func (m *Manager) prepareRetry(j *Job) bool {
 	old, attempt := j.resetForRetry(m.clock.Now())
 	old.close()
 	m.Retried.Inc()
+	j.flight.Record(obs.FlightEvent{At: m.clock.Now(), Type: obs.FlightStallRetry, Source: "worker",
+		Job: j.ID, Detail: fmt.Sprintf("attempt %d after stall", attempt)})
 	m.log.Warn("retrying stalled job", "job_id", j.ID, "attempt", attempt,
 		"backoff", m.stallBackoff)
 	if m.stallBackoff > 0 {
@@ -1037,13 +1103,15 @@ func (m *Manager) prepareRetry(j *Job) bool {
 // when the job reached a terminal state (already finalized) and false
 // when the watchdog stalled the attempt and a retry is allowed.
 func (m *Manager) runAttempt(j *Job) bool {
-	if _, ok := m.reg.Get(j.Params.Target); !ok {
+	pre, ok := m.reg.Get(j.Params.Target)
+	if !ok {
 		// Registration is validated at submit and targets are never
 		// removed; reachable only for recovered jobs whose target was
 		// not re-registered after restart.
 		m.finalize(j, JobFailed, nil, fmt.Sprintf("target %q is not registered", j.Params.Target))
 		return true
 	}
+	wasResident := pre.Resident()
 	// Acquire pins the target's index for the duration of the attempt:
 	// an evicted index is reloaded here (from its serialized file when
 	// one exists), and the pin guarantees the LRU sweeper cannot drop it
@@ -1054,6 +1122,12 @@ func (m *Manager) runAttempt(j *Job) bool {
 		return true
 	}
 	defer releaseIndex()
+	if !wasResident {
+		// The index was evicted while the job waited; Acquire just paid
+		// the reload. Both halves land in the flight record.
+		j.flight.Record(obs.FlightEvent{At: m.clock.Now(), Type: obs.FlightIndexReload, Source: "worker",
+			Job: j.ID, Detail: fmt.Sprintf("target %s reloaded after eviction", j.Params.Target)})
+	}
 	query := j.queryRef()
 	if query == nil {
 		m.finalize(j, JobFailed, nil, "job lost its query")
@@ -1086,14 +1160,29 @@ func (m *Manager) runAttempt(j *Job) bool {
 			// the pipeline resumes instead of recomputing. A worker that
 			// restarted in place keeps its own (at-least-as-fresh) copy.
 			restored = m.restoreShipped(j, cfg.CheckpointDir)
+			if restored {
+				j.flight.Record(obs.FlightEvent{At: m.clock.Now(), Type: obs.FlightFailover, Source: "worker",
+					Job: j.ID, Detail: "resumed from shipped checkpoint segments"})
+			}
 			stop := m.startShipper(j, cfg.CheckpointDir)
 			defer stop()
 		}
 	}
+	// The trace identity rides the pipeline config so the tracer's root
+	// align span (and a coordinator's merged view) carries it.
+	cfg.TraceID = j.Params.TraceID
+	cfg.JobID = j.ID
 	// Fan pipeline telemetry out to the server-wide registry, the job's
-	// own aggregate (the status endpoint's "stats" block), and the
-	// watchdog's progress stamp.
-	cfg.Recorder = obs.Multi(m.pipe, j.aggRef(), &progressRecorder{j: j, clock: m.clock})
+	// own aggregate (the status endpoint's "stats" block), the
+	// watchdog's progress stamp, and — when tracing is enabled — the
+	// job's span buffer. The tracer must be appended as a concrete nil
+	// check: a typed-nil *obs.Tracer inside the interface slice would
+	// defeat Multi's nil-collapsing.
+	recs := []obs.Recorder{m.pipe, j.aggRef(), &progressRecorder{j: j, clock: m.clock}}
+	if j.tracer != nil {
+		recs = append(recs, j.tracer)
+	}
+	cfg.Recorder = obs.Multi(recs...)
 	br := &maf.BlockRenderer{TMap: tgt.Map, QMap: qMap, Target: tgt.Bases, Query: qBases}
 	var streamErr error
 	cfg.HSPHook = func(h core.HSP) {
@@ -1112,7 +1201,9 @@ func (m *Manager) runAttempt(j *Job) bool {
 			streamErr = err
 			return
 		}
-		j.hsps.Add(1)
+		if j.hsps.Add(1) == 1 && j.firstBlockSeen.CompareAndSwap(false, true) {
+			m.firstBlock.Observe(m.clock.Now().Sub(j.created).Seconds())
+		}
 		m.HSPsStreamed.Add(1)
 	}
 	aligner, err := shared.WithConfig(cfg)
@@ -1203,6 +1294,7 @@ func (m *Manager) finalize(j *Job, state JobState, res *core.Result, msg string)
 	switch state {
 	case JobDone:
 		m.Completed.Inc()
+		m.e2e.Observe(now.Sub(j.created).Seconds())
 		m.log.Info("job done", "job_id", j.ID, "client", j.Client,
 			"hsps", j.hsps.Load(), "attempts", j.attemptNum(), "cached", j.Cached())
 	case JobCancelled:
@@ -1212,7 +1304,17 @@ func (m *Manager) finalize(j *Job, state JobState, res *core.Result, msg string)
 		m.Failed.Inc()
 		m.log.Warn("job failed", "job_id", j.ID, "client", j.Client, "error", msg)
 	}
-	m.brk.record(j.Params.Target, state)
+	detail := string(state)
+	if msg != "" {
+		detail += ": " + msg
+	}
+	j.flight.Record(obs.FlightEvent{At: now, Type: obs.FlightFinished, Source: "worker",
+		Job: j.ID, Detail: detail})
+	if m.brk.record(j.Params.Target, state) {
+		j.flight.Record(obs.FlightEvent{At: now, Type: obs.FlightBreakerTrip, Source: "worker",
+			Job: j.ID, Detail: "target " + j.Params.Target})
+		m.log.Warn("circuit breaker tripped", "job_id", j.ID, "target", j.Params.Target)
+	}
 	m.releaseClient(j)
 }
 

@@ -1,0 +1,460 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"darwinwga/internal/obs"
+	"darwinwga/internal/server"
+)
+
+// submitTraced submits a job carrying a distributed trace id in the
+// X-Darwinwga-Trace header — the coordinator's propagation path.
+func submitTraced(t *testing.T, base, traceID string, body map[string]any) jobStatus {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.TraceHeader, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// tracedStatus decodes the trace-aware fields on the status payload.
+type tracedStatus struct {
+	TraceID   string `json:"trace_id"`
+	TraceURL  string `json:"trace_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// TestJobTraceEndpoint: a job submitted with a trace header serves its
+// span buffer at /v1/jobs/{id}/trace under that trace id, with working
+// incremental cursors and a Chrome-format rendering.
+func TestJobTraceEndpoint(t *testing.T) {
+	pair := testPair(t, "dm6-droSim1", 0.0004)
+	srv, ts := newTestServer(t, server.Config{}, nil)
+	if _, err := srv.RegisterTarget(pair.Target.Name, pair.Target); err != nil {
+		t.Fatal(err)
+	}
+	st := submitTraced(t, ts.URL, "tr-test-0001", map[string]any{
+		"target":      pair.Target.Name,
+		"query_fasta": fastaText(t, pair.Query),
+		"query_name":  pair.Query.Name,
+		"client":      "trace-test",
+	})
+	final := waitTerminal(t, ts.URL, st.ID)
+	if final.State != "done" {
+		t.Fatalf("job state %q (err %q)", final.State, final.Error)
+	}
+
+	// The status payload advertises the trace identity and both URLs.
+	_, body := get(t, ts.URL+"/v1/jobs/"+st.ID)
+	var tst tracedStatus
+	if err := json.Unmarshal(body, &tst); err != nil {
+		t.Fatal(err)
+	}
+	if tst.TraceID != "tr-test-0001" {
+		t.Errorf("status trace_id = %q, want the header's id", tst.TraceID)
+	}
+	if tst.TraceURL != "/v1/jobs/"+st.ID+"/trace" || tst.EventsURL != "/v1/jobs/"+st.ID+"/events" {
+		t.Errorf("trace/events URLs = %q, %q", tst.TraceURL, tst.EventsURL)
+	}
+
+	resp, body := get(t, ts.URL+tst.TraceURL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: HTTP %d (%s)", resp.StatusCode, body)
+	}
+	var ex obs.TraceExport
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.TraceID != "tr-test-0001" || ex.JobID != st.ID {
+		t.Errorf("export identity = %q/%q", ex.TraceID, ex.JobID)
+	}
+	if ex.Total == 0 || len(ex.Events) != ex.Total {
+		t.Fatalf("full export: total %d, %d events", ex.Total, len(ex.Events))
+	}
+	// The root align span carries the trace id in its args.
+	foundRoot := false
+	for _, e := range ex.Events {
+		if e.Name == "align" && e.Ph == "B" {
+			foundRoot = true
+			if e.Args["trace_id"] != "tr-test-0001" || e.Args["job_id"] != st.ID {
+				t.Errorf("root span args = %v", e.Args)
+			}
+		}
+	}
+	if !foundRoot {
+		t.Error("no root align span in the export")
+	}
+
+	// Cursor: events past N, with Total unchanged.
+	cut := ex.Total / 2
+	_, body = get(t, fmt.Sprintf("%s%s?after=%d", ts.URL, tst.TraceURL, cut))
+	var tail obs.TraceExport
+	if err := json.Unmarshal(body, &tail); err != nil {
+		t.Fatal(err)
+	}
+	if tail.Total != ex.Total || len(tail.Events) != ex.Total-cut {
+		t.Errorf("after=%d: total %d, %d events (want %d, %d)",
+			cut, tail.Total, len(tail.Events), ex.Total, ex.Total-cut)
+	}
+	// Cursor at the end: empty events array, not null.
+	_, body = get(t, fmt.Sprintf("%s%s?after=%d", ts.URL, tst.TraceURL, ex.Total))
+	var done struct {
+		Events json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(body, &done); err != nil {
+		t.Fatal(err)
+	}
+	if trimmed := strings.TrimSpace(string(done.Events)); trimmed != "[]" {
+		t.Errorf("exhausted cursor events = %s, want []", trimmed)
+	}
+	// Bad cursor: 400.
+	resp, _ = get(t, ts.URL+tst.TraceURL+"?after=nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad cursor: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Chrome form: a standalone trace_event object.
+	_, body = get(t, ts.URL+tst.TraceURL+"?format=chrome")
+	var doc struct {
+		TraceEvents []obs.Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("chrome form not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != ex.Total {
+		t.Errorf("chrome form has %d events, export total %d", len(doc.TraceEvents), ex.Total)
+	}
+
+	resp, _ = get(t, ts.URL+"/v1/jobs/no-such-job/trace")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestJobTraceDisabled: with TraceEventCap < 0 tracing is off; the
+// endpoint still identifies the job and serves an empty buffer so
+// pollers need no special case.
+func TestJobTraceDisabled(t *testing.T) {
+	pair := testPair(t, "dm6-droSim1", 0.0004)
+	srv, ts := newTestServer(t, server.Config{TraceEventCap: -1}, nil)
+	if _, err := srv.RegisterTarget(pair.Target.Name, pair.Target); err != nil {
+		t.Fatal(err)
+	}
+	final := runOneJob(t, ts.URL, pair.Target.Name, fastaText(t, pair.Query), pair.Query.Name)
+	resp, body := get(t, ts.URL+"/v1/jobs/"+final.ID+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace (disabled): HTTP %d", resp.StatusCode)
+	}
+	var ex obs.TraceExport
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.JobID != final.ID || ex.Total != 0 || len(ex.Events) != 0 {
+		t.Errorf("disabled trace export = %+v", ex)
+	}
+}
+
+// TestJobEventsEndpoint: the flight recorder captures the lifecycle in
+// order — admitted before started before finished — and the endpoint
+// reports the ring's running total.
+func TestJobEventsEndpoint(t *testing.T) {
+	pair := testPair(t, "dm6-droSim1", 0.0004)
+	srv, ts := newTestServer(t, server.Config{}, nil)
+	if _, err := srv.RegisterTarget(pair.Target.Name, pair.Target); err != nil {
+		t.Fatal(err)
+	}
+	final := runOneJob(t, ts.URL, pair.Target.Name, fastaText(t, pair.Query), pair.Query.Name)
+
+	resp, body := get(t, ts.URL+"/v1/jobs/"+final.ID+"/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d (%s)", resp.StatusCode, body)
+	}
+	var doc struct {
+		JobID  string            `json:"job_id"`
+		Total  uint64            `json:"total"`
+		Events []obs.FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.JobID != final.ID {
+		t.Errorf("events job_id = %q", doc.JobID)
+	}
+	if doc.Total != uint64(len(doc.Events)) {
+		t.Errorf("total %d but %d events retained (nothing should have been shed)", doc.Total, len(doc.Events))
+	}
+	idx := map[string]int{}
+	for i, ev := range doc.Events {
+		if _, seen := idx[ev.Type]; !seen {
+			idx[ev.Type] = i
+		}
+		if ev.At.IsZero() {
+			t.Errorf("event %d (%s) has a zero timestamp", i, ev.Type)
+		}
+	}
+	for _, typ := range []string{obs.FlightAdmitted, obs.FlightStarted, obs.FlightFinished} {
+		if _, ok := idx[typ]; !ok {
+			t.Fatalf("lifecycle event %q missing: %+v", typ, doc.Events)
+		}
+	}
+	if !(idx[obs.FlightAdmitted] < idx[obs.FlightStarted] && idx[obs.FlightStarted] < idx[obs.FlightFinished]) {
+		t.Errorf("lifecycle out of order: admitted@%d started@%d finished@%d",
+			idx[obs.FlightAdmitted], idx[obs.FlightStarted], idx[obs.FlightFinished])
+	}
+
+	resp, _ = get(t, ts.URL+"/v1/jobs/no-such-job/events")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job events: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestLatencyHistograms: one completed streaming job must land one
+// observation in both the first-MAF-block and the end-to-end
+// histograms.
+func TestLatencyHistograms(t *testing.T) {
+	pair := testPair(t, "dm6-droSim1", 0.0004)
+	srv, ts := newTestServer(t, server.Config{}, nil)
+	if _, err := srv.RegisterTarget(pair.Target.Name, pair.Target); err != nil {
+		t.Fatal(err)
+	}
+	runOneJob(t, ts.URL, pair.Target.Name, fastaText(t, pair.Query), pair.Query.Name)
+
+	_, body := get(t, ts.URL+"/metrics")
+	text := string(body)
+	for _, want := range []string{
+		"darwinwga_job_first_block_seconds_count 1",
+		"darwinwga_job_e2e_seconds_count 1",
+		"# TYPE darwinwga_job_first_block_seconds histogram",
+		"# TYPE darwinwga_job_e2e_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text-format lint: a hand-rolled parser over the full
+// exposition of an instrumented server. Guards against malformed names,
+// unescaped label values, duplicate TYPE headers, and samples that
+// precede their family metadata — the failure modes that silently break
+// real scrapers.
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promLint parses one exposition and reports violations through t.
+// It returns the set of sample family names seen (histogram suffixes
+// stripped back to the family).
+func promLint(t *testing.T, text string) map[string]bool {
+	t.Helper()
+	typed := map[string]string{}  // family -> declared type
+	families := map[string]bool{} // families with at least one sample
+	for ln, line := range strings.Split(text, "\n") {
+		ln++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line[2:], " ", 3)
+			if len(fields) < 3 || !promNameRe.MatchString(fields[1]) {
+				t.Errorf("line %d: malformed metadata: %q", ln, line)
+				continue
+			}
+			if fields[0] == "TYPE" {
+				name, typ := fields[1], strings.TrimSpace(fields[2])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Errorf("line %d: unknown TYPE %q for %s", ln, typ, name)
+				}
+				if prev, dup := typed[name]; dup {
+					t.Errorf("line %d: duplicate TYPE for %s (already %s)", ln, name, prev)
+				}
+				typed[name] = typ
+				if families[name] {
+					t.Errorf("line %d: TYPE %s after its first sample", ln, name)
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		name, labels, value, ok := parsePromSample(line)
+		if !ok {
+			t.Errorf("line %d: unparseable sample: %q", ln, line)
+			continue
+		}
+		if !promNameRe.MatchString(name) {
+			t.Errorf("line %d: invalid metric name %q", ln, name)
+		}
+		for k := range labels {
+			if !promLabelRe.MatchString(k) {
+				t.Errorf("line %d: invalid label name %q", ln, k)
+			}
+		}
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Errorf("line %d: invalid sample value %q", ln, value)
+			}
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				family = base
+				if suffix == "_bucket" {
+					if _, hasLe := labels["le"]; !hasLe {
+						t.Errorf("line %d: histogram bucket without le label: %q", ln, line)
+					}
+				}
+				break
+			}
+		}
+		families[family] = true
+	}
+	return families
+}
+
+// parsePromSample splits `name{labels} value` (or `name value`) and
+// decodes the label pairs, honoring \\, \", and \n escapes.
+func parsePromSample(line string) (name string, labels map[string]string, value string, ok bool) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		rest = line[i+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, "", false
+			}
+			key := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' && j+1 < len(rest) {
+					j++
+					switch rest[j] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, "", false
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, "", false
+			}
+			labels[key] = val.String()
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = strings.TrimPrefix(rest[1:], " ")
+				break
+			}
+			return "", nil, "", false
+		}
+	} else {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", nil, "", false
+		}
+		name, rest = line[:sp], line[sp+1:]
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" || strings.ContainsRune(value, ' ') {
+		// A trailing timestamp would appear here; this exposition never
+		// emits one, so a remaining space is a parse failure.
+		return "", nil, "", false
+	}
+	return name, labels, value, true
+}
+
+// TestMetricsPrometheusLint scrapes a fully instrumented server — after
+// real pipeline work, so every registered family has samples — and runs
+// the full exposition through the lint parser.
+func TestMetricsPrometheusLint(t *testing.T) {
+	pair := testPair(t, "dm6-droSim1", 0.0004)
+	srv, ts := newTestServer(t, server.Config{}, nil)
+	if _, err := srv.RegisterTarget(pair.Target.Name, pair.Target); err != nil {
+		t.Fatal(err)
+	}
+	runOneJob(t, ts.URL, pair.Target.Name, fastaText(t, pair.Query), pair.Query.Name)
+
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	families := promLint(t, string(body))
+	for _, want := range []string{
+		"darwinwga_build_info",
+		"darwinwga_jobs_accepted_total",
+		"darwinwga_job_first_block_seconds",
+		"darwinwga_job_e2e_seconds",
+		"darwinwga_core_aligns_total",
+	} {
+		if !families[want] {
+			t.Errorf("instrumented server exposes no %s samples", want)
+		}
+	}
+	// The build-info gauge must carry both identity labels.
+	_, labels, value, ok := parsePromSample(firstSample(string(body), "darwinwga_build_info"))
+	if !ok || labels["version"] == "" || !strings.HasPrefix(labels["go_version"], "go") || value != "1" {
+		t.Errorf("build info sample: labels=%v value=%q ok=%v", labels, value, ok)
+	}
+}
+
+// firstSample returns the first sample line of the named family.
+func firstSample(text, family string) string {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, family) && (strings.HasPrefix(line[len(family):], "{") || strings.HasPrefix(line[len(family):], " ")) {
+			return line
+		}
+	}
+	return ""
+}

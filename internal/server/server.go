@@ -128,6 +128,11 @@ type Config struct {
 	// jobs submitted with a journal_ship URL (default 2s). Requires
 	// CheckpointRoot.
 	ShipInterval time.Duration
+	// TraceEventCap bounds each job's pipeline-span buffer, served at
+	// GET /v1/jobs/{id}/trace (default 4096 events; negative disables
+	// per-job tracing — jobs then run with a nil tracer at zero cost).
+	// Events past the cap are counted as dropped, never retained.
+	TraceEventCap int
 }
 
 // withDefaults fills unset fields.
@@ -211,6 +216,12 @@ func (c Config) withDefaults() Config {
 		c.ShipInterval = 2 * time.Second
 	}
 	switch {
+	case c.TraceEventCap == 0:
+		c.TraceEventCap = 4096
+	case c.TraceEventCap < 0:
+		c.TraceEventCap = 0 // per-job tracing disabled
+	}
+	switch {
 	case c.IndexBudget == 0 && c.MemoryHighWater > 0:
 		c.IndexBudget = c.MemoryHighWater / 2
 	case c.IndexBudget < 0:
@@ -238,6 +249,7 @@ type Server struct {
 	metrics *obs.Registry
 	handler http.Handler
 	started time.Time
+	version string
 	log     *slog.Logger
 
 	// clusterEpoch is the high-water fencing epoch observed from any
@@ -302,6 +314,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.staleEpochRejects = metrics.Counter("darwinwga_cluster_stale_epoch_rejections_total",
 		"requests rejected for carrying a stale cluster epoch")
+	s.version = obs.RegisterBuildInfo(metrics)
 	s.registerGauges()
 	s.handler = s.epochGate(s.buildHandler())
 	s.jobs.start(cfg.JobWorkers)
@@ -312,6 +325,13 @@ func New(cfg Config) (*Server, error) {
 // fencing epoch into. The cluster package re-exports it; it lives here
 // because the worker server enforces it.
 const ClusterEpochHeader = "X-Darwinwga-Cluster-Epoch"
+
+// TraceHeader is the request header carrying a job's distributed trace
+// id. A dispatching coordinator stamps it on every POST /v1/jobs so the
+// worker's pipeline spans and flight events tag themselves with the
+// cluster-wide id; the submit body's trace_id field carries the same
+// value (the header wins when both are set).
+const TraceHeader = "X-Darwinwga-Trace"
 
 // epochGate rejects requests from fenced (stale-epoch) coordinators.
 // Requests without the header — standalone clients, health checks — are
@@ -382,6 +402,28 @@ func (s *Server) Jobs() *Manager { return s.jobs }
 // their own series or publish it via expvar.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
+// Version returns the build version published by the
+// darwinwga_build_info gauge.
+func (s *Server) Version() string { return s.version }
+
+// Snapshot assembles the compact fleet-metrics snapshot a cluster agent
+// piggybacks on heartbeat renewals — the per-worker series
+// GET /metrics/cluster federates without the coordinator scraping every
+// worker's full /metrics.
+func (s *Server) Snapshot() obs.WorkerSnapshot {
+	return obs.WorkerSnapshot{
+		QueueDepth:           s.jobs.QueueDepth(),
+		Running:              int(s.jobs.Running.Value()),
+		BreakersOpen:         s.jobs.brk.openCount(),
+		IndexResidentBytes:   s.reg.ResidentIndexBytes(),
+		IndexResidentTargets: s.reg.ResidentTargets(),
+		IndexEvictions:       s.reg.metrics.evictions.Value(),
+		ResultCacheHits:      s.jobs.rcache.metrics.hits.Value(),
+		ResultCacheMisses:    s.jobs.rcache.metrics.misses.Value(),
+		ResultCacheBytes:     s.jobs.rcache.bytesUsed(),
+	}
+}
+
 // RegisterTarget loads one target assembly under the server's pipeline
 // configuration, building its seed index once.
 func (s *Server) RegisterTarget(name string, asm *genome.Assembly) (*Target, error) {
@@ -439,7 +481,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.httpSrv = srv
 	s.listener = ln
 	s.mu.Unlock()
-	s.log.Info("serving", "addr", ln.Addr().String())
+	s.log.Info("serving", "addr", ln.Addr().String(), "version", s.version)
 	return srv.Serve(ln)
 }
 

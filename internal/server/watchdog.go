@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"runtime"
 	"time"
 
@@ -102,8 +103,22 @@ func (m *Manager) sweepStalled() {
 			"stall_window", m.stallWindow,
 			"last_progress", time.Unix(0, j.progress.Load()))
 		m.log.Warn("stalled job stack dump", "job_id", j.ID, "stack", allStacks())
+		// The flight record is the job-shaped half of the post-mortem:
+		// what the lifecycle looked like before it went silent.
+		m.log.Warn("stalled job flight record", "job_id", j.ID,
+			"events_total", j.flight.Total(), "events", flightJSON(j.flight))
 		j.cancelNow()
 	}
+}
+
+// flightJSON renders a job's flight ring for the stall post-mortem log
+// line (best-effort; the ring is also served at /v1/jobs/{id}/events).
+func flightJSON(f *obs.FlightRecorder) string {
+	b, err := json.Marshal(f.Events())
+	if err != nil {
+		return "[]"
+	}
+	return string(b)
 }
 
 // allStacks captures every goroutine's stack (bounded at 1 MiB) for
