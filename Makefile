@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-resume test-serve test-obs test-obs-cluster test-chaos test-cluster test-index test-fuzz bench bench-diff lint ci
+.PHONY: all build vet test test-race test-resume test-serve test-obs test-obs-cluster test-chaos test-cluster test-index test-shard test-fuzz bench bench-diff lint ci
 
 all: build
 
@@ -121,12 +121,31 @@ test-index:
 	$(GO) test -race -timeout 15m -run 'TestIndex|TestResultCache|TestTargetsExpose' ./internal/server/
 	$(GO) test -timeout 15m -run 'TestIndexLifecycleE2E' ./cmd/darwin-wga/
 
+# Shard scatter/gather suite: the core decomposition/merge property
+# tests (any unit count, arrival order, and hedged duplicates must
+# reproduce the one-shot HSP stream byte-exactly) plus a fuzz smoke of
+# the merge's permutation invariance, the in-process chaos tests of the
+# coordinator's shard plane under the race detector (worker-death
+# failover, hedged stragglers, retry-exhaustion partial results,
+# truncated-body retries, journal restart re-dispatching only
+# unfinished units, ENOSPC 503s from the artifact store), and the
+# subprocess e2e pair: SIGKILL one of two workers mid-job under
+# -shard-dispatch (byte-identical MAF, recovery metrics), and a
+# fault-injected worker exhausting one unit's retries into a 206
+# partial result. Not -short: the e2e re-execs the test binary as
+# coordinator and workers. Every line carries an explicit -timeout.
+test-shard:
+	$(GO) test -race -timeout 15m -run 'TestPlanShards|TestAlignShardUnit|TestShardMergeMatchesOneShot' ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzShardMerge -fuzztime 10s ./internal/core/
+	$(GO) test -race -timeout 15m -run 'TestShard' ./internal/cluster/
+	$(GO) test -timeout 20m -run 'TestShardDispatchFailoverE2E|TestShardPartialResultE2E' ./cmd/darwin-wga/
+
 # Benchmark trajectory: one point per PR. Runs the pipeline kernel
 # benchmarks (filter tiles, GACT-X extension, seeding, index build,
 # reference Smith-Waterman) and records them as BENCH_pipeline.json
 # via cmd/bench2json, so the perf history is diffable across PRs.
 # Non-gating in CI: a slow shared runner must not fail the build.
-BENCH_PATTERN := ^(BenchmarkBSWFilterTile|BenchmarkUngappedFilterTile|BenchmarkGACTXExtension|BenchmarkSeedIndexBuild|BenchmarkIndexBuild|BenchmarkIndexLoad|BenchmarkDSoftSeeding|BenchmarkSmithWaterman)$$
+BENCH_PATTERN := ^(BenchmarkBSWFilterTile|BenchmarkUngappedFilterTile|BenchmarkGACTXExtension|BenchmarkSeedIndexBuild|BenchmarkIndexBuild|BenchmarkIndexLoad|BenchmarkDSoftSeeding|BenchmarkSmithWaterman|BenchmarkShardScatterGather)$$
 BENCH_OUT ?= BENCH_pipeline.json
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -timeout 30m . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
@@ -163,4 +182,4 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWALRecover -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzIndexLoad -fuzztime 10s ./internal/indexstore/
 
-ci: build vet test test-race test-resume test-serve test-obs test-obs-cluster test-chaos test-cluster test-index test-fuzz
+ci: build vet test test-race test-resume test-serve test-obs test-obs-cluster test-chaos test-cluster test-index test-shard test-fuzz

@@ -14,6 +14,7 @@
 package darwinwga_test
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"path/filepath"
@@ -26,6 +27,7 @@ import (
 	"darwinwga/internal/evolve"
 	"darwinwga/internal/experiments"
 	"darwinwga/internal/gact"
+	"darwinwga/internal/genome"
 	"darwinwga/internal/indexstore"
 	"darwinwga/internal/seed"
 )
@@ -193,6 +195,55 @@ func BenchmarkSmithWaterman(b *testing.B) {
 		align.SmithWaterman(sc, target, query)
 	}
 	b.ReportMetric(float64(len(target)*len(query))*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkShardScatterGather measures the cluster's scatter/gather
+// round-trip in-process: decompose a both-strand query into shard work
+// units, execute every unit (extension runs un-absorbed by design),
+// and deterministically merge the frames. Against BenchmarkGACTXExtension
+// and the one-shot pipeline this tracks the wasted-work overhead a
+// -shard-dispatch job pays for its failover/hedging granularity.
+func BenchmarkShardScatterGather(b *testing.B) {
+	pair, err := evolve.Generate(evolve.Config{
+		Name: "shard-bench", TargetName: "tgt", QueryName: "qry",
+		Length: 8_000, SubRate: 0.12, IndelRate: 0.015, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.BothStrands = true
+	a, err := core.NewAligner(pair.TargetSeq(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := pair.QuerySeq()
+	rc := genome.ReverseComplement(query)
+	plan := core.PlanShards(&cfg, len(query), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frames := map[byte][]core.ShardFrame{}
+		for _, u := range plan {
+			q := query
+			if u.Strand == '-' {
+				q = rc
+			}
+			fr, _, err := a.AlignShardUnit(context.Background(), q, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames[u.Strand] = append(frames[u.Strand], fr...)
+		}
+		kept := 0
+		for _, s := range []byte{'+', '-'} {
+			keep, _ := core.MergeShardFrames(frames[s], cfg.AbsorbBand)
+			kept += len(keep)
+		}
+		if kept == 0 {
+			b.Fatal("merge kept no frames")
+		}
+	}
+	b.ReportMetric(float64(len(plan)*b.N)/b.Elapsed().Seconds(), "units/s")
 }
 
 // --- Table / figure benchmarks -----------------------------------------

@@ -222,6 +222,8 @@ func serveMain(args []string) int {
 		standbyURLs = fs.String("standbys", "", "comma-separated standby coordinator URLs advertised to workers (coordinator role)")
 		advURL      = fs.String("advertise-url", "", "base URL workers dial this coordinator back at (coordinator role; default http://<addr>)")
 		shipEvery   = fs.Duration("ship-interval", 2*time.Second, "how often a running job's checkpoint segments ship to its coordinator (worker role with -checkpoint-root)")
+		shardTgts   = fs.String("shard-dispatch", "", `comma-separated targets whose jobs scatter as per-shard work units across every worker holding the target ("*" = all targets; coordinator role)`)
+		shardUnits  = fs.Int("shard-units", 0, "work units per strand a sharded job decomposes into (coordinator role; 0 = default)")
 		replication = fs.Int("replication", 2, "replicas considered per target (coordinator role)")
 		leaseTTL    = fs.Duration("lease-ttl", 10*time.Second, "worker lease lifetime without a heartbeat (coordinator role)")
 		pollEvery   = fs.Duration("poll-interval", 500*time.Millisecond, "worker status poll cadence per routed job (coordinator role)")
@@ -276,17 +278,19 @@ func serveMain(args []string) int {
 	case "standalone", "worker":
 	case "coordinator":
 		return coordinatorMain(coordinatorOptions{
-			addr:        *addr,
-			replication: *replication,
-			leaseTTL:    *leaseTTL,
-			poll:        *pollEvery,
-			dispatchTO:  *dispatchTO,
-			maxQuery:    *maxQueryMB << 20,
-			journalDir:  *journalDir,
-			standbyOf:   strings.TrimSuffix(*standbyOf, "/"),
-			standbys:    splitURLList(*standbyURLs),
-			advertise:   strings.TrimSuffix(*advURL, "/"),
-			log:         logger,
+			addr:          *addr,
+			shardDispatch: splitURLList(*shardTgts),
+			shardUnits:    *shardUnits,
+			replication:   *replication,
+			leaseTTL:      *leaseTTL,
+			poll:          *pollEvery,
+			dispatchTO:    *dispatchTO,
+			maxQuery:      *maxQueryMB << 20,
+			journalDir:    *journalDir,
+			standbyOf:     strings.TrimSuffix(*standbyOf, "/"),
+			standbys:      splitURLList(*standbyURLs),
+			advertise:     strings.TrimSuffix(*advURL, "/"),
+			log:           logger,
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "darwin-wga serve: -role must be standalone, coordinator, or worker, got %q\n", *role)
@@ -347,6 +351,7 @@ func serveMain(args []string) int {
 		ResultCacheBytes:     *resCacheMB << 20,
 		TraceEventCap:        *traceCap,
 		ShipInterval:         *shipEvery,
+		ShardFaults:          shardFaultsFromEnv(),
 		Log:                  logger,
 		EnablePprof:          *enablePprof,
 	})
@@ -421,17 +426,19 @@ func serveMain(args []string) int {
 
 // coordinatorOptions is the flag subset the coordinator role consumes.
 type coordinatorOptions struct {
-	addr        string
-	replication int
-	leaseTTL    time.Duration
-	poll        time.Duration
-	dispatchTO  time.Duration
-	maxQuery    int
-	journalDir  string
-	standbyOf   string
-	standbys    []string
-	advertise   string
-	log         *slog.Logger
+	addr          string
+	shardDispatch []string
+	shardUnits    int
+	replication   int
+	leaseTTL      time.Duration
+	poll          time.Duration
+	dispatchTO    time.Duration
+	maxQuery      int
+	journalDir    string
+	standbyOf     string
+	standbys      []string
+	advertise     string
+	log           *slog.Logger
 }
 
 // splitURLList parses a comma-separated URL list flag, dropping empties
@@ -453,6 +460,8 @@ func (opts coordinatorOptions) clusterConfig() cluster.Config {
 	return cluster.Config{
 		Addr:              opts.addr,
 		AdvertiseURL:      opts.advertise,
+		ShardDispatch:     opts.shardDispatch,
+		ShardUnits:        opts.shardUnits,
 		Standbys:          opts.standbys,
 		ReplicationFactor: opts.replication,
 		LeaseTTL:          opts.leaseTTL,
@@ -805,6 +814,21 @@ func crashFaultsFromEnv() *faultinject.IOFaults {
 		return nil
 	}
 	return faultinject.NewIO(rules...)
+}
+
+// shardFaultsFromEnv parses DARWINWGA_SHARD_FAULTS, the deterministic
+// shard-unit failure plan the partial-result e2e test injects into
+// worker children: comma-separated "seq[:strand[:hit]]" rules ("*"
+// wildcards), each failing the matching POST /v1/shards unit with a
+// 500. Unset (the normal case) returns nil — no injection.
+func shardFaultsFromEnv() *faultinject.ShardFaults {
+	spec := os.Getenv("DARWINWGA_SHARD_FAULTS")
+	sf, err := faultinject.ParseShardFaults(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warning: ignoring bad DARWINWGA_SHARD_FAULTS=%q: %v\n", spec, err)
+		return nil
+	}
+	return sf
 }
 
 // envHit parses a positive integer fault-injection variable; malformed

@@ -59,10 +59,17 @@ type clusterJobStatus struct {
 	Assignments []assignment `json:"assignments,omitempty"`
 	Worker      *assignment  `json:"worker,omitempty"`
 	TraceID     string       `json:"trace_id,omitempty"`
-	StatusURL   string       `json:"status_url"`
-	MAFURL      string       `json:"maf_url"`
-	TraceURL    string       `json:"trace_url"`
-	EventsURL   string       `json:"events_url"`
+	// Sharded jobs expose the work-unit map and the partial-result
+	// contract: Truncated/FailedShards name the units that exhausted
+	// retries; the MAF endpoint answers 206 when any did.
+	Sharded      bool             `json:"sharded,omitempty"`
+	Truncated    string           `json:"truncated,omitempty"`
+	FailedShards []string         `json:"failed_shards,omitempty"`
+	Shards       *shardStatusView `json:"shards,omitempty"`
+	StatusURL    string           `json:"status_url"`
+	MAFURL       string           `json:"maf_url"`
+	TraceURL     string           `json:"trace_url"`
+	EventsURL    string           `json:"events_url"`
 }
 
 // registerBody is POST /cluster/v1/register.
@@ -198,10 +205,30 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := c.submit(req.Target, fp, client, queryName, traceID, buf.String(), spec)
 	if err != nil {
+		if errors.Is(err, errArtifactStore) {
+			c.writeStoreUnavailable(w, err)
+			return
+		}
 		cWriteError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	cWriteJSON(w, http.StatusAccepted, c.statusOf(j))
+}
+
+// writeStoreUnavailable answers 503 + Retry-After for artifact-store
+// write failures (disk full): the atomic writer left no partial state,
+// so the request is safely retryable once space frees up.
+func (c *Coordinator) writeStoreUnavailable(w http.ResponseWriter, err error) {
+	c.c.store503.Inc()
+	secs := int(c.cfg.LeaseTTL / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	cWriteJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":            fmt.Sprintf("artifact store unavailable: %v", err),
+		"retry_after_secs": secs,
+	})
 }
 
 // writeNoReplica answers graceful degradation: the target is known to
@@ -241,6 +268,12 @@ func (c *Coordinator) statusOf(j *coordJob) clusterJobStatus {
 		t := j.finishedAt
 		st.Finished = &t
 	}
+	st.Sharded = j.sharded
+	st.Truncated = j.truncated
+	st.FailedShards = append([]string(nil), j.failedShards...)
+	if j.shard != nil {
+		st.Shards = j.shard.snapshot()
+	}
 	st.Assignments = append(st.Assignments, j.assignments...)
 	if len(j.assignments) > 0 {
 		a := j.assignments[len(j.assignments)-1]
@@ -276,6 +309,12 @@ func (c *Coordinator) handleMAF(w http.ResponseWriter, r *http.Request) {
 	j, ok := c.getJob(r.PathValue("id"))
 	if !ok {
 		cWriteError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if j.sharded {
+		// Sharded jobs have no single worker stream: the coordinator
+		// merged the MAF itself.
+		c.serveShardMAF(w, r, j)
 		return
 	}
 	sent := 0
@@ -551,7 +590,10 @@ func (c *Coordinator) handleShippedPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := c.wal.saveShipped(id, seg, data); err != nil {
-		cWriteError(w, http.StatusInternalServerError, "storing segment: %v", err)
+		// Storage trouble (disk full) is transient from the worker's
+		// perspective: the atomic writer guarantees no corrupt segment
+		// landed, so the worker just retries the PUT after a beat.
+		c.writeStoreUnavailable(w, err)
 		return
 	}
 	c.stampShip(id)

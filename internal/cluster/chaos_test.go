@@ -69,8 +69,8 @@ func newFakeWorkerWrapped(t *testing.T, wrap func(http.Handler) http.Handler) *f
 		var sub struct {
 			JournalShip string `json:"journal_ship"`
 		}
-		json.NewDecoder(r.Body).Decode(&sub)  //nolint:errcheck
-		io.Copy(io.Discard, r.Body)           //nolint:errcheck
+		json.NewDecoder(r.Body).Decode(&sub) //nolint:errcheck
+		io.Copy(io.Discard, r.Body)          //nolint:errcheck
 		w.mu.Lock()
 		w.nextID++
 		w.submits++

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"darwinwga/internal/obs"
 	"darwinwga/internal/server"
@@ -78,6 +79,14 @@ func (b *cancelOnClose) Close() error {
 // deadline — so ManualClock chaos tests control exactly when a slow
 // worker "times out". cancelCh (may be nil) aborts the request early.
 func (c *Coordinator) doRequest(req *http.Request, cancelCh <-chan struct{}) (*http.Response, error) {
+	return c.doRequestTimeout(req, cancelCh, c.cfg.DispatchTimeout)
+}
+
+// doRequestTimeout is doRequest with an explicit timeout — shard work
+// units run under their own lease (cfg.ShardLease), much longer than
+// the control-plane DispatchTimeout, because the in-flight request is
+// the unit's execution.
+func (c *Coordinator) doRequestTimeout(req *http.Request, cancelCh <-chan struct{}, timeout time.Duration) (*http.Response, error) {
 	ctx, cancel := context.WithCancel(req.Context())
 	req = req.WithContext(ctx)
 	req.Header.Set(EpochHeader, strconv.FormatUint(c.epoch, 10))
@@ -107,11 +116,11 @@ func (c *Coordinator) doRequest(req *http.Request, cancelCh <-chan struct{}) (*h
 		}
 		r.resp.Body = &cancelOnClose{ReadCloser: r.resp.Body, cancel: cancel}
 		return r.resp, nil
-	case <-c.cfg.Clock.After(c.cfg.DispatchTimeout):
+	case <-c.cfg.Clock.After(timeout):
 		cancel()
 		<-ch
 		return nil, fmt.Errorf("cluster: request to %s timed out after %v",
-			req.URL.Host, c.cfg.DispatchTimeout)
+			req.URL.Host, timeout)
 	case <-cancelCh:
 		cancel()
 		<-ch

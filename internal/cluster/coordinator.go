@@ -91,6 +91,20 @@ type coordJob struct {
 	finishedAt  time.Time
 	parked      bool
 
+	// sharded routes this job through the per-shard scatter/gather plane
+	// instead of whole-job dispatch. Decided at admission (or recovery)
+	// before the job is published, and immutable after.
+	sharded bool
+	// shard tracks per-unit lifecycle for status; mafData is the
+	// coordinator-merged MAF once terminal (lazy-loaded from the shard
+	// artifact store after a restart). truncated/failedShards carry the
+	// partial-result contract: units that exhausted retries degrade the
+	// job, they do not fail it.
+	shard        *shardProgress
+	mafData      []byte
+	truncated    string
+	failedShards []string
+
 	cancelOnce sync.Once
 	cancelCh   chan struct{} // closed by Cancel
 	doneCh     chan struct{} // closed on terminal state
@@ -229,6 +243,32 @@ type Config struct {
 	// RetainJobs bounds how many terminal jobs stay queryable in
 	// memory (default 256).
 	RetainJobs int
+	// ShardDispatch lists targets whose jobs are decomposed into
+	// per-shard work units scattered across every worker advertising the
+	// target; "*" enables it for all targets. Budgeted or deadlined jobs
+	// always fall back to whole-job routing (units are all-or-nothing).
+	ShardDispatch []string
+	// ShardUnits is how many work units each strand splits into
+	// (default 4).
+	ShardUnits int
+	// ShardLease bounds one work unit's in-flight request — the unit's
+	// lease; expiry counts as a lost attempt and the unit fails over to
+	// the next replica (default 2m). Driven by Clock.
+	ShardLease time.Duration
+	// ShardParallel caps concurrently in-flight work units per job
+	// (default 4). Retries and hedges share the cap.
+	ShardParallel int
+	// ShardHedgeFactor sets the straggler threshold at factor × p90 of
+	// completed unit durations (default 2); a running unit past it is
+	// speculatively re-dispatched once, first result wins.
+	ShardHedgeFactor float64
+	// ShardHedgeMinDone is how many units must complete before the p90
+	// threshold is trusted (default 3).
+	ShardHedgeMinDone int
+	// IOFaults, when set, is threaded through every artifact-store write
+	// (query spills, shipped segments, shard frames, merged MAFs) — the
+	// disk-full fault seam.
+	IOFaults *faultinject.IOFaults
 	// Transport is the HTTP transport used to reach workers (default
 	// http.DefaultTransport). The chaos tests install a
 	// faultinject.Transport here.
@@ -279,6 +319,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 256
+	}
+	if c.ShardUnits <= 0 {
+		c.ShardUnits = 4
+	}
+	if c.ShardLease <= 0 {
+		c.ShardLease = 2 * time.Minute
+	}
+	if c.ShardParallel <= 0 {
+		c.ShardParallel = 4
+	}
+	if c.ShardHedgeFactor <= 0 {
+		c.ShardHedgeFactor = 2
+	}
+	if c.ShardHedgeMinDone <= 0 {
+		c.ShardHedgeMinDone = 3
 	}
 	if c.AdvertiseURL == "" {
 		c.AdvertiseURL = "http://" + c.Addr
@@ -341,16 +396,25 @@ type addrHolder struct {
 }
 
 type counters struct {
-	routed         *obs.Counter
-	failovers      *obs.Counter
-	registrations  *obs.Counter
-	expirations    *obs.Counter
-	dispatchErrors *obs.Counter
-	noReplica503   *obs.Counter
-	recovReattach  *obs.Counter
-	recovRedisp    *obs.Counter
-	recovRestored  *obs.Counter
-	recovRequeued  *obs.Counter
+	routed          *obs.Counter
+	failovers       *obs.Counter
+	registrations   *obs.Counter
+	expirations     *obs.Counter
+	dispatchErrors  *obs.Counter
+	noReplica503    *obs.Counter
+	store503        *obs.Counter
+	recovReattach   *obs.Counter
+	recovRedisp     *obs.Counter
+	recovRestored   *obs.Counter
+	recovRequeued   *obs.Counter
+	shardDispatched *obs.Counter
+	shardMerged     *obs.Counter
+	shardRetried    *obs.Counter
+	shardHedged     *obs.Counter
+	shardFailedOver *obs.Counter
+	shardDuplicate  *obs.Counter
+	shardFailed     *obs.Counter
+	shardRecovered  *obs.Counter
 }
 
 // New builds a coordinator, replays its routing WAL (when JournalDir is
@@ -383,6 +447,7 @@ func New(cfg Config) (*Coordinator, error) {
 			return nil, err
 		}
 		c.wal = wal
+		wal.io = cfg.IOFaults
 		recovered = state.recovered
 		// Every start — cold restart or standby promotion — bumps the
 		// fencing epoch past everything the journal (local or shipped
@@ -419,6 +484,16 @@ func (c *Coordinator) registerMetrics() {
 		recovRedisp:    reg.Counter(`darwinwga_cluster_recovered_jobs_total{outcome="redispatched"}`, "journal replay outcomes at coordinator startup"),
 		recovRestored:  reg.Counter(`darwinwga_cluster_recovered_jobs_total{outcome="restored"}`, "journal replay outcomes at coordinator startup"),
 		recovRequeued:  reg.Counter(`darwinwga_cluster_recovered_jobs_total{outcome="requeued"}`, "journal replay outcomes at coordinator startup"),
+		store503: reg.Counter("darwinwga_cluster_store_unavailable_total",
+			"requests rejected 503 because an artifact-store write failed (disk full)"),
+		shardDispatched: reg.Counter(`darwinwga_cluster_shard_units_total{outcome="dispatched"}`, "shard work-unit lifecycle outcomes"),
+		shardMerged:     reg.Counter(`darwinwga_cluster_shard_units_total{outcome="merged"}`, "shard work-unit lifecycle outcomes"),
+		shardRetried:    reg.Counter(`darwinwga_cluster_shard_units_total{outcome="retried"}`, "shard work-unit lifecycle outcomes"),
+		shardHedged:     reg.Counter(`darwinwga_cluster_shard_units_total{outcome="hedged"}`, "shard work-unit lifecycle outcomes"),
+		shardFailedOver: reg.Counter(`darwinwga_cluster_shard_units_total{outcome="failed-over"}`, "shard work-unit lifecycle outcomes"),
+		shardDuplicate:  reg.Counter(`darwinwga_cluster_shard_units_total{outcome="duplicate"}`, "shard work-unit lifecycle outcomes"),
+		shardFailed:     reg.Counter(`darwinwga_cluster_shard_units_total{outcome="failed"}`, "shard work-unit lifecycle outcomes"),
+		shardRecovered:  reg.Counter(`darwinwga_cluster_shard_units_total{outcome="recovered"}`, "shard work-unit lifecycle outcomes"),
 	}
 	reg.GaugeFunc("darwinwga_cluster_workers_live", "workers with a current lease",
 		func() float64 { return float64(c.ms.size()) })
@@ -547,6 +622,13 @@ func (c *Coordinator) recover(recs []recoveredRouting) {
 	}
 	var restored, reattach, requeued int
 	for _, r := range recs {
+		// A journaled shard plan marks the job sharded regardless of the
+		// current config (the plan is the contract); a fresh unassigned
+		// job re-decides from config.
+		sharded := len(r.shardPlan) > 0
+		if !r.finished && !sharded && len(r.assigns) == 0 {
+			sharded = c.shardEnabled(r.sub.Target, r.sub.Spec)
+		}
 		j := &coordJob{
 			ID:          r.sub.ID,
 			Target:      r.sub.Target,
@@ -557,6 +639,7 @@ func (c *Coordinator) recover(recs []recoveredRouting) {
 			Spec:        r.sub.Spec,
 			Created:     time.Unix(0, r.sub.CreatedNS),
 			flight:      obs.NewFlightRecorder(coordFlightRingCap),
+			sharded:     sharded,
 			cancelCh:    make(chan struct{}),
 			doneCh:      make(chan struct{}),
 		}
@@ -586,6 +669,24 @@ func (c *Coordinator) recover(recs []recoveredRouting) {
 			j.state = r.finalState
 			j.errMsg = r.finalErr
 			j.finishedAt = r.finishedAt
+			if sharded && r.finalState == StateDone {
+				// Reconstruct the partial-result view from the journal:
+				// planned units without a done record are the ones that
+				// exhausted retries. The merged MAF itself lazy-loads
+				// from the shard artifact store on first request.
+				done := make(map[int]bool, len(r.shardDone))
+				for _, seq := range r.shardDone {
+					done[seq] = true
+				}
+				for _, u := range r.shardPlan {
+					if !done[u.Seq] {
+						j.failedShards = append(j.failedShards, u.String())
+					}
+				}
+				if len(j.failedShards) > 0 {
+					j.truncated = shardTruncatedReason
+				}
+			}
 			close(j.doneCh)
 			c.c.recovRestored.Inc()
 			restored++
@@ -603,6 +704,17 @@ func (c *Coordinator) recover(recs []recoveredRouting) {
 			}
 		}
 		j.state = StateQueued
+		if j.sharded {
+			// The shard runner adopts journaled unit completions and
+			// re-dispatches only the rest — the shard-level analogue of
+			// reattach.
+			c.c.recovRequeued.Inc()
+			requeued++
+			rc := r
+			c.wg.Add(1)
+			go c.runShardJob(j, &rc)
+			continue
+		}
 		if len(j.assignments) > 0 {
 			reattach++
 		} else {
@@ -636,18 +748,21 @@ func (c *Coordinator) submit(target, fingerprint, client, queryName, traceID, fa
 		queryFASTA:  fasta,
 		flight:      obs.NewFlightRecorder(coordFlightRingCap),
 		state:       StateQueued,
+		sharded:     c.shardEnabled(target, spec),
 		cancelCh:    make(chan struct{}),
 		doneCh:      make(chan struct{}),
 	}
 	c.recordFlight(j, obs.FlightAdmitted, "", "target "+target)
 	if c.wal != nil {
 		// Spill-before-journal: the submitted record must imply a
-		// readable query artifact.
+		// readable query artifact. Store failures (disk full) are marked
+		// so the HTTP layer degrades to 503 + Retry-After — the atomic
+		// writer left nothing behind, so the submit is safely retryable.
 		if err := c.wal.saveQuery(j.ID, fasta); err != nil {
-			return nil, fmt.Errorf("cluster: spilling query: %w", err)
+			return nil, fmt.Errorf("cluster: spilling query: %w: %v", errArtifactStore, err)
 		}
 		if err := c.wal.submitted(j); err != nil {
-			return nil, fmt.Errorf("cluster: journaling submission: %w", err)
+			return nil, fmt.Errorf("cluster: journaling submission: %w: %v", errArtifactStore, err)
 		}
 	}
 	c.mu.Lock()
@@ -657,7 +772,11 @@ func (c *Coordinator) submit(target, fingerprint, client, queryName, traceID, fa
 	c.mu.Unlock()
 
 	c.wg.Add(1)
-	go c.runJob(j, false)
+	if j.sharded {
+		go c.runShardJob(j, nil)
+	} else {
+		go c.runJob(j, false)
+	}
 	return j, nil
 }
 
@@ -674,6 +793,7 @@ func (c *Coordinator) evictLocked() {
 		if over > 0 && terminalState(st) {
 			delete(c.jobs, id)
 			c.wal.removeShipped(id)
+			c.wal.removeShards(id)
 			over--
 			continue
 		}
@@ -722,6 +842,7 @@ func (c *Coordinator) finalize(j *coordJob, state, errMsg string) {
 		c.log.Error("journaling terminal state failed", "job_id", j.ID, "err", err)
 	}
 	c.wal.removeShipped(j.ID)
+	c.wal.removeShardFrames(j.ID)
 	c.clearShipStamp(j.ID)
 	detail := state
 	if errMsg != "" {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,8 @@ import (
 	"time"
 
 	"darwinwga/internal/checkpoint"
+	"darwinwga/internal/core"
+	"darwinwga/internal/faultinject"
 )
 
 // The coordinator's WAL journals every routing decision so a restart is
@@ -30,6 +33,13 @@ import (
 //	6 snapshot  — the folded routing state at compaction time; a fold
 //	              resets at a snapshot record, which is what makes
 //	              segment truncation safe
+//	7 shardplan — a sharded job's work-unit decomposition, journaled
+//	              before any unit dispatch so a restart reuses the
+//	              identical plan (unit seqs keep meaning the same ranges)
+//	8 sharddone — one work unit completed; its frames have already been
+//	              spilled to shards/<id>/frames/<seq>.json (spill before
+//	              record, like queries), so a restart re-dispatches only
+//	              units without a done record
 const (
 	ckKindHeader    = 1
 	ckKindSubmitted = 2
@@ -37,9 +47,17 @@ const (
 	ckKindFinished  = 4
 	ckKindEpoch     = 5
 	ckKindSnapshot  = 6
+	ckKindShardPlan = 7
+	ckKindShardDone = 8
 
 	ckVersion = 1
 )
+
+// errArtifactStore marks journal/spill write failures (disk full) so
+// the HTTP layer can answer 503 + Retry-After instead of a generic 500:
+// the atomic writer guarantees no corrupt artifact landed, which makes
+// the request safely retryable.
+var errArtifactStore = errors.New("artifact store unavailable")
 
 // defaultSnapshotThreshold is the record count past which the journal is
 // compacted to a snapshot at open.
@@ -79,11 +97,25 @@ type ckEpoch struct {
 	Epoch uint64 `json:"epoch"`
 }
 
+type ckShardPlan struct {
+	ID    string           `json:"id"`
+	Units []core.ShardUnit `json:"units"`
+}
+
+type ckShardDone struct {
+	ID       string `json:"id"`
+	Seq      int    `json:"seq"`
+	WorkerID string `json:"worker_id,omitempty"`
+	AtNS     int64  `json:"at_ns"`
+}
+
 // ckSnapJob is one job's full routing history inside a snapshot record.
 type ckSnapJob struct {
-	Sub      ckSubmitted `json:"sub"`
-	Assigns  []ckAssigned `json:"assigns,omitempty"`
-	Finished *ckFinished  `json:"finished,omitempty"`
+	Sub       ckSubmitted      `json:"sub"`
+	Assigns   []ckAssigned     `json:"assigns,omitempty"`
+	Finished  *ckFinished      `json:"finished,omitempty"`
+	ShardPlan []core.ShardUnit `json:"shard_plan,omitempty"`
+	ShardDone []int            `json:"shard_done,omitempty"`
 }
 
 type ckSnapshot struct {
@@ -99,6 +131,8 @@ type recoveredRouting struct {
 	finalState string
 	finalErr   string
 	finishedAt time.Time
+	shardPlan  []core.ShardUnit
+	shardDone  []int
 }
 
 // coordJournal wraps a checkpoint.Journal with the locking the
@@ -112,6 +146,10 @@ type coordJournal struct {
 	j   *checkpoint.Journal
 	dir string
 	hub *replicationHub
+	// io is the artifact-store fault seam: every spill (queries, shipped
+	// segments, shard frames, merged MAFs) writes through it so tests
+	// inject ENOSPC/short writes exactly where a full disk would bite.
+	io *faultinject.IOFaults
 }
 
 // journalState is what openCoordJournal recovered: the folded per-job
@@ -190,7 +228,7 @@ func (cj *coordJournal) compact(recovered []recoveredRouting, epoch uint64) ([]c
 func snapshotOf(recovered []recoveredRouting, epoch uint64) ckSnapshot {
 	snap := ckSnapshot{Epoch: epoch, Jobs: make([]ckSnapJob, 0, len(recovered))}
 	for _, r := range recovered {
-		sj := ckSnapJob{Sub: r.sub, Assigns: r.assigns}
+		sj := ckSnapJob{Sub: r.sub, Assigns: r.assigns, ShardPlan: r.shardPlan, ShardDone: r.shardDone}
 		if r.finished {
 			sj.Finished = &ckFinished{ID: r.sub.ID, State: r.finalState, Error: r.finalErr, AtNS: r.finishedAt.UnixNano()}
 		}
@@ -261,6 +299,31 @@ func foldRouting(recs []checkpoint.Record) ([]recoveredRouting, uint64, error) {
 			if e.Epoch > epoch {
 				epoch = e.Epoch
 			}
+		case ckKindShardPlan:
+			var p ckShardPlan
+			if err := json.Unmarshal(rec.Payload, &p); err != nil {
+				return nil, 0, fmt.Errorf("cluster: shard plan record: %w", err)
+			}
+			if r, ok := byID[p.ID]; ok && r.shardPlan == nil {
+				r.shardPlan = p.Units
+			}
+		case ckKindShardDone:
+			var d ckShardDone
+			if err := json.Unmarshal(rec.Payload, &d); err != nil {
+				return nil, 0, fmt.Errorf("cluster: shard done record: %w", err)
+			}
+			if r, ok := byID[d.ID]; ok {
+				dup := false
+				for _, seq := range r.shardDone {
+					if seq == d.Seq {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					r.shardDone = append(r.shardDone, d.Seq)
+				}
+			}
 		case ckKindSnapshot:
 			var s ckSnapshot
 			if err := json.Unmarshal(rec.Payload, &s); err != nil {
@@ -272,7 +335,7 @@ func foldRouting(recs []checkpoint.Record) ([]recoveredRouting, uint64, error) {
 				epoch = s.Epoch
 			}
 			for _, sj := range s.Jobs {
-				r := &recoveredRouting{sub: sj.Sub, assigns: sj.Assigns}
+				r := &recoveredRouting{sub: sj.Sub, assigns: sj.Assigns, shardPlan: sj.ShardPlan, shardDone: sj.ShardDone}
 				if sj.Finished != nil {
 					r.finished = true
 					r.finalState = sj.Finished.State
@@ -327,7 +390,7 @@ func (cj *coordJournal) queryPath(id string) string {
 // order is the crash-safety invariant: a submitted record implies a
 // readable query.
 func (cj *coordJournal) saveQuery(id, fasta string) error {
-	return writeFileAtomicCluster(cj.queryPath(id), []byte(fasta))
+	return writeFileAtomicFaults(cj.queryPath(id), []byte(fasta), cj.io)
 }
 
 // loadQuery reads back a spilled query as FASTA text for dispatch.
@@ -380,6 +443,70 @@ func (cj *coordJournal) finished(j *coordJob, state, errMsg string, at time.Time
 	})
 }
 
+func (cj *coordJournal) shardPlanned(j *coordJob, units []core.ShardUnit) error {
+	if cj == nil {
+		return nil
+	}
+	return cj.append(ckKindShardPlan, ckShardPlan{ID: j.ID, Units: units})
+}
+
+func (cj *coordJournal) shardDone(j *coordJob, seq int, worker string, at time.Time) error {
+	if cj == nil {
+		return nil
+	}
+	return cj.append(ckKindShardDone, ckShardDone{ID: j.ID, Seq: seq, WorkerID: worker, AtNS: at.UnixNano()})
+}
+
+// The shard artifact store holds each sharded job's gathered unit
+// frames (shards/<id>/frames/<seq>.json, removed once the job is
+// terminal) and its merged MAF (shards/<id>/result.maf, retained so a
+// restarted coordinator can still serve the result).
+
+func (cj *coordJournal) shardDir(id string) string {
+	return filepath.Join(cj.dir, "shards", id)
+}
+
+func (cj *coordJournal) saveShardFrames(id string, seq int, data []byte) error {
+	dir := filepath.Join(cj.shardDir(id), "frames")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeFileAtomicFaults(filepath.Join(dir, fmt.Sprintf("%d.json", seq)), data, cj.io)
+}
+
+func (cj *coordJournal) loadShardFrames(id string, seq int) ([]byte, error) {
+	return os.ReadFile(filepath.Join(cj.shardDir(id), "frames", fmt.Sprintf("%d.json", seq)))
+}
+
+func (cj *coordJournal) saveShardMAF(id string, data []byte) error {
+	if err := os.MkdirAll(cj.shardDir(id), 0o755); err != nil {
+		return err
+	}
+	return writeFileAtomicFaults(filepath.Join(cj.shardDir(id), "result.maf"), data, cj.io)
+}
+
+func (cj *coordJournal) loadShardMAF(id string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(cj.shardDir(id), "result.maf"))
+}
+
+// removeShardFrames drops a terminal job's per-unit frame spills; the
+// merged result.maf stays serveable.
+func (cj *coordJournal) removeShardFrames(id string) {
+	if cj == nil {
+		return
+	}
+	os.RemoveAll(filepath.Join(cj.shardDir(id), "frames")) //nolint:errcheck // best effort cleanup
+}
+
+// removeShards drops everything a sharded job spilled, merged MAF
+// included — eviction-time cleanup.
+func (cj *coordJournal) removeShards(id string) {
+	if cj == nil {
+		return
+	}
+	os.RemoveAll(cj.shardDir(id)) //nolint:errcheck // best effort cleanup
+}
+
 // The shipped-artifact store holds pipeline-journal segments workers
 // PUT for their running jobs (shipped/<coord job id>/seg-*.wal). On
 // failover the replacement worker GETs them back and resumes
@@ -396,7 +523,7 @@ func (cj *coordJournal) saveShipped(id, name string, data []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return writeFileAtomicCluster(filepath.Join(dir, name), data)
+	return writeFileAtomicFaults(filepath.Join(dir, name), data, cj.io)
 }
 
 func (cj *coordJournal) listShipped(id string) ([]checkpoint.SegmentInfo, error) {
@@ -428,20 +555,33 @@ func (cj *coordJournal) close() {
 // writeFileAtomicCluster writes data to path via temp + fsync + rename
 // + dirsync, so a crash leaves either the old file or the new one.
 func writeFileAtomicCluster(path string, data []byte) error {
+	return writeFileAtomicFaults(path, data, nil)
+}
+
+// writeFileAtomicFaults is writeFileAtomicCluster with an IO fault seam
+// threaded through write/sync/rename: an injected ENOSPC or short write
+// surfaces as an error with the temp file removed — never a corrupt or
+// truncated artifact at the final path. A nil fault set is a plain
+// atomic write.
+func writeFileAtomicFaults(path string, data []byte, flt *faultinject.IOFaults) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	_, err = f.Write(data)
+	_, err = flt.Write(f, data)
 	if err == nil {
-		err = f.Sync()
+		if err = flt.Check(faultinject.OpSync); err == nil {
+			err = f.Sync()
+		}
 	}
 	if cerr := f.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		if err = flt.Check(faultinject.OpRename); err == nil {
+			err = os.Rename(tmp, path)
+		}
 	}
 	if err != nil {
 		os.Remove(tmp) //nolint:errcheck

@@ -1,0 +1,730 @@
+package cluster
+
+// Chaos tests for the per-shard scatter/gather plane: scripted shard
+// workers, the ManualClock driving unit leases, retry backoff, and the
+// hedge tick, and the faultinject transport/IO seams injecting the
+// failure modes the design doc's matrix names — worker death mid-unit,
+// straggler hedging, retry exhaustion into partial results, truncated
+// response bodies, disk-full artifact stores, and coordinator restart
+// re-dispatching only unfinished units. Run under -race.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"darwinwga/internal/core"
+	"darwinwga/internal/faultinject"
+	"darwinwga/internal/maf"
+	"darwinwga/internal/server"
+)
+
+// shardQueryBases sizes the test query so PlanShards with 2 units per
+// strand yields 4 units: 0:'+'[0:128) 1:'+'[128:200) 2:'-'[0:128)
+// 3:'-'[128:200) (chunk size 64, span 128).
+const shardQueryBases = 200
+
+var shardTestFASTA = ">q\n" + strings.Repeat("ACGTACGTAC", shardQueryBases/10) + "\n"
+
+// shardTestPlan recomputes the decomposition the coordinator journals —
+// tests derive expected unit identities from it instead of hardcoding.
+func shardTestPlan(unitsPerStrand int) []core.ShardUnit {
+	cfg := core.DefaultConfig()
+	cfg.BothStrands = true
+	return core.PlanShards(&cfg, shardQueryBases, unitsPerStrand)
+}
+
+// cannedShardFrame fabricates one deterministic frame per unit. Anchor
+// positions grow with the unit seq and sit far apart (1000 > absorb
+// band), so the merge keeps every frame and its canonical order equals
+// plan order within each strand — making the merged MAF predictable.
+func cannedShardFrame(u core.ShardUnit) server.ShardResultFrame {
+	at := 10_000 + u.Seq*1000
+	diag := at - u.QStart
+	return server.ShardResultFrame{
+		ShardFrame: core.ShardFrame{
+			AnchorT: at, AnchorQ: u.QStart, FilterScore: 100, Score: 80,
+			TStart: at, TEnd: at + 8, DMin: diag, DMax: diag,
+		},
+		Block: &maf.Block{
+			Score: 80, TName: "tgt.chr1", TStart: at, TSize: 8, TSrc: 50_000,
+			TText: "ACGTACGT", QName: "q", QStart: u.QStart, QSize: 8,
+			QSrc: shardQueryBases, QStrand: u.Strand, QText: "ACGTACGT",
+		},
+	}
+}
+
+func cannedShardResponse(u core.ShardUnit) server.ShardResponse {
+	return server.ShardResponse{Unit: u, Frames: []server.ShardResultFrame{cannedShardFrame(u)}}
+}
+
+// expectedShardMAF renders the MAF the coordinator must produce for the
+// canned frames: '+' blocks then '-' blocks, plan order within each
+// strand, skipping the given seqs (failed units in the partial tests).
+func expectedShardMAF(t *testing.T, plan []core.ShardUnit, skip map[int]bool) string {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := maf.NewWriter(&buf)
+	for _, strand := range []byte{'+', '-'} {
+		for _, u := range plan {
+			if u.Strand != strand || skip[u.Seq] {
+				continue
+			}
+			if err := mw.Write(cannedShardFrame(u).Block); err != nil {
+				t.Fatalf("rendering expected MAF: %v", err)
+			}
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatalf("closing expected MAF: %v", err)
+	}
+	return buf.String()
+}
+
+// shardRecorder logs (worker label, unit seq) pairs as scripted workers
+// receive unit dispatches.
+type shardRecorder struct {
+	mu    sync.Mutex
+	calls []struct {
+		label string
+		seq   int
+	}
+}
+
+func (r *shardRecorder) add(label string, seq int) {
+	r.mu.Lock()
+	r.calls = append(r.calls, struct {
+		label string
+		seq   int
+	}{label, seq})
+	r.mu.Unlock()
+}
+
+func (r *shardRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.calls)
+}
+
+func (r *shardRecorder) countFor(label string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.calls {
+		if c.label == label {
+			n++
+		}
+	}
+	return n
+}
+
+// workersFor returns the labels that served seq, in arrival order.
+func (r *shardRecorder) workersFor(seq int) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, c := range r.calls {
+		if c.seq == seq {
+			out = append(out, c.label)
+		}
+	}
+	return out
+}
+
+// seqsSince returns the sorted distinct unit seqs seen at call index
+// >= from — how the restart test isolates post-recovery dispatches.
+func (r *shardRecorder) seqsSince(from int) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := map[int]bool{}
+	for _, c := range r.calls[from:] {
+		set[c.seq] = true
+	}
+	var out []int
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// shardFn scripts one worker's answer to a unit dispatch. ok=false is
+// an HTTP 500; the fn may block to model a dead or straggling worker.
+type shardFn func(req server.ShardRequest) (server.ShardResponse, bool)
+
+// newShardWorker is a fakeWorker whose handler additionally serves
+// POST /v1/shards from fn (nil = always the canned single-frame
+// success), recording every dispatch in rec under label.
+func newShardWorker(t *testing.T, label string, rec *shardRecorder, fn shardFn) *fakeWorker {
+	t.Helper()
+	return newFakeWorkerWrapped(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost || r.URL.Path != "/v1/shards" {
+				next.ServeHTTP(rw, r)
+				return
+			}
+			var req server.ShardRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				rw.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			if rec != nil {
+				rec.add(label, req.Unit.Seq)
+			}
+			var resp server.ShardResponse
+			ok := true
+			if fn != nil {
+				resp, ok = fn(req)
+			} else {
+				resp = cannedShardResponse(req.Unit)
+			}
+			if !ok {
+				rw.Header().Set("Content-Type", "application/json")
+				rw.WriteHeader(http.StatusInternalServerError)
+				rw.Write([]byte(`{"error":"scripted shard failure"}`)) //nolint:errcheck
+				return
+			}
+			rw.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(rw).Encode(resp) //nolint:errcheck
+		})
+	})
+}
+
+// submitFASTA posts a job with a caller-chosen query.
+func (cc *chaosCluster) submitFASTA(t *testing.T, fasta string, extra map[string]any) string {
+	t.Helper()
+	req := map[string]any{"target": testTarget, "query_fasta": fasta, "client": "shard-chaos"}
+	for k, v := range extra {
+		req[k] = v
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(cc.front.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var st clusterJobStatus
+	json.Unmarshal(data, &st) //nolint:errcheck
+	return st.ID
+}
+
+// fetchMAF GETs the merged artifact once the job is terminal.
+func (cc *chaosCluster) fetchMAF(t *testing.T, id string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Get(cc.front.URL + "/v1/jobs/" + id + "/maf")
+	if err != nil {
+		t.Fatalf("maf: %v", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, string(data)
+}
+
+func shardChaosConfig(mutate func(*Config)) func(*Config) {
+	return func(cfg *Config) {
+		cfg.ShardDispatch = []string{"*"}
+		cfg.ShardUnits = 2
+		if mutate != nil {
+			mutate(cfg)
+		}
+	}
+}
+
+// TestShardScatterGatherHappyPath: with two workers holding the target,
+// a sharded job scatters its 4 units across both, gathers every frame,
+// and serves the deterministic merge — plan order per strand, '+'
+// before '-' — with a clean 200 and a full shard map in status.
+func TestShardScatterGatherHappyPath(t *testing.T) {
+	cc := newChaosCluster(t, shardChaosConfig(nil))
+	rec := &shardRecorder{}
+	w1 := newShardWorker(t, "w1", rec, nil)
+	w2 := newShardWorker(t, "w2", rec, nil)
+	cc.register(t, "w1", w1)
+	cc.register(t, "w2", w2)
+
+	id := cc.submitFASTA(t, shardTestFASTA, nil)
+	cc.pump(t, "sharded job done", func() {
+		cc.heartbeat(t, "w1")
+		cc.heartbeat(t, "w2")
+	}, func() bool {
+		return cc.jobStatus(t, id).State == StateDone
+	})
+
+	st := cc.jobStatus(t, id)
+	if !st.Sharded {
+		t.Error("status not marked sharded")
+	}
+	if st.Shards == nil || st.Shards.Total != 4 || st.Shards.Done != 4 || st.Shards.Failed != 0 {
+		t.Errorf("shard map = %+v, want 4/4 done", st.Shards)
+	}
+	if len(st.FailedShards) != 0 || st.Truncated != "" {
+		t.Errorf("clean run reported partial: truncated=%q failed=%v", st.Truncated, st.FailedShards)
+	}
+	if got := cc.coord.c.shardDispatched.Value(); got != 4 {
+		t.Errorf("dispatched counter = %d, want 4", got)
+	}
+	if got := cc.coord.c.shardMerged.Value(); got != 4 {
+		t.Errorf("merged counter = %d, want 4", got)
+	}
+	// The units spread across the fleet, not a single worker.
+	if rec.countFor("w1") == 0 || rec.countFor("w2") == 0 {
+		t.Errorf("units did not scatter: w1=%d w2=%d", rec.countFor("w1"), rec.countFor("w2"))
+	}
+	code, _, body := cc.fetchMAF(t, id)
+	if code != http.StatusOK {
+		t.Fatalf("maf: HTTP %d, want 200", code)
+	}
+	if want := expectedShardMAF(t, shardTestPlan(2), nil); body != want {
+		t.Errorf("merged MAF differs from canonical order:\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestShardBudgetedJobKeepsWholeJob: budget caps are job-wide, so a
+// budgeted submission bypasses shard dispatch even when the target is
+// enrolled, and routes whole to one worker.
+func TestShardBudgetedJobKeepsWholeJob(t *testing.T) {
+	cc := newChaosCluster(t, shardChaosConfig(nil))
+	rec := &shardRecorder{}
+	w1 := newShardWorker(t, "w1", rec, nil)
+	cc.register(t, "w1", w1)
+
+	id := cc.submitFASTA(t, shardTestFASTA, map[string]any{"max_candidates": 5})
+	cc.pump(t, "whole-job dispatch", func() {
+		cc.heartbeat(t, "w1")
+	}, func() bool {
+		return w1.submitCount() > 0
+	})
+	w1.finishAll()
+	cc.pump(t, "whole job done", func() {
+		cc.heartbeat(t, "w1")
+	}, func() bool {
+		return cc.jobStatus(t, id).State == StateDone
+	})
+	st := cc.jobStatus(t, id)
+	if st.Sharded || st.Shards != nil {
+		t.Errorf("budgeted job took the shard path: %+v", st.Shards)
+	}
+	if rec.count() != 0 {
+		t.Errorf("budgeted job dispatched %d shard units, want 0", rec.count())
+	}
+}
+
+// TestShardWorkerDeathFailover: one worker takes its units and goes
+// silent mid-flight (the SIGKILL analogue: its shard requests hang and
+// its membership lease expires). The units' leases run out, retries
+// fail over to the survivor, and the merged MAF is byte-identical to a
+// run with no failure.
+func TestShardWorkerDeathFailover(t *testing.T) {
+	cc := newChaosCluster(t, shardChaosConfig(func(cfg *Config) {
+		// Longer than the membership lease so the dead worker is
+		// already expired when its units' leases lapse — the retry
+		// observes a lost worker, the failed-over path.
+		cfg.ShardLease = 15 * time.Second
+	}))
+	rec := &shardRecorder{}
+	gate := make(chan struct{})
+	release := sync.OnceFunc(func() { close(gate) })
+	w1 := newShardWorker(t, "w1", rec, func(server.ShardRequest) (server.ShardResponse, bool) {
+		<-gate // dead worker: holds the unit forever
+		return server.ShardResponse{}, false
+	})
+	w2 := newShardWorker(t, "w2", rec, nil)
+	t.Cleanup(release)
+	cc.register(t, "w1", w1)
+	cc.register(t, "w2", w2)
+
+	id := cc.submitFASTA(t, shardTestFASTA, nil)
+	cc.pump(t, "doomed worker holds a unit", func() {
+		cc.heartbeat(t, "w1")
+		cc.heartbeat(t, "w2")
+	}, func() bool {
+		return rec.countFor("w1") >= 1
+	})
+
+	// w1 is killed: no more heartbeats, its in-flight units hang until
+	// their leases expire on the manual clock.
+	cc.pump(t, "units fail over to the survivor", func() {
+		cc.heartbeat(t, "w2")
+	}, func() bool {
+		return cc.jobStatus(t, id).State == StateDone
+	})
+	release()
+
+	st := cc.jobStatus(t, id)
+	if st.Shards == nil || st.Shards.Done != 4 || st.Shards.Failed != 0 {
+		t.Fatalf("shard map = %+v, want 4/4 done with none failed", st.Shards)
+	}
+	if len(st.FailedShards) != 0 {
+		t.Errorf("failover must not drop units: failed=%v", st.FailedShards)
+	}
+	if got := cc.coord.c.shardFailedOver.Value(); got < 1 {
+		t.Errorf("failed-over counter = %d, want >= 1", got)
+	}
+	code, _, body := cc.fetchMAF(t, id)
+	if code != http.StatusOK {
+		t.Fatalf("maf: HTTP %d, want 200", code)
+	}
+	if want := expectedShardMAF(t, shardTestPlan(2), nil); body != want {
+		t.Errorf("post-failover MAF not byte-identical:\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestShardHedgedStraggler: three units finish in ~1s of manual time,
+// establishing the p90; the fourth hangs. Past factor×p90 the gather
+// loop speculatively re-dispatches it — to the other worker — and the
+// hedge's result completes the job (first result wins).
+func TestShardHedgedStraggler(t *testing.T) {
+	cc := newChaosCluster(t, shardChaosConfig(nil))
+	rec := &shardRecorder{}
+	gate := make(chan struct{})
+	release := sync.OnceFunc(func() { close(gate) })
+	var seq3Calls atomic.Int32
+	fn := func(req server.ShardRequest) (server.ShardResponse, bool) {
+		if req.Unit.Seq == 3 && seq3Calls.Add(1) == 1 {
+			<-gate // the straggler: the first attempt never returns
+			return server.ShardResponse{}, false
+		}
+		// Normal units take ~1s of manual time so completed-unit
+		// durations are nonzero and the p90 threshold exists.
+		from := cc.clock.Now()
+		for cc.clock.Now().Sub(from) < time.Second {
+			time.Sleep(time.Millisecond)
+		}
+		return cannedShardResponse(req.Unit), true
+	}
+	w1 := newShardWorker(t, "w1", rec, fn)
+	w2 := newShardWorker(t, "w2", rec, fn)
+	t.Cleanup(release)
+	cc.register(t, "w1", w1)
+	cc.register(t, "w2", w2)
+
+	id := cc.submitFASTA(t, shardTestFASTA, nil)
+	cc.pump(t, "straggler hedged and job done", func() {
+		cc.heartbeat(t, "w1")
+		cc.heartbeat(t, "w2")
+	}, func() bool {
+		return cc.jobStatus(t, id).State == StateDone
+	})
+	release()
+
+	if got := cc.coord.c.shardHedged.Value(); got != 1 {
+		t.Errorf("hedged counter = %d, want 1", got)
+	}
+	st := cc.jobStatus(t, id)
+	if st.Shards == nil || st.Shards.Done != 4 || st.Shards.Hedged != 1 {
+		t.Fatalf("shard map = %+v, want 4 done with 1 hedged", st.Shards)
+	}
+	// The hedge avoided the straggler's worker.
+	servers := rec.workersFor(3)
+	if len(servers) < 2 || servers[0] == servers[1] {
+		t.Errorf("hedge did not move workers: unit 3 served by %v", servers)
+	}
+	// First result won: exactly one result per unit merged.
+	if got := cc.coord.c.shardMerged.Value(); got != 4 {
+		t.Errorf("merged counter = %d, want 4", got)
+	}
+	code, _, body := cc.fetchMAF(t, id)
+	if code != http.StatusOK {
+		t.Fatalf("maf: HTTP %d, want 200", code)
+	}
+	if want := expectedShardMAF(t, shardTestPlan(2), nil); body != want {
+		t.Errorf("hedged MAF not byte-identical:\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestShardRetryExhaustionPartialResult: one unit fails every attempt
+// on the only worker. The job still completes — as a partial result:
+// state done, truncated=shard-failures, the unit listed in
+// failed_shards, and the MAF a 206 missing exactly that unit's block.
+func TestShardRetryExhaustionPartialResult(t *testing.T) {
+	cc := newChaosCluster(t, shardChaosConfig(nil))
+	rec := &shardRecorder{}
+	w1 := newShardWorker(t, "w1", rec, func(req server.ShardRequest) (server.ShardResponse, bool) {
+		if req.Unit.Seq == 1 {
+			return server.ShardResponse{}, false
+		}
+		return cannedShardResponse(req.Unit), true
+	})
+	cc.register(t, "w1", w1)
+
+	id := cc.submitFASTA(t, shardTestFASTA, nil)
+	cc.pump(t, "partial completion", func() {
+		cc.heartbeat(t, "w1")
+	}, func() bool {
+		return cc.jobStatus(t, id).State == StateDone
+	})
+
+	plan := shardTestPlan(2)
+	st := cc.jobStatus(t, id)
+	if st.Truncated != shardTruncatedReason {
+		t.Errorf("truncated = %q, want %q", st.Truncated, shardTruncatedReason)
+	}
+	if want := []string{plan[1].String()}; len(st.FailedShards) != 1 || st.FailedShards[0] != want[0] {
+		t.Errorf("failed_shards = %v, want %v", st.FailedShards, want)
+	}
+	if st.Shards == nil || st.Shards.Done != 3 || st.Shards.Failed != 1 {
+		t.Errorf("shard map = %+v, want 3 done / 1 failed", st.Shards)
+	}
+	if !strings.Contains(st.Error, "partial result") {
+		t.Errorf("status error = %q, want a partial-result note", st.Error)
+	}
+	if got := cc.coord.c.shardFailed.Value(); got != 1 {
+		t.Errorf("failed counter = %d, want 1", got)
+	}
+	code, hdr, body := cc.fetchMAF(t, id)
+	if code != http.StatusPartialContent {
+		t.Fatalf("maf: HTTP %d, want 206", code)
+	}
+	if hdr.Get("X-Truncated") != shardTruncatedReason {
+		t.Errorf("X-Truncated = %q, want %q", hdr.Get("X-Truncated"), shardTruncatedReason)
+	}
+	if hdr.Get("X-Failed-Shards") != plan[1].String() {
+		t.Errorf("X-Failed-Shards = %q, want %q", hdr.Get("X-Failed-Shards"), plan[1].String())
+	}
+	if want := expectedShardMAF(t, plan, map[int]bool{1: true}); body != want {
+		t.Errorf("partial MAF wrong:\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestShardTruncatedBodyRetry: the transport cuts one shard response
+// mid-body. The frame decode fails, the idempotent unit retries, and
+// the job completes with a byte-identical merge — a half-delivered
+// frame set never reaches the merge.
+func TestShardTruncatedBodyRetry(t *testing.T) {
+	cc := newChaosCluster(t, shardChaosConfig(nil))
+	rec := &shardRecorder{}
+	w1 := newShardWorker(t, "w1", rec, nil)
+	cc.tr.AddRule(faultinject.TransportRule{
+		Host: w1.host(), Hit: 1, Action: faultinject.TransportTruncateBody, TruncateAt: 10,
+	})
+	cc.register(t, "w1", w1)
+
+	id := cc.submitFASTA(t, shardTestFASTA, nil)
+	cc.pump(t, "job survives the truncated body", func() {
+		cc.heartbeat(t, "w1")
+	}, func() bool {
+		return cc.jobStatus(t, id).State == StateDone
+	})
+
+	if got := cc.coord.c.shardRetried.Value(); got < 1 {
+		t.Errorf("retried counter = %d, want >= 1", got)
+	}
+	st := cc.jobStatus(t, id)
+	if st.Shards == nil || st.Shards.Done != 4 || st.Shards.Failed != 0 {
+		t.Fatalf("shard map = %+v, want 4/4 done", st.Shards)
+	}
+	code, _, body := cc.fetchMAF(t, id)
+	if code != http.StatusOK {
+		t.Fatalf("maf: HTTP %d, want 200", code)
+	}
+	if want := expectedShardMAF(t, shardTestPlan(2), nil); body != want {
+		t.Errorf("MAF after truncated-body retry not byte-identical:\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestShardJournalRestartRedispatchOnlyUnfinished: two units complete
+// and journal before the coordinator dies mid-job. The restarted
+// coordinator adopts their spilled frames (recovered counter) and
+// re-dispatches only the other two; the final MAF is still complete.
+func TestShardJournalRestartRedispatchOnlyUnfinished(t *testing.T) {
+	dir := t.TempDir()
+	rec := &shardRecorder{}
+	var allowAll atomic.Bool
+	fn := func(req server.ShardRequest) (server.ShardResponse, bool) {
+		if req.Unit.Seq >= 2 {
+			// Held until the first coordinator is gone, so units 2 and
+			// 3 are in flight — not journaled — at the crash point.
+			for !allowAll.Load() {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return cannedShardResponse(req.Unit), true
+	}
+	w1 := newShardWorker(t, "w1", rec, fn)
+	t.Cleanup(func() { allowAll.Store(true) })
+
+	cc := newChaosCluster(t, shardChaosConfig(func(cfg *Config) { cfg.JournalDir = dir }))
+	cc.register(t, "w1", w1)
+	id := cc.submitFASTA(t, shardTestFASTA, nil)
+	cc.pump(t, "two units journaled before the crash", func() {
+		cc.heartbeat(t, "w1")
+	}, func() bool {
+		st := cc.jobStatus(t, id)
+		return st.Shards != nil && st.Shards.Done == 2
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := cc.coord.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	cancel()
+	cc.front.Close()
+	allowAll.Store(true)
+	preRestart := rec.count()
+
+	cc2 := newChaosCluster(t, shardChaosConfig(func(cfg *Config) { cfg.JournalDir = dir }))
+	cc2.register(t, "w1", w1)
+	cc2.pump(t, "job done after restart", func() {
+		cc2.heartbeat(t, "w1")
+	}, func() bool {
+		return cc2.jobStatus(t, id).State == StateDone
+	})
+
+	if got := cc2.coord.c.shardRecovered.Value(); got != 2 {
+		t.Errorf("recovered counter = %d, want 2 (adopted journaled units)", got)
+	}
+	if got := cc2.coord.c.shardMerged.Value(); got != 2 {
+		t.Errorf("merged counter after restart = %d, want 2 (only unfinished units re-ran)", got)
+	}
+	redispatched := rec.seqsSince(preRestart)
+	for _, seq := range redispatched {
+		if seq < 2 {
+			t.Errorf("finished unit %d was re-dispatched after restart (got %v)", seq, redispatched)
+		}
+	}
+	if len(redispatched) == 0 {
+		t.Error("no units re-dispatched after restart")
+	}
+	st := cc2.jobStatus(t, id)
+	if !st.Sharded || st.Shards == nil || st.Shards.Done != 4 {
+		t.Fatalf("post-restart shard map = %+v, want 4 done", st.Shards)
+	}
+	code, _, body := cc2.fetchMAF(t, id)
+	if code != http.StatusOK {
+		t.Fatalf("maf: HTTP %d, want 200", code)
+	}
+	if want := expectedShardMAF(t, shardTestPlan(2), nil); body != want {
+		t.Errorf("post-restart MAF not byte-identical:\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestShardArtifactStoreENOSPCSubmit: a full disk at query-spill time
+// answers 503 + Retry-After, leaves no artifact (whole or partial)
+// behind, and the same submission succeeds once space returns.
+func TestShardArtifactStoreENOSPCSubmit(t *testing.T) {
+	dir := t.TempDir()
+	enospc := errors.New("no space left on device")
+	cc := newChaosCluster(t, shardChaosConfig(func(cfg *Config) {
+		cfg.JournalDir = dir
+		// Only the first artifact write fails — the disk "fills"
+		// exactly once.
+		cfg.IOFaults = faultinject.NewIO(faultinject.IORule{
+			Op: faultinject.OpWrite, Hit: 1, Action: faultinject.IOErr, Err: enospc,
+		})
+	}))
+	rec := &shardRecorder{}
+	w1 := newShardWorker(t, "w1", rec, nil)
+	cc.register(t, "w1", w1)
+
+	body, _ := json.Marshal(map[string]any{
+		"target": testTarget, "query_fasta": shardTestFASTA, "client": "shard-chaos",
+	})
+	resp, err := http.Post(cc.front.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on full disk: HTTP %d (%s), want 503", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("store 503 without Retry-After")
+	}
+	if got := cc.coord.c.store503.Value(); got != 1 {
+		t.Errorf("store-unavailable counter = %d, want 1", got)
+	}
+	// No corrupt artifact: the atomic writer must leave nothing behind
+	// for the failed spill — no query file, no .tmp.
+	ents, _ := os.ReadDir(filepath.Join(dir, "queries"))
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("failed spill left temp file %s", e.Name())
+		}
+	}
+	if n := len(ents); n > 1 {
+		t.Errorf("queries dir has %d entries after one failed and one ok spill, want <= 1", n)
+	}
+
+	// Space is back: the retried submission is accepted and completes.
+	id := cc.submitFASTA(t, shardTestFASTA, nil)
+	cc.pump(t, "job done after disk recovered", func() {
+		cc.heartbeat(t, "w1")
+	}, func() bool {
+		return cc.jobStatus(t, id).State == StateDone
+	})
+}
+
+// TestShardArtifactStoreENOSPCShippedPut: a full disk during a shipped
+// checkpoint-segment PUT answers 503 + Retry-After and stores nothing,
+// so the worker can simply re-PUT the same segment later.
+func TestShardArtifactStoreENOSPCShippedPut(t *testing.T) {
+	dir := t.TempDir()
+	enospc := errors.New("no space left on device")
+	cc := newChaosCluster(t, func(cfg *Config) {
+		cfg.JournalDir = dir
+		// Hit 2: the submission's query spill passes, the shipped
+		// segment write fails.
+		cfg.IOFaults = faultinject.NewIO(faultinject.IORule{
+			Op: faultinject.OpWrite, Hit: 2, Action: faultinject.IOErr, Err: enospc,
+		})
+	})
+	w1 := newFakeWorker(t)
+	cc.register(t, "w1", w1)
+	id := cc.submit(t)
+	cc.pump(t, "whole-job dispatch", func() {
+		cc.heartbeat(t, "w1")
+	}, func() bool {
+		return w1.submitCount() > 0
+	})
+
+	put := func() (int, http.Header) {
+		req, err := http.NewRequest(http.MethodPut,
+			cc.front.URL+"/cluster/v1/jobs/"+id+"/journal/seg-00000001.wal",
+			strings.NewReader("segment-bytes"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()                               //nolint:errcheck
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck
+		return resp.StatusCode, resp.Header
+	}
+	code, hdr := put()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("shipped PUT on full disk: HTTP %d, want 503", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("shipped 503 without Retry-After")
+	}
+	if ents, _ := os.ReadDir(filepath.Join(dir, "shipped", id)); len(ents) != 0 {
+		t.Errorf("failed shipped PUT left %d files behind", len(ents))
+	}
+	// The fault was one-shot; the worker's retry lands.
+	if code, _ := put(); code != http.StatusNoContent {
+		t.Errorf("retried shipped PUT: HTTP %d, want 204", code)
+	}
+	w1.finishAll()
+	cc.pump(t, "whole job done", func() {
+		cc.heartbeat(t, "w1")
+	}, func() bool {
+		return cc.jobStatus(t, id).State == StateDone
+	})
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"darwinwga/internal/align"
+	"darwinwga/internal/dsoft"
+	"darwinwga/internal/gact"
+)
+
+// This file is the work-unit extraction behind the cluster's per-shard
+// scatter/gather plane. A ShardUnit is one independently dispatchable
+// slice of a whole-query alignment: one strand crossed with one
+// chunk-aligned query range. A worker executes the unit with
+// AlignShardUnit — seeding and filtering restricted to the range,
+// then extension of every filter survivor WITHOUT the anchor-absorption
+// walk — and returns one ShardFrame per above-threshold alignment.
+// The gather side reassembles a strand's frames with MergeShardFrames,
+// which re-runs the absorption walk over the canonically sorted union,
+// reproducing exactly the alignment set and emission order a one-shot
+// AlignContext call produces.
+//
+// Why the split is byte-exact: D-SOFT band counting never straddles a
+// chunk boundary, so the candidate multiset over a chunk-aligned range
+// is range-local and the union over a partition equals the whole-query
+// set; filter verdicts are per-anchor pure functions; extension from an
+// anchor is a pure function of (tPos, qPos). The only whole-strand
+// state is the absorber, which is why it moves to the merge. The cost
+// of the split is bounded wasted work: a unit extends anchors that the
+// one-shot walk would have absorbed, and the merge then drops them.
+
+// ShardUnit is one scatter/gather work unit: a strand crossed with a
+// chunk-aligned query range. QStart/QEnd are half-open offsets into the
+// strand-oriented query — for strand '-' they index the
+// reverse-complemented query, so a unit is self-contained given the
+// original query bases. Seq is the unit's dense index in its plan; the
+// gather side uses it as the reorder-buffer key and the hedged-dedup
+// identity.
+type ShardUnit struct {
+	Seq    int  `json:"seq"`
+	Strand byte `json:"strand"`
+	QStart int  `json:"q_start"`
+	QEnd   int  `json:"q_end"`
+}
+
+// String renders the unit identity used in logs and flight events.
+func (u ShardUnit) String() string {
+	return fmt.Sprintf("%d/%c[%d:%d)", u.Seq, u.Strand, u.QStart, u.QEnd)
+}
+
+// PlanShards decomposes a query of queryLen bases into at most
+// unitsPerStrand units per strand ('+' first, then '-' when
+// cfg.BothStrands), each range aligned to cfg.DSoft.ChunkSize so the
+// unit-local candidate sets union to the whole-query set. The plan is a
+// pure function of (config, queryLen, unitsPerStrand): a coordinator
+// can recompute it after a restart and get the same unit identities.
+func PlanShards(cfg *Config, queryLen, unitsPerStrand int) []ShardUnit {
+	if unitsPerStrand < 1 {
+		unitsPerStrand = 1
+	}
+	chunk := cfg.DSoft.ChunkSize
+	if chunk <= 0 {
+		chunk = 1
+	}
+	// Same boundary rule as the pipeline's internal seeding shards:
+	// ceil-ish division rounded up to a whole chunk.
+	span := (queryLen/unitsPerStrand/chunk + 1) * chunk
+	strands := []byte{'+'}
+	if cfg.BothStrands {
+		strands = append(strands, '-')
+	}
+	var plan []ShardUnit
+	seq := 0
+	for _, strand := range strands {
+		for start := 0; start < queryLen; start += span {
+			plan = append(plan, ShardUnit{
+				Seq:    seq,
+				Strand: strand,
+				QStart: start,
+				QEnd:   min(start+span, queryLen),
+			})
+			seq++
+		}
+	}
+	return plan
+}
+
+// ShardFrame is the wire framing of one above-threshold alignment
+// produced by a shard unit: the sort keys that place it in the
+// canonical extension order (filter score desc, anchor target pos,
+// anchor query pos — sortAnchors' comparator), plus the absorption
+// footprint (target span and path diagonal range) the merge needs to
+// re-run the duplicate-suppression walk. The rendered MAF block rides
+// alongside in the cluster layer; the merge itself never needs the
+// alignment text.
+type ShardFrame struct {
+	// AnchorT/AnchorQ are the filter-survivor anchor the extension
+	// started from (the absorption-walk probe point).
+	AnchorT int `json:"at"`
+	AnchorQ int `json:"aq"`
+	// FilterScore is the anchor's filter-stage score (primary sort key).
+	FilterScore int32 `json:"fs"`
+	// Score is the final alignment score (>= ExtensionThreshold).
+	Score int32 `json:"score"`
+	// TStart/TEnd is the alignment's target span; DMin/DMax the min/max
+	// diagonal its path touches. Together they are the absorber footprint.
+	TStart int `json:"t_start"`
+	TEnd   int `json:"t_end"`
+	DMin   int `json:"d_min"`
+	DMax   int `json:"d_max"`
+}
+
+// sortFrameIndex orders frame indices by the canonical extension order
+// — the exact comparator of sortAnchors, keyed on the anchor the
+// extension started from.
+func sortFrameIndex(frames []ShardFrame) []int {
+	idx := make([]int, len(frames))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := &frames[idx[i]], &frames[idx[j]]
+		if a.FilterScore != b.FilterScore {
+			return a.FilterScore > b.FilterScore
+		}
+		if a.AnchorT != b.AnchorT {
+			return a.AnchorT < b.AnchorT
+		}
+		return a.AnchorQ < b.AnchorQ
+	})
+	return idx
+}
+
+// MergeShardFrames reassembles ONE strand's frames (from any number of
+// units, in any arrival order) into the pipeline's deterministic
+// emission order: it sorts by the canonical extension order and re-runs
+// the anchor-absorption walk of runExtension, dropping every frame
+// whose anchor lands inside an already-kept alignment's footprint.
+// It returns the indices of the kept frames, in emission order, plus
+// the number absorbed. Equal-key frames are interchangeable (extension
+// is a pure function of the anchor), so the output block sequence is
+// independent of arrival order — the property the merge tests pin.
+func MergeShardFrames(frames []ShardFrame, absorbBand int) (keep []int, absorbed int) {
+	absorb := newAbsorber(absorbBand)
+	for _, i := range sortFrameIndex(frames) {
+		f := &frames[i]
+		if absorb.covered(f.AnchorT, f.AnchorQ) {
+			absorbed++
+			continue
+		}
+		keep = append(keep, i)
+		absorb.add(f.TStart, f.TEnd, f.DMin, f.DMax)
+	}
+	return keep, absorbed
+}
+
+// AlignShardUnit executes one work unit: D-SOFT seeding and filtering
+// restricted to the strand-oriented query range [u.QStart, u.QEnd),
+// then GACT-X extension of every surviving anchor in canonical order —
+// without the absorption walk, which belongs to the merge. query must
+// already be oriented for u.Strand (the caller reverse-complements for
+// '-'). Returns one frame plus the matching full HSP (for MAF
+// rendering) per above-threshold alignment; frames[i] describes
+// hsps[i].
+//
+// Units must not carry resource budgets or a deadline: a unit is
+// all-or-nothing (complete frames or an error), because a truncated
+// unit would poison the deterministic merge. The dispatching layer
+// enforces this by refusing to shard budgeted jobs; this function
+// double-checks and errors out.
+func (a *Aligner) AlignShardUnit(ctx context.Context, query []byte, u ShardUnit) ([]ShardFrame, []HSP, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if a.cfg.MaxCandidates != 0 || a.cfg.MaxFilterTiles != 0 || a.cfg.MaxExtensionCells != 0 || a.cfg.Deadline != 0 {
+		return nil, nil, fmt.Errorf("core: shard units cannot run under resource budgets or a deadline")
+	}
+	if u.QStart < 0 || u.QEnd > len(query) || u.QStart >= u.QEnd {
+		return nil, nil, fmt.Errorf("core: shard unit range [%d:%d) outside query of %d bases", u.QStart, u.QEnd, len(query))
+	}
+	if len(query) < a.shape.Span {
+		return nil, nil, fmt.Errorf("core: query shorter than the seed span (%d < %d)", len(query), a.shape.Span)
+	}
+	r := a.newRun(ctx)
+	defer r.stopTimer()
+
+	anchors, _ := a.seedRange(r, query, u.QStart, u.QEnd)
+	if err := r.err(); err != nil {
+		return nil, nil, err
+	}
+	passed, _, _ := a.runFilter(r, query, anchors, u.Strand)
+	if err := r.err(); err != nil {
+		return nil, nil, err
+	}
+	sortAnchors(passed)
+
+	// Unlike runExtension, there is no absorber here — every extension
+	// is a pure function of its anchor — so the loop that must stay
+	// single-goroutine in the whole-query pipeline is embarrassingly
+	// parallel in a unit. That matters: a unit extends anchors the
+	// one-shot walk would have absorbed, so serial extension would make
+	// units far slower than their share of a one-shot run.
+	ecfg := a.cfg.Extension
+	ecfg.Stop = r.stop
+	workers := min(a.cfg.workers(), len(passed))
+	exts := make([]*gact.Extender, workers)
+	for w := range exts {
+		ext, err := gact.NewExtender(a.sc, ecfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		exts[w] = ext
+	}
+	type extOut struct {
+		done bool
+		aln  align.Alignment
+	}
+	outs := make([]extOut, len(passed))
+	var next, failedIdx atomic.Int64 // failedIdx holds index+1; 0 = none
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(ext *gact.Extender) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(passed) || failedIdx.Load() != 0 || r.stopSlow() {
+					return
+				}
+				p := passed[i]
+				var aln align.Alignment
+				ok := r.runShard(StageExtension, i, func() {
+					if r.hook != nil {
+						r.hook(StageExtension, i)
+					}
+					var st gact.Stats
+					aln = ext.Extend(a.target, query, p.tPos, p.qPos, &st)
+				}, nil)
+				if !ok {
+					failedIdx.CompareAndSwap(0, int64(i)+1)
+					return
+				}
+				outs[i] = extOut{done: true, aln: aln}
+			}
+		}(exts[w])
+	}
+	wg.Wait()
+	if err := r.err(); err != nil {
+		return nil, nil, err
+	}
+	if fi := failedIdx.Load(); fi != 0 {
+		// Retry exhausted under a per-shard retry policy: a unit has
+		// no graceful degradation — the dispatcher retries the whole
+		// unit elsewhere.
+		return nil, nil, fmt.Errorf("core: shard unit %s: extension anchor %d failed after retries", u, fi-1)
+	}
+	var frames []ShardFrame
+	var hsps []HSP
+	for i, p := range passed {
+		aln := outs[i].aln
+		if !outs[i].done || aln.Score < a.cfg.ExtensionThreshold {
+			continue
+		}
+		matches, _, _ := aln.Counts(a.target, query)
+		dMin, dMax := pathDiagRange(aln.TStart, aln.QStart, aln.Ops)
+		frames = append(frames, ShardFrame{
+			AnchorT:     p.tPos,
+			AnchorQ:     p.qPos,
+			FilterScore: p.score,
+			Score:       aln.Score,
+			TStart:      aln.TStart,
+			TEnd:        aln.TEnd,
+			DMin:        dMin,
+			DMax:        dMax,
+		})
+		hsps = append(hsps, HSP{
+			Alignment:   aln,
+			Strand:      u.Strand,
+			Matches:     matches,
+			FilterScore: p.score,
+		})
+	}
+	// A cancelled or deadline-stopped unit is incomplete, never partial.
+	if r.stopSlow() || r.truncation() != "" {
+		if ctxErr := r.ctx.Err(); ctxErr != nil {
+			return nil, nil, ctxErr
+		}
+		return nil, nil, fmt.Errorf("core: shard unit %s stopped early (%s)", u, r.truncation())
+	}
+	return frames, hsps, nil
+}
+
+// seedRange collects the D-SOFT candidates whose query chunks lie in
+// [qs, qe), sharding the range across the configured workers on chunk
+// boundaries — the same boundary rule runSeeding uses, so the
+// candidate multiset is identical to the corresponding slice of a
+// whole-query run.
+func (a *Aligner) seedRange(r *run, query []byte, qs, qe int) ([]dsoft.Anchor, dsoft.Stats) {
+	seeder, err := dsoft.NewSeeder(a.index, a.cfg.DSoft)
+	if err != nil {
+		// Params were validated in NewAligner; unreachable.
+		panic(err)
+	}
+	workers := a.cfg.workers()
+	chunk := a.cfg.DSoft.ChunkSize
+	span := ((qe-qs)/workers/chunk + 1) * chunk
+	block := seedBlockChunks * chunk
+
+	type part struct {
+		anchors []dsoft.Anchor
+		stats   dsoft.Stats
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := qs + w*span
+		if start >= qe {
+			break
+		}
+		end := min(start+span, qe)
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			body := func() {
+				if r.hook != nil {
+					r.hook(StageSeeding, w)
+				}
+				scratch := dsoft.NewScratch()
+				p := &parts[w]
+				for bs := start; bs < end; bs += block {
+					if r.seedingStopped() {
+						return
+					}
+					be := min(bs+block, end)
+					p.anchors = seeder.Collect(query, bs, be, p.anchors, &p.stats, scratch)
+				}
+			}
+			reset := func() { parts[w] = part{} }
+			r.runShard(StageSeeding, w, body, reset)
+		}(w, start, end)
+	}
+	wg.Wait()
+	var anchors []dsoft.Anchor
+	var stats dsoft.Stats
+	for w := range parts {
+		anchors = append(anchors, parts[w].anchors...)
+		stats.QueryPositions += parts[w].stats.QueryPositions
+		stats.Lookups += parts[w].stats.Lookups
+		stats.SeedHits += parts[w].stats.SeedHits
+		stats.Candidates += parts[w].stats.Candidates
+	}
+	return anchors, stats
+}

@@ -37,6 +37,10 @@ var (
 	// ErrInjectedPartition models a network partition: every request
 	// to the partitioned host fails until the partition heals.
 	ErrInjectedPartition = errors.New("faultinject: host partitioned (injected)")
+	// ErrInjectedTruncate models a connection lost mid-response: the
+	// headers arrived clean, the body cut off at an injected byte
+	// offset, and the next read fails.
+	ErrInjectedTruncate = errors.New("faultinject: response body truncated (injected)")
 )
 
 // TransportAction is what a TransportRule does when it fires.
@@ -52,6 +56,12 @@ const (
 	// TransportDrop forwards the request, discards the response, and
 	// fails with ErrInjectedDrop — the server-side effects happened.
 	TransportDrop
+	// TransportTruncateBody forwards the request and returns the
+	// response with clean headers but the body cut at Rule.TruncateAt
+	// bytes: reads past the cut fail with ErrInjectedTruncate. This is
+	// the mid-stream loss a gather plane must survive — a 200 already
+	// committed, frames half-delivered.
+	TransportTruncateBody
 )
 
 func (a TransportAction) String() string {
@@ -62,6 +72,8 @@ func (a TransportAction) String() string {
 		return "reset"
 	case TransportDrop:
 		return "drop"
+	case TransportTruncateBody:
+		return "truncate-body"
 	default:
 		return fmt.Sprintf("TransportAction(%d)", int(a))
 	}
@@ -76,6 +88,9 @@ type TransportRule struct {
 	Hit     int
 	Action  TransportAction
 	Latency time.Duration
+	// TruncateAt is the byte offset a TransportTruncateBody rule cuts
+	// the response body at.
+	TruncateAt int
 }
 
 // TransportEvent records one fired rule, for test assertions.
@@ -185,11 +200,40 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			resp.Body.Close()              //nolint:errcheck
 		}
 		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL, ErrInjectedDrop)
+	case TransportTruncateBody:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remain: act.TruncateAt}
+		return resp, nil
 	default: // TransportLatency
 		t.clock.Sleep(act.Latency)
 		return t.inner.RoundTrip(req)
 	}
 }
+
+// truncatedBody delivers the first remain bytes of the wrapped body,
+// then fails every read with ErrInjectedTruncate — the stream-level
+// view of a connection cut mid-transfer.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("read past injected cut: %w", ErrInjectedTruncate)
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= n
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
 
 // Fired returns a copy of the events fired so far (partition
 // rejections record as resets against the partitioned host).

@@ -23,6 +23,16 @@ const (
 	FlightStallRetry   = "stall-retry"   // watchdog cancelled a stalled attempt; retrying
 	FlightParked       = "parked"        // no live replica; waiting for membership
 	FlightFinished     = "finished"      // terminal state reached
+
+	// Per-shard lifecycle events of the scatter/gather dispatch plane.
+	// One event per work-unit transition, so /v1/jobs/{id}/events can
+	// explain exactly which shard a slow job is stuck on.
+	FlightShardDispatched = "shard-dispatched"  // work unit sent to a worker
+	FlightShardRetried    = "shard-retried"     // unit re-dispatched after a failed attempt
+	FlightShardHedged     = "shard-hedged"      // straggling unit speculatively duplicated
+	FlightShardFailedOver = "shard-failed-over" // unit moved off a lost worker
+	FlightShardFailed     = "shard-failed"      // unit dropped after exhausting retries
+	FlightShardMerged     = "shard-merged"      // unit's frames accepted into the merge
 )
 
 // FlightEvent is one structured lifecycle event in a job's flight

@@ -65,8 +65,8 @@ type jobStatus struct {
 	// checkpoint journal rather than recomputed — nonzero exactly when
 	// the job resumed (in place or from shipped segments after a
 	// failover). Workload − Replayed is what this run actually computed.
-	Replayed  *core.Workload `json:"replayed,omitempty"`
-	Stats     *jobStats      `json:"stats,omitempty"`
+	Replayed *core.Workload `json:"replayed,omitempty"`
+	Stats    *jobStats      `json:"stats,omitempty"`
 	// TraceID is the job's distributed trace id; its spans are at
 	// TraceURL and its lifecycle events at EventsURL.
 	TraceID   string `json:"trace_id,omitempty"`
@@ -136,6 +136,7 @@ type registerRequest struct {
 func (s *Server) buildHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/shards", s.handleShard)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/maf", s.handleMAF)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)

@@ -133,6 +133,10 @@ type Config struct {
 	// per-job tracing — jobs then run with a nil tracer at zero cost).
 	// Events past the cap are counted as dropped, never retained.
 	TraceEventCap int
+	// ShardFaults, when non-nil, injects failures into POST /v1/shards
+	// work-unit executions by (seq, strand) — the chaos-test seam for
+	// shard-level retry exhaustion and failover. Nil injects nothing.
+	ShardFaults *faultinject.ShardFaults
 }
 
 // withDefaults fills unset fields.
@@ -259,6 +263,10 @@ type Server struct {
 	clusterEpoch      atomic.Uint64
 	staleEpochRejects *obs.Counter
 
+	// Shard work-unit serving outcomes (POST /v1/shards).
+	shardUnitsServed *obs.Counter
+	shardUnitsFailed *obs.Counter
+
 	mu       sync.Mutex
 	httpSrv  *http.Server
 	listener net.Listener
@@ -314,6 +322,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.staleEpochRejects = metrics.Counter("darwinwga_cluster_stale_epoch_rejections_total",
 		"requests rejected for carrying a stale cluster epoch")
+	s.shardUnitsServed = metrics.Counter(`darwinwga_server_shard_units_total{outcome="served"}`,
+		"shard work units executed via POST /v1/shards, by outcome")
+	s.shardUnitsFailed = metrics.Counter(`darwinwga_server_shard_units_total{outcome="failed"}`,
+		"shard work units executed via POST /v1/shards, by outcome")
 	s.version = obs.RegisterBuildInfo(metrics)
 	s.registerGauges()
 	s.handler = s.epochGate(s.buildHandler())

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"darwinwga/internal/core"
+	"darwinwga/internal/genome"
+	"darwinwga/internal/maf"
+)
+
+// The worker half of the cluster's per-shard scatter/gather plane.
+// POST /v1/shards executes exactly one strand/seed-shard work unit
+// synchronously: the in-flight HTTP request is the unit's lease — if
+// the coordinator gives up (timeout, worker death, hedge win
+// elsewhere) it simply abandons the response, and the unit's effects
+// are confined to this handler. Units are idempotent by construction
+// (pure functions of target fingerprint + query + unit range), which
+// is what makes coordinator-side retry, failover, and hedging safe.
+
+// ShardRequest is the POST /v1/shards body — one scatter/gather work
+// unit. The coordinator sends the full query FASTA with every unit;
+// the unit's QStart/QEnd selects the slice this worker seeds.
+type ShardRequest struct {
+	Target string `json:"target"`
+	// Fingerprint, when set, must match the registered target's content
+	// fingerprint — a mismatched worker answers 409 so the coordinator
+	// reroutes instead of merging frames from a different index.
+	Fingerprint string         `json:"fingerprint,omitempty"`
+	QueryFASTA  string         `json:"query_fasta"`
+	QueryName   string         `json:"query_name,omitempty"`
+	Ungapped    bool           `json:"ungapped,omitempty"`
+	Hf          int32          `json:"hf,omitempty"`
+	He          int32          `json:"he,omitempty"`
+	JobID       string         `json:"job_id,omitempty"`
+	TraceID     string         `json:"trace_id,omitempty"`
+	Unit        core.ShardUnit `json:"unit"`
+}
+
+// ShardResultFrame is one above-threshold alignment from a work unit:
+// the merge keys and absorber footprint (core.ShardFrame, inlined) plus
+// the worker-rendered MAF block. Blocks are rendered worker-side
+// because only workers hold the target bases; the coordinator's merge
+// only reorders and drops them.
+type ShardResultFrame struct {
+	core.ShardFrame
+	Block *maf.Block `json:"block"`
+}
+
+// ShardResponse is the POST /v1/shards success body.
+type ShardResponse struct {
+	Unit   core.ShardUnit     `json:"unit"`
+	Frames []ShardResultFrame `json:"frames"`
+}
+
+// handleShard executes one shard work unit and returns its frames.
+// Failures are plain 5xx: the coordinator owns retry policy, so the
+// worker never retries internally.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit())
+	var req ShardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Target == "" {
+		writeError(w, http.StatusBadRequest, "missing target")
+		return
+	}
+	if err := s.cfg.ShardFaults.Check(req.Unit.Seq, req.Unit.Strand); err != nil {
+		s.shardUnitsFailed.Inc()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	tgt, shared, releaseIndex, err := s.reg.Acquire(req.Target)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer releaseIndex()
+	if req.Fingerprint != "" && req.Fingerprint != tgt.Fingerprint {
+		writeError(w, http.StatusConflict, "target %q fingerprint %s does not match requested %s",
+			req.Target, tgt.Fingerprint, req.Fingerprint)
+		return
+	}
+	seqs, err := genome.ReadFASTA(strings.NewReader(req.QueryFASTA))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	queryName := req.QueryName
+	if queryName == "" {
+		queryName = "query"
+	}
+	qBases, qStarts := genome.Concat(seqs)
+	names := make([]string, len(seqs))
+	for i, sq := range seqs {
+		names[i] = sq.Name
+	}
+	qMap, err := maf.NewSeqMap(queryName, names, qStarts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+
+	// The same flag→config mapping job submission uses, minus budgets
+	// and deadline: a unit is all-or-nothing, so mid-unit truncation
+	// would break the determinism the merge depends on. A slow unit is
+	// the coordinator's problem (hedging), not the worker's.
+	cfg := s.jobs.jobConfig(JobParams{
+		Target:             req.Target,
+		Ungapped:           req.Ungapped,
+		FilterThreshold:    req.Hf,
+		ExtensionThreshold: req.He,
+	})
+	cfg.MaxCandidates, cfg.MaxFilterTiles, cfg.MaxExtensionCells = 0, 0, 0
+	cfg.Deadline = 0
+	cfg.CheckpointDir = ""
+	cfg.HSPHook = nil
+	cfg.Recorder = s.jobs.pipe
+	cfg.TraceID = req.TraceID
+	cfg.JobID = req.JobID
+	aligner, err := shared.WithConfig(cfg)
+	if err != nil {
+		s.shardUnitsFailed.Inc()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	q := qBases
+	if req.Unit.Strand == '-' {
+		q = genome.ReverseComplement(qBases)
+	}
+	frames, hsps, err := aligner.AlignShardUnit(r.Context(), q, req.Unit)
+	if err != nil {
+		s.shardUnitsFailed.Inc()
+		writeError(w, http.StatusInternalServerError, "unit %v: %v", req.Unit, err)
+		return
+	}
+	br := &maf.BlockRenderer{TMap: tgt.Map, QMap: qMap, Target: tgt.Bases, Query: qBases}
+	out := make([]ShardResultFrame, len(frames))
+	for i, fr := range frames {
+		h := hsps[i]
+		ops := make([]byte, len(h.Ops))
+		for k, op := range h.Ops {
+			ops[k] = byte(op)
+		}
+		block, err := br.Render(int64(h.Score), h.Strand, h.TStart, h.QStart, ops)
+		if err != nil {
+			s.shardUnitsFailed.Inc()
+			writeError(w, http.StatusInternalServerError, "rendering unit %v frame %d: %v", req.Unit, i, err)
+			return
+		}
+		out[i] = ShardResultFrame{ShardFrame: fr, Block: block}
+	}
+	s.shardUnitsServed.Inc()
+	writeJSON(w, http.StatusOK, ShardResponse{Unit: req.Unit, Frames: out})
+}
